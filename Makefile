@@ -1,0 +1,40 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/
+
+cover:
+	$(GO) test -cover ./internal/... ./cmd/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/blif/
+	$(GO) test -fuzz FuzzParseTLN -fuzztime 30s ./internal/core/
+
+experiments:
+	$(GO) run ./cmd/telsbench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/comparator
+	$(GO) run ./examples/defects
+	$(GO) run ./examples/mapping
+	$(GO) run ./examples/nanotech
+
+clean:
+	$(GO) clean ./...

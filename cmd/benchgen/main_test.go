@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListAndEmit(t *testing.T) {
+	if err := run(true, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := run(false, dir, []string{"mux4", "adder4"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mux4.blif", "adder4.blif"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run(false, "", nil); err == nil {
+		t.Fatal("no benchmark name accepted")
+	}
+	if err := run(false, "", []string{"no-such-circuit"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,162 @@
+// Command tels is the ThrEshold Logic Synthesizer: it reads a
+// combinational BLIF network, optionally optimizes it with an
+// algebraic-factoring script, synthesizes a threshold (LTG) network per
+// the DATE'04 TELS methodology, verifies it by simulation, and writes the
+// result in the .tln format.
+//
+// Usage:
+//
+//	tels [flags] [input.blif]
+//
+// With no input file, BLIF is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"tels/internal/blif"
+	"tels/internal/core"
+	"tels/internal/network"
+	"tels/internal/opt"
+	"tels/internal/rtd"
+	"tels/internal/sim"
+)
+
+func main() {
+	var (
+		fanin    = flag.Int("fanin", 3, "fanin restriction ψ per threshold gate")
+		deltaOn  = flag.Int("don", 0, "defect tolerance δon")
+		deltaOff = flag.Int("doff", 1, "defect tolerance δoff")
+		seed     = flag.Int64("seed", 0, "tie-break seed for the splitting heuristics")
+		exact    = flag.Bool("exact", false, "solve threshold ILPs in exact rational arithmetic")
+		maxw     = flag.Int("maxw", 0, "bound on |weight| per gate input (0 = unbounded)")
+		script   = flag.String("script", "algebraic", "pre-synthesis optimization: algebraic, boolean, or none")
+		mapper   = flag.String("map", "tels", "mapping: tels (threshold synthesis) or one2one (baseline)")
+		output   = flag.String("o", "", "write the threshold network (.tln) to this file (default stdout)")
+		rtdOut   = flag.String("rtd", "", "also write an RTD/MOBILE netlist to this file")
+		verify   = flag.Bool("verify", true, "simulate the result against the source network")
+		quiet    = flag.Bool("q", false, "suppress the statistics summary")
+	)
+	flag.Parse()
+	if err := run(*fanin, *deltaOn, *deltaOff, *maxw, *seed, *exact, *script, *mapper, *output, *rtdOut, *verify, *quiet, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "tels: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fanin, deltaOn, deltaOff, maxWeight int, seed int64, exact bool, script, mapper, output, rtdOut string,
+	verify, quiet bool, args []string) error {
+	var in io.Reader = os.Stdin
+	srcName := "<stdin>"
+	if len(args) > 1 {
+		return fmt.Errorf("expected at most one input file, got %d", len(args))
+	}
+	if len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		srcName = args[0]
+	}
+	src, err := blif.Parse(in)
+	if err != nil {
+		return fmt.Errorf("%s: %w", srcName, err)
+	}
+
+	var optimized *network.Network
+	switch script {
+	case "algebraic":
+		optimized = opt.Algebraic(src)
+	case "boolean":
+		optimized = opt.Boolean(src)
+	case "none":
+		optimized = src.Clone()
+	default:
+		return fmt.Errorf("unknown script %q (want algebraic, boolean, or none)", script)
+	}
+
+	o := core.Options{Fanin: fanin, DeltaOn: deltaOn, DeltaOff: deltaOff, Seed: seed, ExactILP: exact, MaxWeight: maxWeight}
+	var tn *core.Network
+	var stats core.SynthStats
+	switch mapper {
+	case "tels":
+		tn, stats, err = core.Synthesize(optimized, o)
+	case "one2one":
+		tn, err = core.OneToOne(optimized, o)
+	default:
+		return fmt.Errorf("unknown mapper %q (want tels or one2one)", mapper)
+	}
+	if err != nil {
+		return err
+	}
+
+	verifyMode := sim.Proved
+	if verify {
+		res, err := sim.Prove(src, tn, 1)
+		if err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		verifyMode = res
+	}
+
+	out := os.Stdout
+	if output != "" {
+		f, err := os.Create(output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := core.WriteTLN(out, tn); err != nil {
+		return err
+	}
+
+	if rtdOut != "" {
+		nl, err := rtd.Map(tn)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(rtdOut)
+		if err != nil {
+			return err
+		}
+		if err := nl.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			s := nl.Stats()
+			fmt.Fprintf(os.Stderr, "tels: RTD mapping: %d MOBILEs, %d RTDs, %d HFETs, area %d -> %s\n",
+				s.Mobiles, s.RTDs, s.HFETs, s.Area, rtdOut)
+		}
+	}
+
+	if !quiet {
+		s := tn.Stats()
+		fmt.Fprintf(os.Stderr, "tels: %s: %d gates, %d levels, area %d (ψ=%d, δon=%d, δoff=%d)\n",
+			tn.Name, s.Gates, s.Levels, s.Area, fanin, deltaOn, deltaOff)
+		if mapper == "tels" {
+			fmt.Fprintf(os.Stderr, "tels: %d ILP checks (%d threshold), %d collapses, %d unate / %d binate splits, %d Theorem-2 merges\n",
+				stats.ILPCalls, stats.ILPFeasible, stats.Collapses,
+				stats.UnateSplits, stats.BinateSplits, stats.Theorem2)
+		}
+		if verify {
+			switch verifyMode {
+			case sim.Proved:
+				fmt.Fprintln(os.Stderr, "tels: equivalence proved (BDD) against the source network")
+			default:
+				fmt.Fprintln(os.Stderr, "tels: equivalence checked by simulation against the source network")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testBlif = `
+.model small
+.inputs a b c
+.outputs f
+.names a b x
+11 1
+.names x c f
+1- 1
+-1 1
+.end
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFullFlow(t *testing.T) {
+	in := writeTemp(t, "small.blif", testBlif)
+	out := filepath.Join(t.TempDir(), "small.tln")
+	rtdOut := filepath.Join(t.TempDir(), "small.sp")
+	err := run(3, 0, 1, 0, 0, false, "algebraic", "tels", out, rtdOut, true, true, []string{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tln, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tln), ".tnet small") {
+		t.Fatalf("tln output wrong:\n%s", tln)
+	}
+	sp, err := os.ReadFile(rtdOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(sp), "MOBILE netlist") {
+		t.Fatalf("rtd output wrong:\n%s", sp)
+	}
+}
+
+func TestRunOneToOneAndScripts(t *testing.T) {
+	in := writeTemp(t, "small.blif", testBlif)
+	for _, script := range []string{"algebraic", "boolean", "none"} {
+		out := filepath.Join(t.TempDir(), script+".tln")
+		if err := run(3, 0, 1, 0, 0, false, script, "one2one", out, "", true, true, []string{in}); err != nil {
+			t.Fatalf("script %s: %v", script, err)
+		}
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	in := writeTemp(t, "small.blif", testBlif)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"bad script", func() error {
+			return run(3, 0, 1, 0, 0, false, "wat", "tels", "", "", false, true, []string{in})
+		}},
+		{"bad mapper", func() error {
+			return run(3, 0, 1, 0, 0, false, "none", "wat", "", "", false, true, []string{in})
+		}},
+		{"two inputs", func() error {
+			return run(3, 0, 1, 0, 0, false, "none", "tels", "", "", false, true, []string{in, in})
+		}},
+		{"missing file", func() error {
+			return run(3, 0, 1, 0, 0, false, "none", "tels", "", "", false, true, []string{"/nonexistent.blif"})
+		}},
+		{"bad fanin", func() error {
+			return run(1, 0, 1, 0, 0, false, "none", "tels", "", "", false, true, []string{in})
+		}},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestRunBadBlif(t *testing.T) {
+	in := writeTemp(t, "bad.blif", ".model m\n.inputs a\n.outputs y\n.names a b y\n11 1\n.end")
+	if err := run(3, 0, 1, 0, 0, false, "none", "tels", "", "", false, true, []string{in}); err == nil {
+		t.Fatal("undefined signal accepted")
+	}
+}

@@ -1,0 +1,275 @@
+// Command telsbench regenerates the paper's experimental results on the
+// recreated MCNC benchmarks:
+//
+//	telsbench table1          Table I   — gates/levels/area, one-to-one vs TELS (ψ=3)
+//	telsbench fig10           Fig. 10   — gate count vs fanin restriction on comp
+//	telsbench fig11           Fig. 11   — failure rate vs weight variation, per δon
+//	telsbench fig12           Fig. 12   — failure rate and area vs δon at v=0.8
+//	telsbench timing          §VI-A     — factoring vs synthesis time split
+//	telsbench ablation        collapse / Theorem-2 contribution (extension)
+//	telsbench heuristics      splitting-strategy comparison (extension)
+//	telsbench unate           §VI-B unate/threshold census
+//	telsbench weights         synthesis under RTD weight-ratio bounds (extension)
+//	telsbench seeds           tie-break-seed robustness (extension)
+//	telsbench all             everything above
+//
+// The -quick flag shrinks the Monte-Carlo grids and skips the largest
+// benchmark (i10) for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"tels/internal/core"
+	"tels/internal/enum"
+	"tels/internal/expt"
+	"tels/internal/mcnc"
+)
+
+func main() {
+	var (
+		fanin  = flag.Int("fanin", 3, "fanin restriction ψ (Table I uses 3)")
+		quick  = flag.Bool("quick", false, "smaller grids; skip i10")
+		trials = flag.Int("trials", 10, "Monte-Carlo disturbances per circuit (fig11/fig12)")
+		seed   = flag.Int64("seed", 1, "experiment RNG seed")
+		csvDir = flag.String("csv", "", "also write plottable CSV files into this directory")
+	)
+	flag.Parse()
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	if err := run(cmd, *fanin, *quick, *trials, *seed, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "telsbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir string) error {
+	o := core.Options{Fanin: fanin, DeltaOn: 0, DeltaOff: 1, Seed: seed}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	emit := func(name string, write func(io.Writer) error) error {
+		if csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(csvDir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	_ = emit
+	switch cmd {
+	case "table1":
+		return table1(o, quick, emit)
+	case "fig10":
+		return fig10(o, quick, emit)
+	case "fig11":
+		return fig11(trials, seed, quick, emit)
+	case "fig12":
+		return fig12(trials, seed, quick, emit)
+	case "timing":
+		return timing(o, quick)
+	case "ablation":
+		return ablation(o, quick)
+	case "heuristics":
+		return heuristics(o, quick)
+	case "unate":
+		return unateCensus()
+	case "weights":
+		return weightSweep(o)
+	case "seeds":
+		return seedSweep(o, quick)
+	case "all":
+		for _, c := range []func() error{
+			func() error { return table1(o, quick, emit) },
+			func() error { return fig10(o, quick, emit) },
+			func() error { return fig11(trials, seed, quick, emit) },
+			func() error { return fig12(trials, seed, quick, emit) },
+			func() error { return timing(o, quick) },
+			func() error { return ablation(o, quick) },
+			func() error { return heuristics(o, quick) },
+			func() error { return weightSweep(o) },
+			func() error { return seedSweep(o, quick) },
+			unateCensus,
+		} {
+			if err := c(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, or all)", cmd)
+	}
+}
+
+// emitFn writes one experiment's CSV artifact (no-op when -csv is unset).
+type emitFn func(name string, write func(io.Writer) error) error
+
+// unateCensus re-derives the §VI-B numbers behind the Fig. 10 analysis:
+// how many positive-unate permutation classes of each arity are threshold
+// functions.
+func unateCensus() error {
+	fmt.Println("Unate census — threshold fraction of positive-unate classes (§VI-B)")
+	fmt.Printf("%5s | %8s | %10s\n", "vars", "classes", "threshold")
+	fmt.Println("---------------------------")
+	for _, r := range enum.Census(5) {
+		fmt.Printf("%5d | %8d | %10d\n", r.Vars, r.Classes, r.Threshold)
+	}
+	fmt.Println("(paper §VI-B: all of ≤3 vars, 17/20 at 4 vars, 92/168 at 5 vars;")
+	fmt.Println(" the 5-var threshold count 92 matches; see EXPERIMENTS.md on 180 vs 168)")
+	return nil
+}
+
+func weightSweep(o core.Options) error {
+	// Weighted gates only appear once the fanin restriction allows them;
+	// sweep at ψ = 6 where the ILP starts assigning multi-unit weights.
+	o.Fanin = 6
+	points, err := expt.WeightSweep("cordic", []int{0, 4, 3, 2, 1}, o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderWeightSweep("cordic", points))
+	return nil
+}
+
+func seedSweep(o core.Options, quick bool) error {
+	names := []string{"cm152a", "cm85a", "pm1", "comp", "term1"}
+	if quick {
+		names = names[:3]
+	}
+	rows := make([]expt.SeedStats, 0, len(names))
+	for _, name := range names {
+		r, err := expt.SeedSweep(name, 9, o)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, r)
+	}
+	fmt.Print(expt.RenderSeedSweep(rows))
+	return nil
+}
+
+func heuristics(o core.Options, quick bool) error {
+	names := tableSet(quick)
+	if quick {
+		names = names[:5]
+	}
+	rows, err := expt.Heuristics(names, o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderHeuristics(rows))
+	return nil
+}
+
+func ablation(o core.Options, quick bool) error {
+	names := tableSet(quick)
+	if quick {
+		names = names[:5]
+	}
+	rows, err := expt.Ablation(names, o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderAblation(rows))
+	return nil
+}
+
+func tableSet(quick bool) []string {
+	names := mcnc.TableISet()
+	if !quick {
+		return names
+	}
+	var out []string
+	for _, n := range names {
+		if n != "i10" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func table1(o core.Options, quick bool, emit emitFn) error {
+	fmt.Printf("Table I — threshold synthesis results with fanin restriction %d\n\n", o.Fanin)
+	rows, err := expt.TableI(tableSet(quick), o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderTableI(rows))
+	return emit("table1.csv", func(w io.Writer) error { return expt.WriteTableICSV(w, rows) })
+}
+
+func fig10(o core.Options, quick bool, emit emitFn) error {
+	fanins := []int{3, 4, 5, 6, 7, 8}
+	if quick {
+		fanins = []int{3, 4, 5}
+	}
+	points, err := expt.Fig10("comp", fanins, o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderFig10("comp", points))
+	return emit("fig10.csv", func(w io.Writer) error { return expt.WriteFig10CSV(w, points) })
+}
+
+func defectGrid(quick bool) (vs []float64, deltaOns []int) {
+	deltaOns = []int{0, 1, 2, 3}
+	if quick {
+		return []float64{0, 0.8, 1.6, 2.4}, deltaOns
+	}
+	for v := 0.0; v <= 3.01; v += 0.25 {
+		vs = append(vs, v)
+	}
+	return vs, deltaOns
+}
+
+func fig11(trials int, seed int64, quick bool, emit emitFn) error {
+	vs, deltaOns := defectGrid(quick)
+	names := expt.DefectSet()
+	if quick {
+		names = names[:6]
+	}
+	curves, err := expt.Fig11(names, vs, deltaOns, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderFig11(curves))
+	return emit("fig11.csv", func(w io.Writer) error { return expt.WriteFig11CSV(w, curves) })
+}
+
+func fig12(trials int, seed int64, quick bool, emit emitFn) error {
+	_, deltaOns := defectGrid(quick)
+	names := expt.DefectSet()
+	if quick {
+		names = names[:6]
+	}
+	points, err := expt.Fig12(names, 0.8, deltaOns, trials, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderFig12(0.8, points))
+	return emit("fig12.csv", func(w io.Writer) error { return expt.WriteFig12CSV(w, 0.8, points) })
+}
+
+func timing(o core.Options, quick bool) error {
+	rows, err := expt.Timing(tableSet(quick), o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(expt.RenderTiming(rows))
+	return nil
+}

@@ -1,0 +1,250 @@
+// Command telsim is the simulation and inspection companion of cmd/tels,
+// covering the remaining commands of the original TELS tool (threshold
+// simulation and network information display):
+//
+//	telsim info <net.tln|net.blif>                network statistics
+//	telsim run <net.tln|net.blif> [-n N] [-seed S]  simulate N random vectors
+//	telsim compare <golden.blif> <impl.tln>       prove/check equivalence
+//	telsim perturb <golden.blif> <impl.tln> [-v V] [-trials K]
+//	                                              Monte-Carlo failure rate
+//	telsim dot <net.tln>                          Graphviz export
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"tels/internal/blif"
+	"tels/internal/core"
+	"tels/internal/network"
+	"tels/internal/sim"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 16, "random vectors for run")
+		seed   = flag.Int64("seed", 1, "RNG seed")
+		v      = flag.Float64("v", 0.8, "weight-variation multiplier for perturb")
+		trials = flag.Int("trials", 100, "Monte-Carlo trials for perturb")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "telsim: need a command (info, run, compare, perturb, dot)")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Args()[1:], *n, *seed, *v, *trials); err != nil {
+		fmt.Fprintf(os.Stderr, "telsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// loaded is a network in either representation.
+type loaded struct {
+	boolean   *network.Network
+	threshold *core.Network
+}
+
+func load(path string) (loaded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return loaded{}, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".tln") {
+		tn, err := core.ParseTLN(f)
+		if err != nil {
+			return loaded{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return loaded{threshold: tn}, nil
+	}
+	nw, err := blif.Parse(f)
+	if err != nil {
+		return loaded{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return loaded{boolean: nw}, nil
+}
+
+func run(cmd string, args []string, n int, seed int64, v float64, trials int) error {
+	switch cmd {
+	case "info":
+		if len(args) != 1 {
+			return fmt.Errorf("info needs one netlist")
+		}
+		return info(args[0])
+	case "run":
+		if len(args) != 1 {
+			return fmt.Errorf("run needs one netlist")
+		}
+		return simulate(args[0], n, seed)
+	case "compare":
+		if len(args) != 2 {
+			return fmt.Errorf("compare needs <golden.blif> <impl.tln>")
+		}
+		return compare(args[0], args[1], seed)
+	case "perturb":
+		if len(args) != 2 {
+			return fmt.Errorf("perturb needs <golden.blif> <impl.tln>")
+		}
+		return perturb(args[0], args[1], v, trials, seed)
+	case "dot":
+		if len(args) != 1 {
+			return fmt.Errorf("dot needs one .tln netlist")
+		}
+		l, err := load(args[0])
+		if err != nil {
+			return err
+		}
+		if l.threshold == nil {
+			return fmt.Errorf("dot supports threshold (.tln) netlists")
+		}
+		return core.WriteDot(os.Stdout, l.threshold)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func info(path string) error {
+	l, err := load(path)
+	if err != nil {
+		return err
+	}
+	if l.boolean != nil {
+		s := l.boolean.Stats()
+		fmt.Printf("%s: Boolean network\n", l.boolean.Name)
+		fmt.Printf("  inputs   %d\n  outputs  %d\n  nodes    %d\n  levels   %d\n  literals %d\n",
+			s.Inputs, s.Outputs, s.Gates, s.Levels, s.Literals)
+		return nil
+	}
+	tn := l.threshold
+	s := tn.Stats()
+	fmt.Printf("%s: threshold network\n", tn.Name)
+	fmt.Printf("  inputs  %d\n  outputs %d\n  gates   %d\n  levels  %d\n  area    %d (Eq. 14)\n",
+		len(tn.Inputs), len(tn.Outputs), s.Gates, s.Levels, s.Area)
+	hist := map[int]int{}
+	maxW, maxT := 0, 0
+	for _, g := range tn.Gates {
+		hist[len(g.Inputs)]++
+		for _, w := range g.Weights {
+			if w < 0 {
+				w = -w
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		t := g.T
+		if t < 0 {
+			t = -t
+		}
+		if t > maxT {
+			maxT = t
+		}
+	}
+	fanins := make([]int, 0, len(hist))
+	for k := range hist {
+		fanins = append(fanins, k)
+	}
+	sort.Ints(fanins)
+	fmt.Printf("  fanin histogram:")
+	for _, k := range fanins {
+		fmt.Printf(" %d:%d", k, hist[k])
+	}
+	fmt.Printf("\n  max |weight| %d, max |T| %d\n", maxW, maxT)
+	return nil
+}
+
+func simulate(path string, n int, seed int64) error {
+	l, err := load(path)
+	if err != nil {
+		return err
+	}
+	var inputs []string
+	var outputs []string
+	evalFn := func(in map[string]bool) ([]bool, error) { return nil, nil }
+	if l.boolean != nil {
+		for _, in := range l.boolean.Inputs {
+			inputs = append(inputs, in.Name)
+		}
+		for _, o := range l.boolean.Outputs {
+			outputs = append(outputs, o.Name)
+		}
+		evalFn = l.boolean.EvalOutputs
+	} else {
+		inputs = l.threshold.Inputs
+		outputs = l.threshold.Outputs
+		evalFn = l.threshold.EvalOutputs
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Printf("%s -> %s\n", strings.Join(inputs, " "), strings.Join(outputs, " "))
+	for i := 0; i < n; i++ {
+		in := make(map[string]bool, len(inputs))
+		var inBits, outBits strings.Builder
+		for _, name := range inputs {
+			val := rng.Intn(2) == 1
+			in[name] = val
+			inBits.WriteByte(bit(val))
+		}
+		out, err := evalFn(in)
+		if err != nil {
+			return err
+		}
+		for _, val := range out {
+			outBits.WriteByte(bit(val))
+		}
+		fmt.Printf("%s -> %s\n", inBits.String(), outBits.String())
+	}
+	return nil
+}
+
+func bit(v bool) byte {
+	if v {
+		return '1'
+	}
+	return '0'
+}
+
+func compare(golden, impl string, seed int64) error {
+	g, err := load(golden)
+	if err != nil {
+		return err
+	}
+	i, err := load(impl)
+	if err != nil {
+		return err
+	}
+	if g.boolean == nil || i.threshold == nil {
+		return fmt.Errorf("compare needs a BLIF golden network and a .tln implementation")
+	}
+	res, err := sim.Prove(g.boolean, i.threshold, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("equivalent (%s)\n", res)
+	return nil
+}
+
+func perturb(golden, impl string, v float64, trials int, seed int64) error {
+	g, err := load(golden)
+	if err != nil {
+		return err
+	}
+	i, err := load(impl)
+	if err != nil {
+		return err
+	}
+	if g.boolean == nil || i.threshold == nil {
+		return fmt.Errorf("perturb needs a BLIF golden network and a .tln implementation")
+	}
+	rate, err := sim.FailureRate(
+		[]sim.Pair{{Name: impl, Bool: g.boolean, Threshold: i.threshold}},
+		v, sim.FailureRateConfig{Trials: trials, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("v=%.2f: %d trials, failure rate %.1f%%\n", v, trials, 100*rate)
+	return nil
+}

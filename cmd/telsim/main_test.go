@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testBlif = `
+.model t
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.end
+`
+
+const testTLN = `
+.tnet t
+.inputs a b
+.outputs f
+.gate f = [T=2] +1*a +1*b
+.end
+`
+
+const wrongTLN = `
+.tnet t
+.inputs a b
+.outputs f
+.gate f = [T=1] +1*a +1*b
+.end
+`
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestInfoBoth(t *testing.T) {
+	if err := run("info", []string{write(t, "t.blif", testBlif)}, 4, 1, 0.8, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("info", []string{write(t, "t.tln", testTLN)}, 4, 1, 0.8, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCommand(t *testing.T) {
+	if err := run("run", []string{write(t, "t.tln", testTLN)}, 4, 1, 0.8, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("run", []string{write(t, "t.blif", testBlif)}, 4, 1, 0.8, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareCommand(t *testing.T) {
+	golden := write(t, "t.blif", testBlif)
+	good := write(t, "good.tln", testTLN)
+	bad := write(t, "bad.tln", wrongTLN)
+	if err := run("compare", []string{golden, good}, 4, 1, 0.8, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("compare", []string{golden, bad}, 4, 1, 0.8, 10); err == nil {
+		t.Fatal("OR gate accepted as AND implementation")
+	}
+}
+
+func TestPerturbCommand(t *testing.T) {
+	golden := write(t, "t.blif", testBlif)
+	impl := write(t, "good.tln", testTLN)
+	if err := run("perturb", []string{golden, impl}, 4, 1, 0.8, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotCommand(t *testing.T) {
+	if err := run("dot", []string{write(t, "t.tln", testTLN)}, 4, 1, 0.8, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dot", []string{write(t, "t.blif", testBlif)}, 4, 1, 0.8, 10); err == nil {
+		t.Fatal("dot of a BLIF network should be rejected")
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	cases := [][2]string{
+		{"info", ""},
+		{"wat", ""},
+		{"compare", "one-arg-only"},
+	}
+	for _, c := range cases {
+		var args []string
+		if c[1] != "" {
+			args = []string{c[1]}
+		}
+		if err := run(c[0], args, 4, 1, 0.8, 10); err == nil {
+			t.Errorf("command %q with args %v accepted", c[0], args)
+		}
+	}
+	if err := run("info", []string{"/nonexistent.tln"}, 4, 1, 0.8, 10); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,11 @@
+// Package tels is a Go reproduction of "Synthesis and Optimization of
+// Threshold Logic Networks with Application to Nanotechnologies"
+// (Zhang, Gupta, Zhong, Jha — DATE 2004): the TELS threshold-logic
+// synthesizer, its SIS-style multi-level Boolean optimization substrate,
+// an ILP solver, the recreated MCNC benchmark suite, and the experiment
+// harness that regenerates the paper's Table I and Figures 10–12.
+//
+// The implementation lives under internal/; see README.md for the map and
+// examples/ for runnable entry points. Benchmarks for every table and
+// figure are in bench_test.go at the repository root.
+package tels

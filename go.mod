@@ -1,0 +1,3 @@
+module tels
+
+go 1.22

@@ -1,0 +1,239 @@
+package algebra
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"tels/internal/logic"
+)
+
+// expr builds an algebraic expression from cube strings over n variables.
+func expr(n int, cubes ...string) Expr {
+	return FromCover(logic.MustCover(cubes...))
+}
+
+func TestFromCoverToCover(t *testing.T) {
+	f := logic.MustCover("1-0", "01-")
+	e := FromCover(f)
+	if len(e) != 2 {
+		t.Fatalf("expr has %d cubes", len(e))
+	}
+	back := e.ToCover(3)
+	if !f.Equivalent(back) {
+		t.Fatalf("round trip changed function: %v -> %v", f, back)
+	}
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := MakeLit(3, logic.Neg)
+	if l.Var() != 3 || l.Phase() != logic.Neg {
+		t.Fatalf("lit %d decodes to var %d phase %v", l, l.Var(), l.Phase())
+	}
+	p := MakeLit(3, logic.Pos)
+	if p.Var() != 3 || p.Phase() != logic.Pos {
+		t.Fatalf("lit %d decodes wrong", p)
+	}
+}
+
+func TestCommonCube(t *testing.T) {
+	// f = abc + abd: common cube ab.
+	e := expr(4, "111-", "11-1")
+	cc := e.CommonCube()
+	if len(cc) != 2 || cc[0].Var() != 0 || cc[1].Var() != 1 {
+		t.Fatalf("CommonCube = %v", cc)
+	}
+	if e.IsCubeFree() {
+		t.Fatal("abc+abd is not cube-free")
+	}
+	free := e.MakeCubeFree()
+	if !free.IsCubeFree() {
+		t.Fatalf("MakeCubeFree result not cube-free: %v", free)
+	}
+	// c + d
+	want := expr(4, "--1-", "---1")
+	if !Equal(free, want) {
+		t.Fatalf("MakeCubeFree = %v, want %v", free, want)
+	}
+}
+
+func TestWeakDivTextbook(t *testing.T) {
+	// Classic: F = ac + ad + bc + bd + e, D = a + b.
+	// F/D = c + d, remainder e.
+	F := expr(5, "1-1--", "1--1-", "-11--", "-1-1-", "----1")
+	D := expr(5, "1----", "-1---")
+	q, r := WeakDiv(F, D)
+	wantQ := expr(5, "--1--", "---1-")
+	wantR := expr(5, "----1")
+	if !Equal(q, wantQ) {
+		t.Fatalf("quotient = %v, want %v", q, wantQ)
+	}
+	if !Equal(r, wantR) {
+		t.Fatalf("remainder = %v, want %v", r, wantR)
+	}
+}
+
+func TestWeakDivNoQuotient(t *testing.T) {
+	F := expr(3, "11-")
+	D := expr(3, "--1")
+	q, r := WeakDiv(F, D)
+	if len(q) != 0 {
+		t.Fatalf("quotient = %v, want empty", q)
+	}
+	if !Equal(r, F) {
+		t.Fatalf("remainder = %v, want original", r)
+	}
+}
+
+// Reconstruction property: F == Q*D + R as cube sets, for random algebraic
+// expressions.
+func TestWeakDivReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 300; iter++ {
+		n := 3 + rng.Intn(3)
+		F := randomExpr(rng, n, 1+rng.Intn(6))
+		D := randomExpr(rng, n, 1+rng.Intn(3))
+		q, r := WeakDiv(F, D)
+		// Rebuild q*d + r.
+		var rebuilt Expr
+		for _, qc := range q {
+			for _, dc := range D {
+				rebuilt = append(rebuilt, cubeUnion(qc, dc))
+			}
+		}
+		rebuilt = append(rebuilt, r...)
+		if !Equal(dedupe(rebuilt), dedupe(F)) {
+			t.Fatalf("iter %d: F=%v D=%v q=%v r=%v rebuilt=%v", iter, F, D, q, r, rebuilt)
+		}
+	}
+}
+
+func dedupe(e Expr) Expr {
+	seen := map[string]bool{}
+	var out Expr
+	for _, c := range e {
+		k := cubeKey(c)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func randomExpr(rng *rand.Rand, n, cubes int) Expr {
+	seen := map[string]bool{}
+	var out Expr
+	for len(out) < cubes {
+		var c Cube
+		for v := 0; v < n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				c = append(c, MakeLit(v, logic.Pos))
+			case 1:
+				c = append(c, MakeLit(v, logic.Neg))
+			}
+		}
+		if len(c) == 0 {
+			continue
+		}
+		k := cubeKey(c)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func TestKernelsTextbook(t *testing.T) {
+	// F = adf + aef + bdf + bef + cdf + cef + g
+	//   = (a+b+c)(d+e)f + g.
+	// Kernels: {a+b+c, d+e, (a+b+c)(d+e)f+g expanded}, the whole F is
+	// cube-free so F itself is a kernel.
+	vars := 7 // a..g = 0..6
+	mk := func(ls ...int) Cube {
+		var c Cube
+		for _, v := range ls {
+			c = append(c, MakeLit(v, logic.Pos))
+		}
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		return c
+	}
+	F := Expr{
+		mk(0, 3, 5), mk(0, 4, 5),
+		mk(1, 3, 5), mk(1, 4, 5),
+		mk(2, 3, 5), mk(2, 4, 5),
+		mk(6),
+	}
+	_ = vars
+	ks := Kernels(F)
+	foundABC, foundDE, foundSelf := false, false, false
+	abc := Expr{mk(0), mk(1), mk(2)}
+	de := Expr{mk(3), mk(4)}
+	for _, k := range ks {
+		if Equal(k.Expr, abc) {
+			foundABC = true
+		}
+		if Equal(k.Expr, de) {
+			foundDE = true
+		}
+		if Equal(k.Expr, F) {
+			foundSelf = true
+		}
+	}
+	if !foundABC || !foundDE || !foundSelf {
+		t.Fatalf("kernels missing: abc=%v de=%v self=%v (got %d kernels)",
+			foundABC, foundDE, foundSelf, len(ks))
+	}
+}
+
+// Property: every reported kernel is a cube-free quotient of F by its
+// co-kernel.
+func TestKernelsAreQuotients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 150; iter++ {
+		n := 3 + rng.Intn(3)
+		F := randomExpr(rng, n, 2+rng.Intn(5))
+		for _, k := range Kernels(F) {
+			if !k.Expr.IsCubeFree() && len(k.Expr) > 1 {
+				t.Fatalf("iter %d: kernel %v is not cube-free", iter, k.Expr)
+			}
+			if len(k.CoKernel) == 0 {
+				// The expression itself (made cube-free); check equality.
+				if !Equal(k.Expr, F.MakeCubeFree()) && !Equal(k.Expr, F) {
+					t.Fatalf("iter %d: empty co-kernel but expr %v != F %v", iter, k.Expr, F)
+				}
+				continue
+			}
+			q, _ := F.DivideByCube(k.CoKernel)
+			if !Equal(q.MakeCubeFree(), k.Expr) {
+				t.Fatalf("iter %d: kernel %v with co-kernel %v is not the cube-free quotient %v",
+					iter, k.Expr, k.CoKernel, q.MakeCubeFree())
+			}
+		}
+	}
+}
+
+func TestLevel0(t *testing.T) {
+	if !Level0(expr(4, "1---", "-1--")) {
+		t.Fatal("a+b should be level 0")
+	}
+	if Level0(expr(4, "11--", "1-1-")) {
+		t.Fatal("ab+ac is not level 0 (a repeats)")
+	}
+}
+
+func TestVars(t *testing.T) {
+	e := expr(5, "1---0", "-1---")
+	got := e.Vars()
+	want := []int{0, 1, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package bdd
+
+import (
+	"fmt"
+
+	"tels/internal/core"
+	"tels/internal/logic"
+	"tels/internal/network"
+)
+
+// VarOrder returns a variable order for the network's primary inputs:
+// a depth-first walk from the outputs records each input at first visit,
+// which interleaves structurally related inputs (e.g. the a/b bits of a
+// comparator) — the classic static ordering heuristic.
+func VarOrder(nw *network.Network) map[string]int {
+	order := make(map[string]int)
+	visited := make(map[*network.Node]bool)
+	var walk func(n *network.Node)
+	walk = func(n *network.Node) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		if n.Kind == network.Input {
+			if _, ok := order[n.Name]; !ok {
+				order[n.Name] = len(order)
+			}
+			return
+		}
+		for _, f := range n.Fanins {
+			walk(f)
+		}
+	}
+	for _, o := range nw.Outputs {
+		walk(o)
+	}
+	// Inputs not in any output cone still need levels.
+	for _, in := range nw.Inputs {
+		if _, ok := order[in.Name]; !ok {
+			order[in.Name] = len(order)
+		}
+	}
+	return order
+}
+
+// CompileBoolean builds one BDD per primary output of the Boolean network
+// under the given input-name-to-level order.
+func CompileBoolean(m *Manager, nw *network.Network, varLevel map[string]int) ([]Ref, error) {
+	refs := make(map[*network.Node]Ref)
+	for _, in := range nw.Inputs {
+		level, ok := varLevel[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("bdd: no level for input %s", in.Name)
+		}
+		v, err := m.Var(level)
+		if err != nil {
+			return nil, err
+		}
+		refs[in] = v
+	}
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		if n.Kind != network.Internal {
+			continue
+		}
+		fanins := make([]Ref, len(n.Fanins))
+		for i, f := range n.Fanins {
+			fanins[i] = refs[f]
+		}
+		r, err := coverBDD(m, n.Cover, fanins)
+		if err != nil {
+			return nil, err
+		}
+		refs[n] = r
+	}
+	out := make([]Ref, len(nw.Outputs))
+	for i, o := range nw.Outputs {
+		out[i] = refs[o]
+	}
+	return out, nil
+}
+
+// coverBDD builds the OR-of-cubes function over the fanin BDDs.
+func coverBDD(m *Manager, cover logic.Cover, fanins []Ref) (Ref, error) {
+	result := False
+	for _, cube := range cover.Cubes {
+		term := True
+		for i, ph := range cube {
+			var lit Ref
+			var err error
+			switch ph {
+			case logic.Pos:
+				lit = fanins[i]
+			case logic.Neg:
+				lit, err = m.Not(fanins[i])
+				if err != nil {
+					return False, err
+				}
+			default:
+				continue
+			}
+			term, err = m.And(term, lit)
+			if err != nil {
+				return False, err
+			}
+			if term == False {
+				break
+			}
+		}
+		var err error
+		result, err = m.Or(result, term)
+		if err != nil {
+			return False, err
+		}
+		if result == True {
+			break
+		}
+	}
+	return result, nil
+}
+
+// CompileThreshold builds one BDD per primary output of the threshold
+// network under the given input-name-to-level order, using the
+// running-sum construction for each LTG.
+func CompileThreshold(m *Manager, tn *core.Network, varLevel map[string]int) ([]Ref, error) {
+	refs := make(map[string]Ref)
+	for _, in := range tn.Inputs {
+		level, ok := varLevel[in]
+		if !ok {
+			return nil, fmt.Errorf("bdd: no level for input %s", in)
+		}
+		v, err := m.Var(level)
+		if err != nil {
+			return nil, err
+		}
+		refs[in] = v
+	}
+	order, err := tn.TopoGates()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range order {
+		fanins := make([]Ref, len(g.Inputs))
+		for i, in := range g.Inputs {
+			r, ok := refs[in]
+			if !ok {
+				return nil, fmt.Errorf("bdd: gate %s input %s is undriven", g.Name, in)
+			}
+			fanins[i] = r
+		}
+		r, err := m.Threshold(fanins, g.Weights, g.T)
+		if err != nil {
+			return nil, err
+		}
+		refs[g.Name] = r
+	}
+	out := make([]Ref, len(tn.Outputs))
+	for i, o := range tn.Outputs {
+		r, ok := refs[o]
+		if !ok {
+			return nil, fmt.Errorf("bdd: output %s is undriven", o)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package blif
+
+import (
+	"strings"
+	"testing"
+
+	"tels/internal/network"
+)
+
+const sample = `
+# the paper's Fig 2(a) network
+.model fig2a
+.inputs x1 x2 x3 x4 x5 x6 x7
+.outputs f
+.names x1 x2 x3 n4
+111 1
+.names x1 inv
+0 1
+.names inv x4 n5
+11 1
+.names n4 n5 n3
+1- 1
+-1 1
+.names n3 x5 n1
+11 1
+.names x6 x7 n2
+11 1
+.names n1 n2 f
+1- 1
+-1 1
+.end
+`
+
+func TestParseSample(t *testing.T) {
+	nw, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Name != "fig2a" {
+		t.Errorf("name = %q", nw.Name)
+	}
+	if len(nw.Inputs) != 7 || len(nw.Outputs) != 1 {
+		t.Fatalf("I/O = %d/%d", len(nw.Inputs), len(nw.Outputs))
+	}
+	if nw.GateCount() != 7 {
+		t.Fatalf("gates = %d, want 7", nw.GateCount())
+	}
+	out, err := nw.EvalOutputs(map[string]bool{
+		"x1": true, "x2": true, "x3": true, "x4": false,
+		"x5": true, "x6": false, "x7": false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Fatal("f(1110100..) should be 1")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	nw, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if back.GateCount() != nw.GateCount() {
+		t.Fatalf("round trip changed gate count: %d -> %d", nw.GateCount(), back.GateCount())
+	}
+	// Behavioural identity on all 128 input vectors.
+	for m := 0; m < 128; m++ {
+		in := map[string]bool{}
+		for i := 1; i <= 7; i++ {
+			in["x"+string(rune('0'+i))] = m&(1<<uint(i-1)) != 0
+		}
+		a, _ := nw.EvalOutputs(in)
+		b, _ := back.EvalOutputs(in)
+		if a[0] != b[0] {
+			t.Fatalf("round trip differs at vector %d", m)
+		}
+	}
+}
+
+func TestContinuationAndComments(t *testing.T) {
+	text := `
+.model c
+.inputs a \
+ b
+.outputs y
+.names a b y  # a comment
+11 1
+.end
+`
+	nw, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw.Inputs) != 2 {
+		t.Fatalf("inputs = %d, want 2", len(nw.Inputs))
+	}
+}
+
+func TestConstants(t *testing.T) {
+	text := `
+.model consts
+.inputs a
+.outputs z0 z1
+.names z0
+.names z1
+1
+.end
+`
+	nw, err := ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := nw.EvalOutputs(map[string]bool{"a": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false || out[1] != true {
+		t.Fatalf("constants = %v, want [false true]", out)
+	}
+	// Round trip preserves constants.
+	s, err := WriteString(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, s)
+	}
+	out2, _ := back.EvalOutputs(map[string]bool{"a": false})
+	if out2[0] != false || out2[1] != true {
+		t.Fatalf("round-tripped constants = %v", out2)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"undefined signal", ".model m\n.inputs a\n.outputs y\n.names a b y\n11 1\n.end"},
+		{"duplicate definition", ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end"},
+		{"cycle", ".model m\n.inputs a\n.outputs y\n.names z y\n1 1\n.names y z\n1 1\n.end"},
+		{"bad cube char", ".model m\n.inputs a\n.outputs y\n.names a y\n2 1\n.end"},
+		{"row outside names", ".model m\n.inputs a\n.outputs y\n11 1\n.end"},
+		{"latch", ".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end"},
+		{"offset rows", ".model m\n.inputs a\n.outputs y\n.names a y\n1 0\n.end"},
+		{"wrong arity", ".model m\n.inputs a b\n.outputs y\n.names a b y\n1 1\n.end"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.text); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestUnknownDirectiveIgnored(t *testing.T) {
+	text := ".model m\n.default_input_arrival 0 0\n.inputs a\n.outputs y\n.names a y\n1 1\n.end"
+	if _, err := ParseString(text); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePreservesSharedStructure(t *testing.T) {
+	b := network.NewBuilder("shared")
+	a := b.Input("a")
+	c := b.Input("c")
+	n := b.And("n", a, c)
+	y1 := b.Or("y1", n, a)
+	y2 := b.Or("y2", n, c)
+	b.Output(y1)
+	b.Output(y2)
+	s, err := WriteString(b.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(s, ".names a c n") != 1 {
+		t.Fatalf("shared node written %d times:\n%s", strings.Count(s, ".names a c n"), s)
+	}
+	back, err := ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.GateCount() != 3 {
+		t.Fatalf("gates = %d, want 3", back.GateCount())
+	}
+}

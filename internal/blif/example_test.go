@@ -1,0 +1,30 @@
+package blif_test
+
+import (
+	"fmt"
+
+	"tels/internal/blif"
+)
+
+// ExampleParseString parses a tiny BLIF model and reports its shape.
+func ExampleParseString() {
+	nw, err := blif.ParseString(`
+.model half_adder
+.inputs a b
+.outputs s c
+.names a b s
+10 1
+01 1
+.names a b c
+11 1
+.end
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	out, _ := nw.EvalOutputs(map[string]bool{"a": true, "b": true})
+	fmt.Printf("%s: %d nodes; 1+1 -> sum=%v carry=%v\n",
+		nw.Name, nw.GateCount(), out[0], out[1])
+	// Output: half_adder: 2 nodes; 1+1 -> sum=false carry=true
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"tels/internal/ilp"
+	"tels/internal/logic"
+	"tels/internal/simplex"
+	"tels/internal/truth"
+)
+
+// WeightVector is the weight–threshold vector ⟨w₁,…,w_l;T⟩ of a threshold
+// function.
+type WeightVector struct {
+	Weights []int
+	T       int
+}
+
+// CheckThreshold decides whether the function tt — which must be unate and
+// depend on all of its variables — is a threshold function under the given
+// defect tolerances, and if so returns an integer weight–threshold vector
+// minimizing Σ|wᵢ| + T′ where T′ is the threshold of the positive-unate
+// form. This is the ILP formulation of the paper's Fig. 6:
+//
+// The function is first put in positive-unate form by substituting
+// negative-phase variables (§IV). With all weights nonnegative, an
+// assignment of ⟨w;T⟩ satisfies all 2^l minterm constraints iff it
+// satisfies one constraint per cube of a cover of f (the cube's minimal
+// minterm) and one per cube of a cover of f̄ (the cube's maximal minterm):
+//
+//	ON:  Σ_{i ∈ lits(C)} wᵢ ≥ T + δon      for every cube C of f
+//	OFF: Σ_{i ∈ dc(C)}  wᵢ ≤ T − δoff      for every cube C of f̄
+//
+// Soundness: any minterm of an ON cube has a superset of its literals at 1,
+// and weights are nonnegative, so its sum dominates the cube constraint;
+// symmetrically for OFF cubes. Completeness: the cube constraints are
+// themselves minterm constraints. Hence this system is exact for any
+// covers of f and f̄, prime or not (redundant cubes only add redundant
+// rows). The strict "<" of Eq. 1 becomes "≤ T − δoff" over the integers,
+// matching the paper's worked example ⟨2,1,1;3⟩ which satisfies
+// w₂+w₃ = 2 = T − δoff with equality.
+//
+// The limit solver mirrors §V-E: when the branch-and-bound budget is
+// exhausted the function is declared non-threshold and the caller splits.
+func CheckThreshold(tt *truth.Table, deltaOn, deltaOff int, solver *ilp.Solver) (WeightVector, bool) {
+	return CheckThresholdBounded(tt, deltaOn, deltaOff, 0, solver)
+}
+
+// CheckThresholdBounded is CheckThreshold with an additional bound on the
+// magnitude of every weight (and the positive-form threshold): RTD peak
+// currents scale with the weight, so physical designs cap the ratio
+// between the largest and unit weight. maxWeight ≤ 0 means unbounded.
+// Functions needing larger weights are declared non-threshold, which
+// makes the synthesizer split them into smaller gates.
+func CheckThresholdBounded(tt *truth.Table, deltaOn, deltaOff, maxWeight int, solver *ilp.Solver) (WeightVector, bool) {
+	n := tt.N()
+	if isConst, _ := tt.IsConst(); isConst {
+		return WeightVector{}, false // constants are handled by the caller
+	}
+	// Positive-unate transform: flip negative-unate variables.
+	flipped := make([]bool, n)
+	g := tt
+	for i := 0; i < n; i++ {
+		switch g.VarUnateness(i) {
+		case truth.NegUnate:
+			g = g.SubstituteNeg(i)
+			flipped[i] = true
+		case truth.Binate:
+			return WeightVector{}, false // threshold functions are unate
+		case truth.Independent:
+			return WeightVector{}, false // caller must reduce support first
+		}
+	}
+
+	onCover := g.MinimalSOP()
+	offCover := g.Not().MinimalSOP()
+
+	// Variables 0..n-1 are the weights, n is the threshold.
+	p := &simplex.Problem{C: make([]float64, n+1)}
+	for i := range p.C {
+		p.C[i] = 1
+	}
+	for _, c := range onCover.Cubes {
+		// -Σ_{lits} w + T ≤ -δon
+		row := make([]float64, n+1)
+		for i, ph := range c {
+			if ph == logic.Pos {
+				row[i] = -1
+			}
+		}
+		row[n] = 1
+		p.AddConstraint(row, -float64(deltaOn))
+	}
+	for _, c := range offCover.Cubes {
+		// Σ_{dc} w - T ≤ -δoff
+		row := make([]float64, n+1)
+		for i, ph := range c {
+			if ph == logic.DC {
+				row[i] = 1
+			}
+		}
+		row[n] = -1
+		p.AddConstraint(row, -float64(deltaOff))
+	}
+	if maxWeight > 0 {
+		// Bound the input weights only: the threshold is realized by the
+		// clocked driver RTD, whose sizing is independent of the input
+		// branches (a 2-input AND already needs T = δon+δoff+1).
+		for i := 0; i < n; i++ {
+			row := make([]float64, n+1)
+			row[i] = 1
+			p.AddConstraint(row, float64(maxWeight))
+		}
+	}
+
+	res := solver.Solve(p)
+	if res.Status != ilp.Optimal {
+		return WeightVector{}, false
+	}
+
+	// Map back to the original phases (§IV): a flipped variable's weight is
+	// negated and the threshold drops by the original (positive) weight.
+	weights := make([]int, n)
+	T := res.X[n]
+	for i := 0; i < n; i++ {
+		w := res.X[i]
+		if flipped[i] {
+			weights[i] = -w
+			T -= w
+		} else {
+			weights[i] = w
+		}
+	}
+	return WeightVector{Weights: weights, T: T}, true
+}
+
+// VerifyVector checks that the weight vector realizes tt exactly under the
+// plain Σ ≥ T rule and respects the δon/δoff separation margins. Used by
+// tests and the simulator's self-checks.
+func VerifyVector(tt *truth.Table, v WeightVector, deltaOn, deltaOff int) bool {
+	n := tt.N()
+	if len(v.Weights) != n {
+		return false
+	}
+	for m := 0; m < tt.Size(); m++ {
+		sum := 0
+		for i := 0; i < n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				sum += v.Weights[i]
+			}
+		}
+		if tt.Get(m) {
+			if sum < v.T+deltaOn {
+				return false
+			}
+		} else {
+			if sum > v.T-deltaOff {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsThresholdLP is an exact threshold-function oracle that does not use
+// the cube formulation: it checks real-valued linear separability of all
+// 2^l minterms directly (a function is threshold iff its ON and OFF sets
+// are linearly separable; rational separability scales to integers).
+// Weights may be negative here, so the LP uses a shifted encoding.
+// Intended for tests and small functions.
+func IsThresholdLP(tt *truth.Table) bool {
+	n := tt.N()
+	// Variables: w⁺_0..w⁺_{n-1}, w⁻_0..w⁻_{n-1}, T⁺, T⁻ with w = w⁺ − w⁻.
+	nv := 2*n + 2
+	p := &simplex.Problem{C: make([]float64, nv)}
+	for i := range p.C {
+		p.C[i] = 1
+	}
+	for m := 0; m < tt.Size(); m++ {
+		row := make([]float64, nv)
+		for i := 0; i < n; i++ {
+			if m&(1<<uint(i)) != 0 {
+				row[i] = 1
+				row[n+i] = -1
+			}
+		}
+		row[2*n] = -1
+		row[2*n+1] = 1
+		if tt.Get(m) {
+			// Σw − T ≥ 0  →  −(Σw − T) ≤ 0
+			neg := make([]float64, nv)
+			for j := range row {
+				neg[j] = -row[j]
+			}
+			p.AddConstraint(neg, 0)
+		} else {
+			// Σw − T ≤ −1 (strictly below threshold, scaled)
+			p.AddConstraint(row, -1)
+		}
+	}
+	res := simplex.Solve(p)
+	return res.Status == simplex.Optimal
+}

@@ -1,0 +1,117 @@
+package core
+
+import "fmt"
+
+// Evaluator evaluates a threshold network repeatedly without re-sorting
+// the DAG or allocating per call. It is not safe for concurrent use.
+type Evaluator struct {
+	tn        *Network
+	order     []*Gate
+	signalIdx map[string]int // signal name -> slot in values
+	gateIn    [][]int        // per ordered gate: input slots
+	gateSlot  []int          // per ordered gate: output slot
+	outSlots  []int
+	values    []bool
+}
+
+// NewEvaluator prepares a fast evaluator for the network.
+func (tn *Network) NewEvaluator() (*Evaluator, error) {
+	order, err := tn.TopoGates()
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluator{
+		tn:        tn,
+		order:     order,
+		signalIdx: make(map[string]int, len(tn.Inputs)+len(order)),
+	}
+	for _, in := range tn.Inputs {
+		ev.signalIdx[in] = len(ev.values)
+		ev.values = append(ev.values, false)
+	}
+	for _, g := range order {
+		ev.signalIdx[g.Name] = len(ev.values)
+		ev.values = append(ev.values, false)
+	}
+	for _, g := range order {
+		ins := make([]int, len(g.Inputs))
+		for i, in := range g.Inputs {
+			slot, ok := ev.signalIdx[in]
+			if !ok {
+				return nil, fmt.Errorf("core: gate %s input %s is undriven", g.Name, in)
+			}
+			ins[i] = slot
+		}
+		ev.gateIn = append(ev.gateIn, ins)
+		ev.gateSlot = append(ev.gateSlot, ev.signalIdx[g.Name])
+	}
+	for _, o := range tn.Outputs {
+		slot, ok := ev.signalIdx[o]
+		if !ok {
+			return nil, fmt.Errorf("core: output %s is undriven", o)
+		}
+		ev.outSlots = append(ev.outSlots, slot)
+	}
+	return ev, nil
+}
+
+// GateOrder exposes the evaluation order, aligned with the noise slices
+// accepted by EvalPerturbed.
+func (ev *Evaluator) GateOrder() []*Gate { return ev.order }
+
+// setInputs loads the input assignment into the value slots.
+func (ev *Evaluator) setInputs(inputs map[string]bool) error {
+	for _, in := range ev.tn.Inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return fmt.Errorf("core: no value for input %s", in)
+		}
+		ev.values[ev.signalIdx[in]] = v
+	}
+	return nil
+}
+
+// Eval computes the outputs for one input assignment. The returned slice
+// is reused across calls.
+func (ev *Evaluator) Eval(inputs map[string]bool, out []bool) ([]bool, error) {
+	if err := ev.setInputs(inputs); err != nil {
+		return nil, err
+	}
+	for gi, g := range ev.order {
+		sum := 0
+		for i, slot := range ev.gateIn[gi] {
+			if ev.values[slot] {
+				sum += g.Weights[i]
+			}
+		}
+		ev.values[ev.gateSlot[gi]] = sum >= g.T
+	}
+	return ev.collect(out), nil
+}
+
+// EvalPerturbed computes the outputs with per-gate weight noise: noise[gi]
+// is aligned with GateOrder()[gi].Weights.
+func (ev *Evaluator) EvalPerturbed(inputs map[string]bool, noise [][]float64, out []bool) ([]bool, error) {
+	if err := ev.setInputs(inputs); err != nil {
+		return nil, err
+	}
+	for gi, g := range ev.order {
+		sum := 0.0
+		ns := noise[gi]
+		for i, slot := range ev.gateIn[gi] {
+			if ev.values[slot] {
+				sum += float64(g.Weights[i]) + ns[i]
+			}
+		}
+		ev.values[ev.gateSlot[gi]] = sum >= float64(g.T)
+	}
+	return ev.collect(out), nil
+}
+
+func (ev *Evaluator) collect(out []bool) []bool {
+	out = out[:0]
+	for _, slot := range ev.outSlots {
+		out = append(out, ev.values[slot])
+	}
+	return out
+}

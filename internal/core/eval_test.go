@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEvaluatorMatchesEval(t *testing.T) {
+	tn := sampleTN(t)
+	ev, err := tn.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []bool
+	for m := 0; m < 8; m++ {
+		in := map[string]bool{"a": m&1 != 0, "b": m&2 != 0, "c": m&4 != 0}
+		want, err := tn.EvalOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err = ev.Eval(in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(want) || out[0] != want[0] {
+			t.Fatalf("evaluator differs at %d: %v vs %v", m, out, want)
+		}
+	}
+}
+
+func TestEvaluatorPerturbedZeroNoise(t *testing.T) {
+	tn := sampleTN(t)
+	ev, err := tn.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := make([][]float64, len(ev.GateOrder()))
+	for i, g := range ev.GateOrder() {
+		noise[i] = make([]float64, len(g.Weights))
+	}
+	var a, b []bool
+	for m := 0; m < 8; m++ {
+		in := map[string]bool{"a": m&1 != 0, "b": m&2 != 0, "c": m&4 != 0}
+		a, err = ev.Eval(in, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]bool(nil), a...)
+		b, err = ev.EvalPerturbed(in, noise, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != b[i] {
+				t.Fatalf("zero-noise perturbed eval differs at %d", m)
+			}
+		}
+	}
+}
+
+func TestEvaluatorMissingInput(t *testing.T) {
+	tn := sampleTN(t)
+	ev, err := tn.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Eval(map[string]bool{"a": true}, nil); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestEvaluatorOnSynthesizedNetwork(t *testing.T) {
+	nw := fig2a()
+	tn, _, err := Synthesize(nw, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := tn.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var out []bool
+	for iter := 0; iter < 200; iter++ {
+		in := map[string]bool{}
+		for _, name := range tn.Inputs {
+			in[name] = rng.Intn(2) == 1
+		}
+		want, err := tn.EvalOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err = ev.Eval(in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != out[i] {
+				t.Fatalf("iter %d: evaluator mismatch", iter)
+			}
+		}
+	}
+}
+
+func TestEvaluatorRejectsUndriven(t *testing.T) {
+	tn := NewNetwork("bad")
+	tn.AddInput("a")
+	// Force an undriven output past AddGate validation.
+	tn.Outputs = append(tn.Outputs, "ghost")
+	if _, err := tn.NewEvaluator(); err == nil {
+		t.Fatal("undriven output accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+// FuzzParseTLN checks that the .tln parser never panics and that accepted
+// networks round trip.
+func FuzzParseTLN(f *testing.F) {
+	seeds := []string{
+		"",
+		".tnet t\n.inputs a b\n.outputs f\n.gate f = [T=2] +1*a +1*b\n.end",
+		".tnet t\n.inputs a\n.outputs f\n.gate f = [T=0] -1*a\n.end",
+		".tnet t\n.inputs a\n.outputs f\n.gate f = [T=1]\n.end",
+		".gate f = [T=x] +1*a",
+		".gate f [T=1] 1*a",
+		".tnet\n.end",
+		"# comment\n.tnet c\n.inputs a\n.outputs a\n.end",
+		".tnet t\n.inputs a\n.outputs f\n.gate f = [T=1] +1*\n.end",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tn, err := ParseTLNString(input)
+		if err != nil {
+			return
+		}
+		back, err := ParseTLNString(tn.String())
+		if err != nil {
+			t.Fatalf("accepted network failed to re-parse: %v\n%s", err, tn)
+		}
+		if len(back.Gates) != len(tn.Gates) || len(back.Inputs) != len(tn.Inputs) {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"tels/internal/ilp"
+	"tels/internal/network"
+	"tels/internal/opt"
+	"tels/internal/truth"
+)
+
+// OneToOne builds the paper's baseline: the Boolean network is decomposed
+// into simple gates (AND/OR/NOT/BUF) honouring the fanin restriction, and
+// every gate — inverters included, as in the paper's motivational example —
+// is replaced by one threshold gate whose weights come from the same ILP
+// used by the synthesizer.
+func OneToOne(src *network.Network, o Options) (*Network, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	dec := opt.TechDecomp(src, o.Fanin)
+	out := NewNetwork(src.Name)
+	for _, in := range dec.Inputs {
+		out.AddInput(in.Name)
+	}
+	solver := ilp.Solver{MaxNodes: o.MaxILPNodes, Exact: o.ExactILP}
+	order, err := dec.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		if n.Kind != network.Internal {
+			continue
+		}
+		tt := truth.FromCover(n.Cover)
+		if isConst, v := tt.IsConst(); isConst {
+			t := o.DeltaOff
+			if t < 1 {
+				t = 1
+			}
+			if v {
+				t = -o.DeltaOn
+			}
+			if err := out.AddGate(&Gate{Name: n.Name, T: t}); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		vec, ok := CheckThresholdBounded(tt, o.DeltaOn, o.DeltaOff, o.MaxWeight, &solver)
+		if !ok {
+			return nil, fmt.Errorf("core: one-to-one gate %s is not threshold (cover %v)", n.Name, n.Cover)
+		}
+		inputs := make([]string, len(n.Fanins))
+		for i, f := range n.Fanins {
+			inputs[i] = f.Name
+		}
+		if err := out.AddGate(&Gate{Name: n.Name, Inputs: inputs, Weights: vec.Weights, T: vec.T}); err != nil {
+			return nil, err
+		}
+	}
+	for _, o := range dec.Outputs {
+		out.MarkOutput(o.Name)
+	}
+	out.MergeDuplicates()
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SynthesizeBest implements the paper's §VI-A remark that "we can always
+// choose the better of the two networks": it runs both TELS and the
+// one-to-one mapping on the network and returns whichever needs fewer
+// gates (area breaks ties), so the result is never worse than the
+// baseline. The returned flag reports whether TELS won.
+func SynthesizeBest(src *network.Network, o Options) (*Network, bool, error) {
+	tels, _, err := Synthesize(src, o)
+	if err != nil {
+		return nil, false, err
+	}
+	oneToOne, err := OneToOne(src, o)
+	if err != nil {
+		return nil, false, err
+	}
+	ts, os := tels.Stats(), oneToOne.Stats()
+	if ts.Gates < os.Gates || (ts.Gates == os.Gates && ts.Area <= os.Area) {
+		return tels, true, nil
+	}
+	return oneToOne, false, nil
+}

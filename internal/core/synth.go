@@ -1,0 +1,400 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tels/internal/ilp"
+	"tels/internal/network"
+	"tels/internal/opt"
+	"tels/internal/truth"
+)
+
+// Options configures threshold network synthesis.
+type Options struct {
+	// Fanin is the fanin restriction ψ on every threshold gate (≥ 2).
+	Fanin int
+	// DeltaOn and DeltaOff are the defect tolerances of Eq. 1. The paper's
+	// defaults are δon = 0 and δoff = 1.
+	DeltaOn  int
+	DeltaOff int
+	// Seed drives the random tie-break between equally frequent split
+	// variables (§V-C condition 4).
+	Seed int64
+	// MaxILPNodes bounds the branch-and-bound budget per threshold check;
+	// zero selects the ilp package default.
+	MaxILPNodes int
+	// ExactILP solves the threshold ILPs in exact rational arithmetic
+	// instead of float64 — slower, immune to rounding pathologies.
+	ExactILP bool
+	// MaxWeight bounds |wᵢ| of every gate input (0 = unbounded): RTD peak
+	// currents scale with the weight, so physical designs cap the ratio
+	// to the unit RTD. Functions needing larger weights are split.
+	MaxWeight int
+	// NoCollapse disables the Fig. 4 node-collapsing step, synthesizing
+	// every node over its immediate fanins. Ablation knob: quantifies how
+	// much of TELS's gate reduction comes from collapsing.
+	NoCollapse bool
+	// NoTheorem2 disables the Theorem-2 merge after two-way splits,
+	// always falling back to the k-way OR split. Ablation knob.
+	NoTheorem2 bool
+	// Split selects the unate-splitting heuristic. The paper (§VII)
+	// conjectures "there may also exist better partitioning heuristics";
+	// the alternatives here let that be measured.
+	Split SplitStrategy
+}
+
+// SplitStrategy selects how a non-threshold unate cover is partitioned.
+type SplitStrategy int
+
+// Splitting heuristics.
+const (
+	// SplitFrequency is the paper's §V-C heuristic: split on the most
+	// frequently appearing variable, ties broken randomly.
+	SplitFrequency SplitStrategy = iota
+	// SplitBalanced halves the cube list, keeping the two parts the same
+	// size regardless of variable frequency.
+	SplitBalanced
+	// SplitRandom partitions the cubes uniformly at random — the strawman
+	// baseline for the heuristics experiment.
+	SplitRandom
+)
+
+func (s SplitStrategy) String() string {
+	switch s {
+	case SplitFrequency:
+		return "frequency"
+	case SplitBalanced:
+		return "balanced"
+	case SplitRandom:
+		return "random"
+	}
+	return "unknown"
+}
+
+// DefaultOptions returns the paper's default configuration: ψ = 3,
+// δon = 0, δoff = 1.
+func DefaultOptions() Options {
+	return Options{Fanin: 3, DeltaOn: 0, DeltaOff: 1}
+}
+
+func (o *Options) validate() error {
+	if o.Fanin < 2 {
+		return fmt.Errorf("core: fanin restriction %d < 2", o.Fanin)
+	}
+	if o.Fanin > truth.MaxVars {
+		return fmt.Errorf("core: fanin restriction %d exceeds the %d-variable engine limit",
+			o.Fanin, truth.MaxVars)
+	}
+	if o.DeltaOn < 0 || o.DeltaOff < 0 {
+		return fmt.Errorf("core: negative defect tolerance (δon=%d, δoff=%d)", o.DeltaOn, o.DeltaOff)
+	}
+	if o.MaxWeight != 0 && o.MaxWeight < o.DeltaOn+o.DeltaOff {
+		return fmt.Errorf("core: max weight %d below δon+δoff = %d (even OR gates need that much)",
+			o.MaxWeight, o.DeltaOn+o.DeltaOff)
+	}
+	return nil
+}
+
+// SynthStats reports what the synthesizer did.
+type SynthStats struct {
+	ILPCalls     int // threshold checks attempted
+	ILPFeasible  int // checks that found a weight vector
+	Collapses    int // node substitutions performed during collapsing
+	UnateSplits  int // unate splitting steps
+	BinateSplits int // binate splitting steps
+	Theorem2     int // Theorem-2 merges applied
+}
+
+// maxSupport bounds collapsed/split function supports so truth tables stay
+// small even when the input network has wide nodes.
+const maxSupport = 12
+
+// Synthesize converts the Boolean network into a functionally equivalent
+// threshold network per the paper's methodology (Fig. 3): every primary
+// output is collapsed, checked, and recursively split until all nodes are
+// threshold gates. Fanout nodes of the source network are preserved.
+func Synthesize(src *network.Network, o Options) (*Network, SynthStats, error) {
+	if err := o.validate(); err != nil {
+		return nil, SynthStats{}, err
+	}
+	if err := src.Validate(); err != nil {
+		return nil, SynthStats{}, err
+	}
+	work := src.Clone()
+	// Nodes wider than the truth-table engine are structurally split
+	// first; the algorithm itself enforces ψ on the result.
+	opt.DecomposeLarge(work, maxSupport-2)
+
+	s := &synthesizer{
+		o:      o,
+		src:    work,
+		out:    NewNetwork(src.Name),
+		fanout: work.FanoutNodes(),
+		done:   make(map[string]bool),
+		rng:    rand.New(rand.NewSource(o.Seed)),
+		solver: ilp.Solver{MaxNodes: o.MaxILPNodes, Exact: o.ExactILP},
+	}
+	for _, in := range work.Inputs {
+		s.out.AddInput(in.Name)
+		s.done[in.Name] = true
+	}
+	for _, po := range work.Outputs {
+		s.queue = append(s.queue, po)
+	}
+	for len(s.queue) > 0 {
+		n := s.queue[0]
+		s.queue = s.queue[1:]
+		if err := s.processNode(n); err != nil {
+			return nil, s.stats, err
+		}
+	}
+	for _, po := range work.Outputs {
+		s.out.MarkOutput(po.Name)
+	}
+	// Distinct cones can synthesize identical split gates; merge them.
+	s.out.MergeDuplicates()
+	if err := s.out.Validate(); err != nil {
+		return nil, s.stats, fmt.Errorf("core: internal error, invalid output network: %w", err)
+	}
+	return s.out, s.stats, nil
+}
+
+type synthesizer struct {
+	o      Options
+	src    *network.Network
+	out    *Network
+	fanout map[*network.Node]bool
+	done   map[string]bool
+	queue  []*network.Node
+	rng    *rand.Rand
+	solver ilp.Solver
+	stats  SynthStats
+	serial int
+}
+
+func (s *synthesizer) freshName(base string) string {
+	for {
+		s.serial++
+		name := fmt.Sprintf("%s~%d", base, s.serial)
+		if s.out.Gate(name) == nil && s.src.Node(name) == nil {
+			return name
+		}
+	}
+}
+
+// enqueue schedules a source node for synthesis if not already handled.
+func (s *synthesizer) enqueue(n *network.Node) {
+	if n.Kind == network.Input || s.done[n.Name] {
+		return
+	}
+	s.queue = append(s.queue, n)
+}
+
+// processNode synthesizes one source-network node into threshold gates.
+func (s *synthesizer) processNode(n *network.Node) error {
+	if s.done[n.Name] {
+		return nil
+	}
+	s.done[n.Name] = true
+	support := append([]*network.Node(nil), n.Fanins...)
+	support = dedupeNodes(support)
+	tt, err := s.src.LocalFunction(n, support)
+	if err != nil {
+		return err
+	}
+	return s.synthFunction(n.Name, tt, support)
+}
+
+// synthFunction emits a gate named name computing tt over the support
+// signals, splitting recursively when the function is not threshold.
+func (s *synthesizer) synthFunction(name string, tt *truth.Table, support []*network.Node) error {
+	tt, support = reduceSupport(tt, support)
+
+	if isConst, v := tt.IsConst(); isConst {
+		return s.emitConstGate(name, v)
+	}
+
+	// Node collapsing (Fig. 4): substitute non-fanout internal support
+	// nodes while the support stays within ψ.
+	if !s.o.NoCollapse {
+		tt, support = s.collapse(tt, support)
+	}
+
+	// Collapsing composes exact cone functions; a cone such as x*!x can
+	// reduce to a constant here even though the node cover was not.
+	if isConst, v := tt.IsConst(); isConst {
+		return s.emitConstGate(name, v)
+	}
+
+	// Classify unateness exactly.
+	binate := false
+	for i := 0; i < tt.N(); i++ {
+		if tt.VarUnateness(i) == truth.Binate {
+			binate = true
+			break
+		}
+	}
+	if binate {
+		return s.binateSplit(name, tt, support)
+	}
+
+	// Threshold check, only meaningful within the fanin restriction.
+	if tt.N() <= s.o.Fanin {
+		s.stats.ILPCalls++
+		if v, ok := CheckThresholdBounded(tt, s.o.DeltaOn, s.o.DeltaOff, s.o.MaxWeight, &s.solver); ok {
+			s.stats.ILPFeasible++
+			return s.emitGate(name, v, support)
+		}
+	}
+	return s.unateSplit(name, tt, support)
+}
+
+// emitConstGate emits a zero-input gate: T = −δon fires on every vector
+// (Σ = 0 ≥ T with margin δon), while any threshold above δoff never fires.
+func (s *synthesizer) emitConstGate(name string, value bool) error {
+	t := s.o.DeltaOff
+	if t < 1 {
+		t = 1
+	}
+	if value {
+		t = -s.o.DeltaOn
+	}
+	return s.out.AddGate(&Gate{Name: name, T: t})
+}
+
+// emitGate creates the LTG and schedules its support nodes.
+func (s *synthesizer) emitGate(name string, v WeightVector, support []*network.Node) error {
+	inputs := make([]string, len(support))
+	for i, n := range support {
+		inputs[i] = n.Name
+		s.enqueue(n)
+	}
+	return s.out.AddGate(&Gate{Name: name, Inputs: inputs, Weights: v.Weights, T: v.T})
+}
+
+// collapse implements the Fig. 4 node-collapsing loop on the function
+// level: repeatedly substitute a support node's function into tt unless
+// the node is a primary input, a fanout node, already synthesized, or the
+// substitution would exceed the fanin restriction (the "undo" branch).
+func (s *synthesizer) collapse(tt *truth.Table, support []*network.Node) (*truth.Table, []*network.Node) {
+	failed := make(map[*network.Node]bool)
+	for {
+		progress := false
+		for idx, cand := range support {
+			if cand.Kind == network.Input || s.fanout[cand] || s.done[cand.Name] || failed[cand] {
+				continue
+			}
+			// Fig. 4 checks the fanin count l = |F| syntactically before
+			// accepting a substitution; doing the same here avoids building
+			// truth tables for substitutions that will be undone anyway.
+			if mergedSupportSize(support, idx) > s.o.Fanin {
+				failed[cand] = true
+				continue
+			}
+			newTT, newSupport, ok := s.substitute(tt, support, idx)
+			if !ok || newTT.N() > s.o.Fanin || newTT.N() > maxSupport {
+				failed[cand] = true
+				continue
+			}
+			tt, support = newTT, newSupport
+			s.stats.Collapses++
+			progress = true
+			break
+		}
+		if !progress {
+			return tt, support
+		}
+	}
+}
+
+// mergedSupportSize returns |support \ {support[idx]} ∪ fanins(support[idx])|.
+func mergedSupportSize(support []*network.Node, idx int) int {
+	seen := make(map[*network.Node]bool, len(support)+4)
+	for i, n := range support {
+		if i != idx {
+			seen[n] = true
+		}
+	}
+	for _, n := range support[idx].Fanins {
+		seen[n] = true
+	}
+	return len(seen)
+}
+
+// substitute replaces support[idx] by that node's own function, returning
+// the new function over the merged, reduced support.
+func (s *synthesizer) substitute(tt *truth.Table, support []*network.Node, idx int) (*truth.Table, []*network.Node, bool) {
+	victim := support[idx]
+	merged := make([]*network.Node, 0, len(support)+len(victim.Fanins))
+	seen := make(map[*network.Node]bool)
+	for i, n := range support {
+		if i == idx {
+			continue
+		}
+		if !seen[n] {
+			seen[n] = true
+			merged = append(merged, n)
+		}
+	}
+	for _, n := range victim.Fanins {
+		if !seen[n] {
+			seen[n] = true
+			merged = append(merged, n)
+		}
+	}
+	if len(merged) > maxSupport {
+		return nil, nil, false
+	}
+	victimTT := truth.FromCover(victim.Cover)
+	// Evaluate the composition minterm by minterm over the merged support.
+	out := truth.New(len(merged))
+	pos := make(map[*network.Node]int, len(merged))
+	for i, n := range merged {
+		pos[n] = i
+	}
+	oldAssign := make([]bool, len(support))
+	vicAssign := make([]bool, len(victim.Fanins))
+	for m := 0; m < out.Size(); m++ {
+		for i, f := range victim.Fanins {
+			vicAssign[i] = m&(1<<uint(pos[f])) != 0
+		}
+		vicVal := victimTT.Eval(vicAssign)
+		for i, n := range support {
+			if i == idx {
+				oldAssign[i] = vicVal
+			} else {
+				oldAssign[i] = m&(1<<uint(pos[n])) != 0
+			}
+		}
+		out.Set(m, tt.Eval(oldAssign))
+	}
+	rtt, rsupport := reduceSupport(out, merged)
+	return rtt, rsupport, true
+}
+
+// reduceSupport drops variables the function does not depend on.
+func reduceSupport(tt *truth.Table, support []*network.Node) (*truth.Table, []*network.Node) {
+	sup := tt.Support()
+	if len(sup) == len(support) {
+		return tt, support
+	}
+	reduced := tt.Project(sup)
+	out := make([]*network.Node, len(sup))
+	for i, v := range sup {
+		out[i] = support[v]
+	}
+	return reduced, out
+}
+
+func dedupeNodes(nodes []*network.Node) []*network.Node {
+	seen := make(map[*network.Node]bool, len(nodes))
+	out := nodes[:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

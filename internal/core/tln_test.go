@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTN(t *testing.T) *Network {
+	t.Helper()
+	tn := NewNetwork("demo")
+	tn.AddInput("a")
+	tn.AddInput("b")
+	tn.AddInput("c")
+	gates := []*Gate{
+		{Name: "g1", Inputs: []string{"a", "b", "c"}, Weights: []int{2, -1, -1}, T: 1},
+		{Name: "f", Inputs: []string{"g1", "c"}, Weights: []int{1, 1}, T: 1},
+	}
+	for _, g := range gates {
+		if err := tn.AddGate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn.MarkOutput("f")
+	return tn
+}
+
+func TestTLNRoundTrip(t *testing.T) {
+	tn := sampleTN(t)
+	text := tn.String()
+	back, err := ParseTLNString(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if back.Name != "demo" || len(back.Inputs) != 3 || len(back.Gates) != 2 {
+		t.Fatalf("round trip shape wrong: %+v", back)
+	}
+	for m := 0; m < 8; m++ {
+		in := map[string]bool{"a": m&1 != 0, "b": m&2 != 0, "c": m&4 != 0}
+		x, _ := tn.EvalOutputs(in)
+		y, _ := back.EvalOutputs(in)
+		if x[0] != y[0] {
+			t.Fatalf("round trip differs at %d", m)
+		}
+	}
+}
+
+func TestTLNNegativeWeightsFormat(t *testing.T) {
+	tn := sampleTN(t)
+	text := tn.String()
+	if !strings.Contains(text, "-1*b") {
+		t.Fatalf("negative weight not rendered:\n%s", text)
+	}
+	if !strings.Contains(text, "[T=1]") {
+		t.Fatalf("threshold not rendered:\n%s", text)
+	}
+}
+
+func TestTLNParseErrors(t *testing.T) {
+	cases := []string{
+		".tnet x\n.inputs a\n.outputs f\n.gate f = T=1 +1*a\n.end",   // bad threshold
+		".tnet x\n.inputs a\n.outputs f\n.gate f = [T=z] +1*a\n.end", // bad number
+		".tnet x\n.inputs a\n.outputs f\n.gate f [T=1] +1*a\n.end",   // missing =
+		".tnet x\n.inputs a\n.outputs f\n.gate f = [T=1] a\n.end",    // missing weight
+		".tnet x\n.inputs a\n.outputs f\n.gate f = [T=1] +1*\n.end",  // missing name
+		".tnet x\n.inputs a\n.outputs f\n.wat\n.end",                 // unknown directive
+		".tnet x\n.inputs a\n.outputs f\n.end",                       // undriven output
+	}
+	for i, c := range cases {
+		if _, err := ParseTLNString(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestTLNComments(t *testing.T) {
+	text := `
+# comment
+.tnet c
+.inputs a  # trailing
+.outputs f
+.gate f = [T=0] -1*a
+.end
+`
+	tn, err := ParseTLNString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tn.EvalOutputs(map[string]bool{"a": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Fatal("inverter gate should output 1 on input 0")
+	}
+}
+
+func TestWriteTLNAndAccessors(t *testing.T) {
+	tn := sampleTN(t)
+	var sb strings.Builder
+	if err := WriteTLN(&sb, tn); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), ".tnet demo") {
+		t.Fatalf("WriteTLN output wrong:\n%s", sb.String())
+	}
+	names := tn.SortedGateNames()
+	if len(names) != 2 || names[0] != "f" || names[1] != "g1" {
+		t.Fatalf("SortedGateNames = %v", names)
+	}
+}
+
+func TestGateEvalPerturbed(t *testing.T) {
+	g := &Gate{Name: "g", Inputs: []string{"a", "b"}, Weights: []int{1, 1}, T: 2}
+	in := []bool{true, true}
+	if !g.EvalPerturbed(in, []float64{0, 0}) {
+		t.Fatal("AND(1,1) with zero noise should fire")
+	}
+	// Noise pushing the sum below threshold flips the output.
+	if g.EvalPerturbed(in, []float64{-0.6, -0.6}) {
+		t.Fatal("heavily disturbed AND should not fire")
+	}
+}
+
+func TestSplitStrategyString(t *testing.T) {
+	for s, want := range map[SplitStrategy]string{
+		SplitFrequency:    "frequency",
+		SplitBalanced:     "balanced",
+		SplitRandom:       "random",
+		SplitStrategy(99): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"tels/internal/core"
+	"tels/internal/mcnc"
+	"tels/internal/opt"
+	"tels/internal/sim"
+)
+
+// AblationRow measures how much of TELS's quality comes from each design
+// choice DESIGN.md calls out: Fig. 4 collapsing and the Theorem-2 merge.
+type AblationRow struct {
+	Name       string
+	Full       core.Stats // the complete algorithm
+	NoCollapse core.Stats // without node collapsing
+	NoTheorem2 core.Stats // without Theorem-2 merges
+	Neither    core.Stats // both disabled
+}
+
+// Ablation synthesizes each benchmark four ways, verifying every variant
+// by simulation.
+func Ablation(names []string, base core.Options) ([]AblationRow, error) {
+	variants := []struct {
+		set func(*core.Options)
+		get func(*AblationRow) *core.Stats
+	}{
+		{func(o *core.Options) {}, func(r *AblationRow) *core.Stats { return &r.Full }},
+		{func(o *core.Options) { o.NoCollapse = true }, func(r *AblationRow) *core.Stats { return &r.NoCollapse }},
+		{func(o *core.Options) { o.NoTheorem2 = true }, func(r *AblationRow) *core.Stats { return &r.NoTheorem2 }},
+		{func(o *core.Options) { o.NoCollapse = true; o.NoTheorem2 = true },
+			func(r *AblationRow) *core.Stats { return &r.Neither }},
+	}
+	rows := make([]AblationRow, 0, len(names))
+	for _, name := range names {
+		bm, ok := mcnc.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("expt: unknown benchmark %q", name)
+		}
+		src := bm.Build()
+		alg := opt.Algebraic(src)
+		row := AblationRow{Name: name}
+		for _, v := range variants {
+			o := base
+			v.set(&o)
+			tn, _, err := core.Synthesize(alg, o)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %s ablation: %w", name, err)
+			}
+			if err := sim.Equivalent(src, tn, 1); err != nil {
+				return nil, fmt.Errorf("expt: %s ablation variant failed simulation: %w", name, err)
+			}
+			*v.get(&row) = tn.Stats()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblation formats the ablation study.
+func RenderAblation(rows []AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Ablation — TELS gate count with design choices disabled")
+	fmt.Fprintf(&b, "%-10s | %6s | %11s | %11s | %8s\n",
+		"Benchmark", "full", "no-collapse", "no-theorem2", "neither")
+	fmt.Fprintln(&b, strings.Repeat("-", 60))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %6d | %11d | %11d | %8d\n",
+			r.Name, r.Full.Gates, r.NoCollapse.Gates, r.NoTheorem2.Gates, r.Neither.Gates)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"tels/internal/core"
+	"tels/internal/mcnc"
+	"tels/internal/opt"
+	"tels/internal/sim"
+)
+
+// HeuristicRow compares the splitting strategies (§VII conjectures better
+// partitioning heuristics may exist) on one benchmark.
+type HeuristicRow struct {
+	Name      string
+	Frequency core.Stats // the paper's heuristic
+	Balanced  core.Stats
+	Random    core.Stats
+}
+
+// Heuristics synthesizes each benchmark under every splitting strategy,
+// verifying all results.
+func Heuristics(names []string, base core.Options) ([]HeuristicRow, error) {
+	rows := make([]HeuristicRow, 0, len(names))
+	for _, name := range names {
+		bm, ok := mcnc.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("expt: unknown benchmark %q", name)
+		}
+		src := bm.Build()
+		alg := opt.Algebraic(src)
+		row := HeuristicRow{Name: name}
+		for _, strat := range []core.SplitStrategy{core.SplitFrequency, core.SplitBalanced, core.SplitRandom} {
+			o := base
+			o.Split = strat
+			tn, _, err := core.Synthesize(alg, o)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %s (%s split): %w", name, strat, err)
+			}
+			if _, err := sim.Prove(src, tn, 1); err != nil {
+				return nil, fmt.Errorf("expt: %s (%s split) failed verification: %w", name, strat, err)
+			}
+			switch strat {
+			case core.SplitFrequency:
+				row.Frequency = tn.Stats()
+			case core.SplitBalanced:
+				row.Balanced = tn.Stats()
+			case core.SplitRandom:
+				row.Random = tn.Stats()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderHeuristics formats the splitting-strategy comparison.
+func RenderHeuristics(rows []HeuristicRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Splitting heuristics — TELS gates (levels) per strategy")
+	fmt.Fprintf(&b, "%-10s | %16s | %16s | %16s\n",
+		"Benchmark", "frequency (§V-C)", "balanced", "random")
+	fmt.Fprintln(&b, strings.Repeat("-", 68))
+	cell := func(s core.Stats) string {
+		return fmt.Sprintf("%9d (%2d)", s.Gates, s.Levels)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %16s | %16s | %16s\n",
+			r.Name, cell(r.Frequency), cell(r.Balanced), cell(r.Random))
+	}
+	return b.String()
+}

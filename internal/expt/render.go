@@ -1,0 +1,96 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTableI formats Table I like the paper: one-to-one mapping vs
+// threshold network synthesis.
+func RenderTableI(rows []TableIRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s | %27s | %27s | %s\n", "",
+		"One-to-one mapping", "Threshold synthesis (TELS)", "")
+	fmt.Fprintf(&b, "%-10s | %7s %7s %9s | %7s %7s %9s | %s\n",
+		"Benchmark", "Gates", "Levels", "Area", "Gates", "Levels", "Area", "Sim")
+	fmt.Fprintln(&b, strings.Repeat("-", 92))
+	for _, r := range rows {
+		simMark := "FAIL"
+		if r.Verified {
+			simMark = "ok"
+		}
+		fmt.Fprintf(&b, "%-10s | %7d %7d %9d | %7d %7d %9d | %s\n",
+			r.Name, r.OneToOne.Gates, r.OneToOne.Levels, r.OneToOne.Area,
+			r.TELS.Gates, r.TELS.Levels, r.TELS.Area, simMark)
+	}
+	fmt.Fprintln(&b, strings.Repeat("-", 92))
+	fmt.Fprintf(&b, "Average gate-count reduction vs one-to-one: %.0f%%\n", 100*GateReduction(rows))
+	return b.String()
+}
+
+// RenderFig10 formats the fanin-restriction sweep.
+func RenderFig10(name string, points []Fig10Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 10 — gate count vs fanin restriction (%s)\n", name)
+	fmt.Fprintf(&b, "%6s | %12s | %6s\n", "fanin", "one-to-one", "TELS")
+	fmt.Fprintln(&b, strings.Repeat("-", 32))
+	for _, p := range points {
+		fmt.Fprintf(&b, "%6d | %12d | %6d\n", p.Fanin, p.OneToOneGates, p.TELSGates)
+	}
+	return b.String()
+}
+
+// RenderFig11 formats the failure-rate curves.
+func RenderFig11(curves []Fig11Curve) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Fig. 11 — failure rate vs weight-variation multiplier v (δoff = 1)")
+	if len(curves) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%6s |", "v")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " δon=%d  |", c.DeltaOn)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintln(&b, strings.Repeat("-", 8+9*len(curves)))
+	for i := range curves[0].V {
+		fmt.Fprintf(&b, "%6.2f |", curves[0].V[i])
+		for _, c := range curves {
+			fmt.Fprintf(&b, " %5.1f%% |", 100*c.Rate[i])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// RenderFig12 formats the failure-rate/area tradeoff.
+func RenderFig12(v float64, points []Fig12Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 12 — failure rate and area vs δon (v = %.1f, δoff = 1)\n", v)
+	fmt.Fprintf(&b, "%6s | %12s | %10s | %13s\n", "δon", "failure rate", "area", "area / δon=0")
+	fmt.Fprintln(&b, strings.Repeat("-", 52))
+	for _, p := range points {
+		fmt.Fprintf(&b, "%6d | %11.1f%% | %10d | %13.2f\n",
+			p.DeltaOn, 100*p.FailureRate, p.TotalArea, p.RelativeArea)
+	}
+	return b.String()
+}
+
+// RenderTiming formats the §VI-A timing split.
+func RenderTiming(rows []TimingRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Timing — factoring vs threshold synthesis (§VI-A)")
+	fmt.Fprintf(&b, "%-10s | %12s | %12s | %7s\n", "Benchmark", "factor", "synth", "synth%")
+	fmt.Fprintln(&b, strings.Repeat("-", 52))
+	totalFrac := 0.0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %12s | %12s | %6.0f%%\n",
+			r.Name, r.Factor.Round(10e3), r.Synth.Round(10e3), 100*r.SynthFraction)
+		totalFrac += r.SynthFraction
+	}
+	if len(rows) > 0 {
+		fmt.Fprintln(&b, strings.Repeat("-", 52))
+		fmt.Fprintf(&b, "Average time in threshold synthesis: %.0f%%\n", 100*totalFrac/float64(len(rows)))
+	}
+	return b.String()
+}

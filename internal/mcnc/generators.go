@@ -1,0 +1,238 @@
+// Package mcnc provides functional recreations of the MCNC benchmark
+// circuits the paper evaluates on. The original BLIF files are not
+// redistributable, so each named benchmark is rebuilt from its documented
+// function and I/O profile (multiplexers, comparators, CORDIC-style
+// arithmetic, terminal-controller logic, …); DESIGN.md §3 records each
+// substitution. The package also provides a wider set of classic
+// combinational functions (parity, symmetric counters, adders, decoders)
+// standing in for the rest of the ~60-circuit suite.
+package mcnc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tels/internal/logic"
+	"tels/internal/network"
+)
+
+// nameN formats indexed signal names ("a3").
+func nameN(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+
+// inputs adds n inputs named prefix0..prefix{n-1}.
+func inputs(b *network.Builder, prefix string, n int) []*network.Node {
+	out := make([]*network.Node, n)
+	for i := range out {
+		out[i] = b.Input(nameN(prefix, i))
+	}
+	return out
+}
+
+// fullAdder builds a gate-level full adder and returns (sum, carry).
+func fullAdder(b *network.Builder, tag string, x, y, cin *network.Node) (*network.Node, *network.Node) {
+	p := b.Xor(tag+"_p", x, y)
+	s := b.Xor(tag+"_s", p, cin)
+	c := b.Or(tag+"_c", b.And(tag+"_g", x, y), b.And(tag+"_pc", p, cin))
+	return s, c
+}
+
+// rippleAdder adds two equal-width vectors, returning sums and the carry.
+func rippleAdder(b *network.Builder, tag string, x, y []*network.Node, cin *network.Node) ([]*network.Node, *network.Node) {
+	sums := make([]*network.Node, len(x))
+	carry := cin
+	for i := range x {
+		if carry == nil {
+			// Half adder for the first bit.
+			sums[i] = b.Xor(fmt.Sprintf("%s_s%d", tag, i), x[i], y[i])
+			carry = b.And(fmt.Sprintf("%s_c%d", tag, i), x[i], y[i])
+			continue
+		}
+		sums[i], carry = fullAdder(b, fmt.Sprintf("%s_fa%d", tag, i), x[i], y[i], carry)
+	}
+	return sums, carry
+}
+
+// comparator builds an equal/greater comparator over two equal-width
+// vectors (LSB first) and returns (eq, gt, lt).
+func comparator(b *network.Builder, tag string, x, y []*network.Node) (eq, gt, lt *network.Node) {
+	// Bitwise: e_i = XNOR, g_i = x_i !y_i, l_i = !x_i y_i.
+	n := len(x)
+	eqs := make([]*network.Node, n)
+	for i := 0; i < n; i++ {
+		eqs[i] = b.Xnor(fmt.Sprintf("%s_e%d", tag, i), x[i], y[i])
+	}
+	// MSB-first priority chain.
+	var gtAcc, ltAcc *network.Node
+	var eqPrefix *network.Node // conjunction of eq on bits above the current one
+	for i := n - 1; i >= 0; i-- {
+		gi := b.Node(fmt.Sprintf("%s_g%d", tag, i), logic.MustCover("10"), x[i], y[i])
+		li := b.Node(fmt.Sprintf("%s_l%d", tag, i), logic.MustCover("01"), x[i], y[i])
+		if eqPrefix != nil {
+			gi = b.And(fmt.Sprintf("%s_gg%d", tag, i), eqPrefix, gi)
+			li = b.And(fmt.Sprintf("%s_ll%d", tag, i), eqPrefix, li)
+		}
+		if gtAcc == nil {
+			gtAcc, ltAcc = gi, li
+		} else {
+			gtAcc = b.Or(fmt.Sprintf("%s_go%d", tag, i), gtAcc, gi)
+			ltAcc = b.Or(fmt.Sprintf("%s_lo%d", tag, i), ltAcc, li)
+		}
+		if eqPrefix == nil {
+			eqPrefix = eqs[i]
+		} else {
+			eqPrefix = b.And(fmt.Sprintf("%s_ep%d", tag, i), eqPrefix, eqs[i])
+		}
+	}
+	return eqPrefix, gtAcc, ltAcc
+}
+
+// parityTree xors the signals pairwise into a single parity bit.
+func parityTree(b *network.Builder, tag string, sigs []*network.Node) *network.Node {
+	level := sigs
+	serial := 0
+	for len(level) > 1 {
+		var next []*network.Node
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.Xor(fmt.Sprintf("%s_x%d", tag, serial), level[i], level[i+1]))
+			serial++
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// mux builds a 2^k:1 multiplexer from 2:1 stages.
+func mux(b *network.Builder, tag string, sel, data []*network.Node) *network.Node {
+	level := data
+	for s, sl := range sel {
+		var next []*network.Node
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, b.Mux2(fmt.Sprintf("%s_m%d_%d", tag, s, i/2), sl, level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// decoder builds a full 2^k output decoder with an optional enable.
+func decoder(b *network.Builder, tag string, sel []*network.Node, enable *network.Node) []*network.Node {
+	k := len(sel)
+	outs := make([]*network.Node, 1<<uint(k))
+	for m := range outs {
+		fanins := append([]*network.Node(nil), sel...)
+		cube := logic.NewCube(k)
+		for i := 0; i < k; i++ {
+			if m&(1<<uint(i)) != 0 {
+				cube[i] = logic.Pos
+			} else {
+				cube[i] = logic.Neg
+			}
+		}
+		if enable != nil {
+			fanins = append(fanins, enable)
+			cube = append(cube, logic.Pos)
+		}
+		cv := logic.NewCover(len(fanins))
+		cv.AddCube(cube)
+		outs[m] = b.Node(fmt.Sprintf("%s_d%d", tag, m), cv, fanins...)
+	}
+	return outs
+}
+
+// onesCount builds a population counter over the signals, returning the
+// binary count LSB first, using a full-adder reduction tree.
+func onesCount(b *network.Builder, tag string, sigs []*network.Node) []*network.Node {
+	// Columns of bits by weight.
+	cols := [][]*network.Node{append([]*network.Node(nil), sigs...)}
+	serial := 0
+	for w := 0; w < len(cols); w++ {
+		for len(cols[w]) > 1 {
+			if len(cols) == w+1 {
+				cols = append(cols, nil)
+			}
+			if len(cols[w]) >= 3 {
+				x, y, z := cols[w][0], cols[w][1], cols[w][2]
+				cols[w] = cols[w][3:]
+				s, c := fullAdder(b, fmt.Sprintf("%s_fa%d", tag, serial), x, y, z)
+				serial++
+				cols[w] = append(cols[w], s)
+				cols[w+1] = append(cols[w+1], c)
+				if len(cols[w]) == 1 {
+					break
+				}
+				continue
+			}
+			x, y := cols[w][0], cols[w][1]
+			cols[w] = cols[w][2:]
+			s := b.Xor(fmt.Sprintf("%s_hs%d", tag, serial), x, y)
+			c := b.And(fmt.Sprintf("%s_hc%d", tag, serial), x, y)
+			serial++
+			cols[w] = append(cols[w], s)
+			cols[w+1] = append(cols[w+1], c)
+		}
+	}
+	out := make([]*network.Node, len(cols))
+	for w, col := range cols {
+		if len(col) == 1 {
+			out[w] = col[0]
+		} else {
+			// Empty column: constant 0.
+			out[w] = b.Node(fmt.Sprintf("%s_z%d", tag, w), logic.Zero(0))
+		}
+	}
+	return out
+}
+
+// randomLogic builds a deterministic multi-output SOP network: each output
+// is an OR of a few cubes over a random subset of the inputs. It stands in
+// for the unstructured "random logic" MCNC circuits (pm1, x1, …).
+func randomLogic(name string, seed int64, nIn, nOut, maxCubes, maxLits int) *network.Network {
+	rng := rand.New(rand.NewSource(seed))
+	b := network.NewBuilder(name)
+	ins := inputs(b, "x", nIn)
+	for o := 0; o < nOut; o++ {
+		k := 3 + rng.Intn(maxLits-2)
+		if k > nIn {
+			k = nIn
+		}
+		perm := rng.Perm(nIn)
+		fanins := make([]*network.Node, k)
+		for i := 0; i < k; i++ {
+			fanins[i] = ins[perm[i]]
+		}
+		cover := logic.NewCover(k)
+		cubes := 2 + rng.Intn(maxCubes-1)
+		for c := 0; c < cubes; c++ {
+			cube := logic.NewCube(k)
+			any := false
+			for j := 0; j < k; j++ {
+				switch rng.Intn(3) {
+				case 0:
+					cube[j] = logic.Pos
+					any = true
+				case 1:
+					cube[j] = logic.Neg
+					any = true
+				}
+			}
+			if any {
+				cover.AddCube(cube)
+			}
+		}
+		if cover.IsZero() {
+			cube := logic.NewCube(k)
+			cube[0] = logic.Pos
+			cover.AddCube(cube)
+		}
+		out := b.Node(nameN("y", o), cover.SCC(), fanins...)
+		b.Output(out)
+	}
+	b.Net.RemoveDangling()
+	return b.Net
+}

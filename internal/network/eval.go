@@ -1,0 +1,73 @@
+package network
+
+import "fmt"
+
+// Evaluator evaluates a Boolean network repeatedly without re-sorting the
+// DAG or allocating per call. It is not safe for concurrent use.
+type Evaluator struct {
+	nw       *Network
+	order    []*Node // internal nodes, topological
+	slot     map[*Node]int
+	nodeIn   [][]int
+	nodeSlot []int
+	outSlots []int
+	values   []bool
+	buf      []bool
+}
+
+// NewEvaluator prepares a fast evaluator for the network.
+func (nw *Network) NewEvaluator() (*Evaluator, error) {
+	order, err := nw.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluator{nw: nw, slot: make(map[*Node]int, len(order))}
+	for _, n := range order {
+		ev.slot[n] = len(ev.values)
+		ev.values = append(ev.values, false)
+		if n.Kind != Internal {
+			continue
+		}
+		ev.order = append(ev.order, n)
+	}
+	for _, n := range ev.order {
+		ins := make([]int, len(n.Fanins))
+		for i, f := range n.Fanins {
+			ins[i] = ev.slot[f]
+		}
+		ev.nodeIn = append(ev.nodeIn, ins)
+		ev.nodeSlot = append(ev.nodeSlot, ev.slot[n])
+	}
+	for _, o := range nw.Outputs {
+		ev.outSlots = append(ev.outSlots, ev.slot[o])
+	}
+	return ev, nil
+}
+
+// Eval computes the outputs for one input assignment. The returned slice
+// is reused across calls.
+func (ev *Evaluator) Eval(inputs map[string]bool, out []bool) ([]bool, error) {
+	for _, in := range ev.nw.Inputs {
+		v, ok := inputs[in.Name]
+		if !ok {
+			return nil, fmt.Errorf("network: no value for input %s", in.Name)
+		}
+		ev.values[ev.slot[in]] = v
+	}
+	for ni, n := range ev.order {
+		ins := ev.nodeIn[ni]
+		if cap(ev.buf) < len(ins) {
+			ev.buf = make([]bool, len(ins))
+		}
+		buf := ev.buf[:len(ins)]
+		for i, slot := range ins {
+			buf[i] = ev.values[slot]
+		}
+		ev.values[ev.nodeSlot[ni]] = n.Cover.Eval(buf)
+	}
+	out = out[:0]
+	for _, slot := range ev.outSlots {
+		out = append(out, ev.values[slot])
+	}
+	return out, nil
+}

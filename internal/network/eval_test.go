@@ -1,0 +1,84 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNetworkEvaluatorMatchesEval(t *testing.T) {
+	nw, _ := buildExample()
+	ev, err := nw.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []bool
+	for m := 0; m < 128; m++ {
+		in := map[string]bool{}
+		for i := 1; i <= 7; i++ {
+			in["x"+string(rune('0'+i))] = m&(1<<uint(i-1)) != 0
+		}
+		want, err := nw.EvalOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err = ev.Eval(in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if want[i] != out[i] {
+				t.Fatalf("evaluator differs at vector %d", m)
+			}
+		}
+	}
+}
+
+func TestNetworkEvaluatorMissingInput(t *testing.T) {
+	nw, _ := buildExample()
+	ev, err := nw.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Eval(map[string]bool{"x1": true}, nil); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestNetworkEvaluatorReuse(t *testing.T) {
+	// The output slice must be reusable without corruption across calls.
+	nw, _ := buildExample()
+	ev, err := nw.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var out []bool
+	for iter := 0; iter < 100; iter++ {
+		in := map[string]bool{}
+		for i := 1; i <= 7; i++ {
+			in["x"+string(rune('0'+i))] = rng.Intn(2) == 1
+		}
+		out, err = ev.Eval(in, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := nw.EvalOutputs(in)
+		if out[0] != want[0] {
+			t.Fatalf("iter %d mismatch", iter)
+		}
+	}
+}
+
+func TestNetworkEvaluatorPIOutput(t *testing.T) {
+	nw := New("pipo")
+	a := nw.AddInput("a")
+	nw.MarkOutput(a)
+	ev, err := nw.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ev.Eval(map[string]bool{"a": true}, nil)
+	if err != nil || len(out) != 1 || !out[0] {
+		t.Fatalf("PI output eval = %v, %v", out, err)
+	}
+}

@@ -1,0 +1,146 @@
+package opt
+
+import (
+	"tels/internal/logic"
+	"tels/internal/network"
+	"tels/internal/truth"
+)
+
+// dcMaxConeInputs bounds the primary-input support of the fanin cones
+// enumerated when computing satisfiability don't-cares.
+const dcMaxConeInputs = 12
+
+// SimplifyDC minimizes each node against its satisfiability don't-cares:
+// fanin value combinations that no primary-input assignment can produce
+// (because the fanin cones share logic) are free, so the node's cover may
+// change there. This is the don't-care ingredient that distinguishes the
+// SIS script.boolean family from plain algebraic cleanup. Only nodes
+// whose combined fanin cones stay within dcMaxConeInputs primary inputs
+// are processed. Returns the number of nodes improved.
+func SimplifyDC(nw *network.Network) int {
+	changed := 0
+	order, err := nw.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	// Transitive-fanin PI supports, computed bottom-up.
+	support := make(map[*network.Node]map[*network.Node]bool, len(order))
+	for _, n := range order {
+		if n.Kind == network.Input {
+			support[n] = map[*network.Node]bool{n: true}
+			continue
+		}
+		s := make(map[*network.Node]bool)
+		for _, f := range n.Fanins {
+			for pi := range support[f] {
+				s[pi] = true
+			}
+		}
+		support[n] = s
+	}
+	for _, n := range order {
+		if n.Kind != network.Internal || len(n.Fanins) < 2 || len(n.Fanins) > SimplifyMaxVars {
+			continue
+		}
+		if simplifyNodeDC(nw, n, support[n]) {
+			changed++
+		}
+	}
+	if changed > 0 {
+		nw.RemoveDangling()
+	}
+	return changed
+}
+
+// simplifyNodeDC rewrites one node against the unreachable fanin patterns
+// of its cone. The node's global function is unchanged: its local cover
+// only moves on patterns that never occur.
+func simplifyNodeDC(nw *network.Network, n *network.Node, piSet map[*network.Node]bool) bool {
+	if len(piSet) > dcMaxConeInputs {
+		return false
+	}
+	pis := make([]*network.Node, 0, len(piSet))
+	for pi := range piSet {
+		pis = append(pis, pi)
+	}
+	// Deterministic order for reproducible results.
+	for i := 1; i < len(pis); i++ {
+		for j := i; j > 0 && pis[j-1].Name > pis[j].Name; j-- {
+			pis[j-1], pis[j] = pis[j], pis[j-1]
+		}
+	}
+	// Fanin cone functions over the shared PI support.
+	cones := make([]*truth.Table, len(n.Fanins))
+	for i, f := range n.Fanins {
+		tt, err := nw.LocalFunction(f, pis)
+		if err != nil {
+			return false
+		}
+		cones[i] = tt
+	}
+	k := len(n.Fanins)
+	reachable := make([]bool, 1<<uint(k))
+	seen := 0
+	for m := 0; m < 1<<uint(len(pis)); m++ {
+		v := 0
+		for i, tt := range cones {
+			if tt.Get(m) {
+				v |= 1 << uint(i)
+			}
+		}
+		if !reachable[v] {
+			reachable[v] = true
+			seen++
+			if seen == len(reachable) {
+				return false // every pattern occurs: no don't-cares
+			}
+		}
+	}
+	dc := truth.New(k)
+	for v, r := range reachable {
+		if !r {
+			dc.Set(v, true)
+		}
+	}
+	on := truth.FromCover(n.Cover)
+	cover := on.MinimalSOPWithDC(dc)
+	if cover.LiteralCount() >= n.Cover.LiteralCount() && len(cover.Cubes) >= len(n.Cover.Cubes) {
+		return false
+	}
+	// The don't-cares can reveal the node as constant on all reachable
+	// patterns.
+	if cover.IsZero() {
+		n.Fanins = nil
+		n.Cover = logic.Zero(0)
+		return true
+	}
+	if cover.HasUniverse() {
+		n.Fanins = nil
+		n.Cover = logic.One(0)
+		return true
+	}
+	// Drop fanins the new cover no longer mentions.
+	used := cover.Support()
+	if len(used) != k {
+		fanins := make([]*network.Node, len(used))
+		remap := make(map[int]int, len(used))
+		for i, v := range used {
+			fanins[i] = n.Fanins[v]
+			remap[v] = i
+		}
+		reduced := logic.NewCover(len(used))
+		for _, c := range cover.Cubes {
+			d := logic.NewCube(len(used))
+			for v, p := range c {
+				if p != logic.DC {
+					d[remap[v]] = p
+				}
+			}
+			reduced.AddCube(d)
+		}
+		n.Fanins = fanins
+		cover = reduced
+	}
+	n.Cover = cover
+	return true
+}

@@ -1,0 +1,205 @@
+package opt
+
+import (
+	"sort"
+
+	"tels/internal/logic"
+	"tels/internal/network"
+	"tels/internal/truth"
+)
+
+// odcMaxNetworkNodes bounds the network size for the full don't-care pass
+// (every candidate node costs two whole-network simulations per cone
+// vector).
+const odcMaxNetworkNodes = 600
+
+// SimplifyFull minimizes each node against both its satisfiability
+// don't-cares (fanin patterns no input can produce) and its observability
+// don't-cares (patterns where no primary output is sensitive to the
+// node). This is the don't-care machinery of SIS's full_simplify,
+// computed exactly by cone enumeration. Nodes are processed one at a
+// time against the *current* network, so each rewrite preserves the
+// network function and sequential application is sound (avoiding the
+// classical ODC-compatibility pitfall). Returns the number of nodes
+// improved.
+func SimplifyFull(nw *network.Network) int {
+	if nw.GateCount() > odcMaxNetworkNodes {
+		return SimplifyDC(nw)
+	}
+	changed := 0
+	order, err := nw.TopoSort()
+	if err != nil {
+		panic(err)
+	}
+	outputs := make(map[*network.Node]bool, len(nw.Outputs))
+	for _, o := range nw.Outputs {
+		outputs[o] = true
+	}
+	for _, n := range order {
+		if n.Kind != network.Internal || outputs[n] ||
+			len(n.Fanins) < 1 || len(n.Fanins) > SimplifyMaxVars {
+			continue
+		}
+		if simplifyNodeFull(nw, n) {
+			changed++
+		}
+	}
+	if changed > 0 {
+		nw.RemoveDangling()
+	}
+	return changed
+}
+
+// simplifyNodeFull computes the exact per-pattern don't-care set of one
+// node (unreachable or unobservable on every producing input vector) and
+// reminimizes its cover against it.
+func simplifyNodeFull(nw *network.Network, n *network.Node) bool {
+	// PI support of the node's fanin cones (for reachability).
+	coneSet := make(map[*network.Node]bool)
+	var collect func(x *network.Node)
+	collect = func(x *network.Node) {
+		if x.Kind == network.Input {
+			coneSet[x] = true
+			return
+		}
+		for _, f := range x.Fanins {
+			collect(f)
+		}
+	}
+	for _, f := range n.Fanins {
+		collect(f)
+	}
+	if len(coneSet) > dcMaxConeInputs {
+		return false
+	}
+	// Observability needs the full PI space restricted to... flipping n
+	// only matters through its fanout cone, but the fanout cone's other
+	// inputs range over all PIs. Enumerating all PIs is exponential, so
+	// restrict to networks whose total PI count is enumerable.
+	if len(nw.Inputs) > dcMaxConeInputs {
+		return simplifyNodeDC(nw, n, coneSet)
+	}
+
+	pis := append([]*network.Node(nil), nw.Inputs...)
+	sort.Slice(pis, func(i, j int) bool { return pis[i].Name < pis[j].Name })
+	topo, err := nw.TopoSort()
+	if err != nil {
+		return false
+	}
+
+	k := len(n.Fanins)
+	const (
+		unseen = iota
+		careOnly
+		dcOnly
+	)
+	state := make([]uint8, 1<<uint(k))
+	values := make(map[*network.Node]bool, len(topo))
+	faninVals := make([]bool, 16)
+
+	evalNet := func(m int, force *bool) []bool {
+		for _, x := range topo {
+			switch {
+			case x.Kind == network.Input:
+				idx := sort.Search(len(pis), func(i int) bool { return pis[i].Name >= x.Name })
+				values[x] = m&(1<<uint(idx)) != 0
+			case x == n && force != nil:
+				values[x] = *force
+			default:
+				if cap(faninVals) < len(x.Fanins) {
+					faninVals = make([]bool, len(x.Fanins))
+				}
+				in := faninVals[:len(x.Fanins)]
+				for i, f := range x.Fanins {
+					in[i] = values[f]
+				}
+				values[x] = x.Cover.Eval(in)
+			}
+		}
+		out := make([]bool, len(nw.Outputs))
+		for i, o := range nw.Outputs {
+			out[i] = values[o]
+		}
+		return out
+	}
+
+	t, f := true, false
+	for m := 0; m < 1<<uint(len(pis)); m++ {
+		out1 := evalNet(m, &t)
+		out0 := evalNet(m, &f)
+		pattern := 0
+		for i, fn := range n.Fanins {
+			if values[fn] { // fanins are below n: unaffected by the forcing
+				pattern |= 1 << uint(i)
+			}
+		}
+		sensitive := false
+		for i := range out0 {
+			if out0[i] != out1[i] {
+				sensitive = true
+				break
+			}
+		}
+		if sensitive {
+			state[pattern] = careOnly
+		} else if state[pattern] == unseen {
+			state[pattern] = dcOnly
+		}
+	}
+
+	dc := truth.New(k)
+	hasDC := false
+	for p, st := range state {
+		if st == unseen || st == dcOnly {
+			dc.Set(p, true)
+			hasDC = true
+		}
+	}
+	if !hasDC {
+		return false
+	}
+	on := truth.FromCover(n.Cover)
+	cover := on.MinimalSOPWithDC(dc)
+	if cover.LiteralCount() >= n.Cover.LiteralCount() && len(cover.Cubes) >= len(n.Cover.Cubes) {
+		return false
+	}
+	applyReducedCover(n, cover)
+	return true
+}
+
+// applyReducedCover installs the cover on the node, dropping fanins it no
+// longer mentions and handling constants.
+func applyReducedCover(n *network.Node, cover logic.Cover) {
+	if cover.IsZero() {
+		n.Fanins = nil
+		n.Cover = logic.Zero(0)
+		return
+	}
+	if cover.HasUniverse() {
+		n.Fanins = nil
+		n.Cover = logic.One(0)
+		return
+	}
+	used := cover.Support()
+	if len(used) != len(n.Fanins) {
+		fanins := make([]*network.Node, len(used))
+		remap := make(map[int]int, len(used))
+		for i, v := range used {
+			fanins[i] = n.Fanins[v]
+			remap[v] = i
+		}
+		reduced := logic.NewCover(len(used))
+		for _, c := range cover.Cubes {
+			d := logic.NewCube(len(used))
+			for v, p := range c {
+				if p != logic.DC {
+					d[remap[v]] = p
+				}
+			}
+			reduced.AddCube(d)
+		}
+		n.Fanins = fanins
+		cover = reduced
+	}
+	n.Cover = cover
+}

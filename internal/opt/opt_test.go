@@ -1,0 +1,595 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"tels/internal/logic"
+	"tels/internal/network"
+)
+
+// equivalentOnAll checks two networks with identical input/output names
+// agree on every input vector (inputs ≤ 16) or a random sample otherwise.
+func equivalentOnAll(t *testing.T, a, b *network.Network) {
+	t.Helper()
+	if len(a.Inputs) != len(b.Inputs) {
+		t.Fatalf("input counts differ: %d vs %d", len(a.Inputs), len(b.Inputs))
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		t.Fatalf("output counts differ: %d vs %d", len(a.Outputs), len(b.Outputs))
+	}
+	n := len(a.Inputs)
+	vectors := 1 << uint(n)
+	exhaustive := n <= 14
+	if !exhaustive {
+		vectors = 2000
+	}
+	rng := rand.New(rand.NewSource(7))
+	for v := 0; v < vectors; v++ {
+		in := make(map[string]bool, n)
+		for i, node := range a.Inputs {
+			if exhaustive {
+				in[node.Name] = v&(1<<uint(i)) != 0
+			} else {
+				in[node.Name] = rng.Intn(2) == 1
+			}
+		}
+		av, err := a.EvalOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := b.EvalOutputs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("networks differ on vector %d output %s: %v vs %v",
+					v, a.Outputs[i].Name, av[i], bv[i])
+			}
+		}
+	}
+}
+
+// fig2a builds the paper's motivational network.
+func fig2a() *network.Network {
+	b := network.NewBuilder("fig2a")
+	var x [8]*network.Node
+	for i := 1; i <= 7; i++ {
+		x[i] = b.Input("x" + string(rune('0'+i)))
+	}
+	n4 := b.And("n4", x[1], x[2], x[3])
+	inv := b.Not("inv", x[1])
+	n5 := b.And("n5", inv, x[4])
+	n3 := b.Or("n3", n4, n5)
+	n1 := b.And("n1", n3, x[5])
+	n2 := b.And("n2", x[6], x[7])
+	f := b.Or("f", n1, n2)
+	b.Output(f)
+	return b.Net
+}
+
+func TestSweepBuffersAndConstants(t *testing.T) {
+	b := network.NewBuilder("sw")
+	a := b.Input("a")
+	c := b.Input("c")
+	buf := b.Buf("buf", a)
+	inv := b.Not("inv", c)
+	one := b.Net.AddNode("one", nil, logic.One(0))
+	g := b.And("g", buf, inv, one)
+	y := b.Or("y", g, buf)
+	b.Output(y)
+	ref := b.Net.Clone()
+
+	Sweep(b.Net)
+	if b.Net.Node("buf") != nil || b.Net.Node("inv") != nil || b.Net.Node("one") != nil {
+		t.Fatalf("sweep left wires/constants: %v", b.Net.SortedNodeNames())
+	}
+	equivalentOnAll(t, ref, b.Net)
+}
+
+func TestSweepConstantZeroFanin(t *testing.T) {
+	b := network.NewBuilder("sw0")
+	a := b.Input("a")
+	zero := b.Net.AddNode("zero", nil, logic.Zero(0))
+	y := b.Or("y", a, zero)
+	b.Output(y)
+	ref := b.Net.Clone()
+	Sweep(b.Net)
+	if b.Net.Node("zero") != nil {
+		t.Fatal("constant 0 not swept")
+	}
+	equivalentOnAll(t, ref, b.Net)
+}
+
+func TestSweepDuplicateFanins(t *testing.T) {
+	nw := network.New("dup")
+	a := nw.AddInput("a")
+	c := nw.AddInput("c")
+	// y = a*a*c + a*!a  -> a*c
+	y := nw.AddNode("y", []*network.Node{a, a, c, a}, logic.MustCover("11-0", "1-1-"))
+	nw.MarkOutput(y)
+	Sweep(nw)
+	if len(y.Fanins) != 2 {
+		t.Fatalf("fanins = %d, want 2", len(y.Fanins))
+	}
+	vals, _ := nw.EvalOutputs(map[string]bool{"a": true, "c": true})
+	if !vals[0] {
+		t.Fatal("y(1,1) should be 1")
+	}
+	vals, _ = nw.EvalOutputs(map[string]bool{"a": true, "c": false})
+	if vals[0] {
+		t.Fatal("y(1,0) should be 0")
+	}
+}
+
+func TestSimplifyNodes(t *testing.T) {
+	nw := network.New("simp")
+	a := nw.AddInput("a")
+	c := nw.AddInput("c")
+	// y = a*c + a*!c + a  -> a, dropping fanin c.
+	y := nw.AddNode("y", []*network.Node{a, c}, logic.MustCover("11", "10", "1-"))
+	nw.MarkOutput(y)
+	ref := nw.Clone()
+	SimplifyNodes(nw)
+	if len(y.Fanins) != 1 || y.Fanins[0] != a {
+		t.Fatalf("y fanins = %v", y.Fanins)
+	}
+	equivalentOnAll(t, ref, nw)
+}
+
+func TestSimplifyConstantNode(t *testing.T) {
+	nw := network.New("simpc")
+	a := nw.AddInput("a")
+	// y = a + !a = 1.
+	y := nw.AddNode("y", []*network.Node{a}, logic.MustCover("1", "0"))
+	nw.MarkOutput(y)
+	SimplifyNodes(nw)
+	if len(y.Fanins) != 0 || !y.Cover.HasUniverse() {
+		t.Fatalf("y not reduced to constant 1: fanins=%v cover=%v", y.Fanins, y.Cover)
+	}
+}
+
+func TestEliminate(t *testing.T) {
+	nw := fig2a()
+	ref := nw.Clone()
+	n := Eliminate(nw, 0)
+	if n == 0 {
+		t.Fatal("expected at least one elimination in fig2a")
+	}
+	equivalentOnAll(t, ref, nw)
+}
+
+func TestExtractSharedKernel(t *testing.T) {
+	// Two nodes sharing divisor (c+d): y1 = a(c+d), y2 = b(c+d) + e.
+	nw := network.New("ext")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	d := nw.AddInput("d")
+	e := nw.AddInput("e")
+	y1 := nw.AddNode("y1", []*network.Node{a, c, d}, logic.MustCover("11-", "1-1"))
+	y2 := nw.AddNode("y2", []*network.Node{b, c, d, e}, logic.MustCover("11--", "1-1-", "---1"))
+	nw.MarkOutput(y1)
+	nw.MarkOutput(y2)
+	ref := nw.Clone()
+	got := Extract(nw)
+	if got == 0 {
+		t.Fatal("expected extraction of the shared kernel c+d")
+	}
+	equivalentOnAll(t, ref, nw)
+	// The divisor must be shared: some new node fans out to both y1 and y2.
+	shared := nw.FanoutNodes()
+	if len(shared) == 0 {
+		t.Fatalf("no shared node created: %v", nw.SortedNodeNames())
+	}
+}
+
+func TestExtractPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 30; iter++ {
+		nw := randomNetwork(rng, 6, 8)
+		ref := nw.Clone()
+		Extract(nw)
+		equivalentOnAll(t, ref, nw)
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func randomNetwork(rng *rand.Rand, inputs, gates int) *network.Network {
+	nw := network.New("rand")
+	var signals []*network.Node
+	for i := 0; i < inputs; i++ {
+		signals = append(signals, nw.AddInput("in"+string(rune('a'+i))))
+	}
+	for g := 0; g < gates; g++ {
+		k := 2 + rng.Intn(3)
+		fanins := make([]*network.Node, 0, k)
+		used := map[*network.Node]bool{}
+		for len(fanins) < k {
+			s := signals[rng.Intn(len(signals))]
+			if !used[s] {
+				used[s] = true
+				fanins = append(fanins, s)
+			}
+		}
+		cover := logic.NewCover(k)
+		cubes := 1 + rng.Intn(3)
+		for c := 0; c < cubes; c++ {
+			cube := logic.NewCube(k)
+			nonDC := false
+			for j := 0; j < k; j++ {
+				switch rng.Intn(3) {
+				case 0:
+					cube[j] = logic.Pos
+					nonDC = true
+				case 1:
+					cube[j] = logic.Neg
+					nonDC = true
+				}
+			}
+			if nonDC {
+				cover.AddCube(cube)
+			}
+		}
+		if cover.IsZero() {
+			cover.AddCube(func() logic.Cube {
+				cb := logic.NewCube(k)
+				cb[0] = logic.Pos
+				return cb
+			}())
+		}
+		n := nw.AddNode(nw.FreshName("g"), fanins, cover)
+		signals = append(signals, n)
+	}
+	// Mark the last few gates as outputs.
+	outs := 0
+	for i := len(signals) - 1; i >= 0 && outs < 3; i-- {
+		if signals[i].Kind == network.Internal {
+			nw.MarkOutput(signals[i])
+			outs++
+		}
+	}
+	nw.RemoveDangling()
+	return nw
+}
+
+func TestTechDecompBoundsFanin(t *testing.T) {
+	nw := fig2a()
+	for _, k := range []int{2, 3, 4} {
+		dec := TechDecomp(nw, k)
+		for _, n := range dec.InternalNodes() {
+			if len(n.Fanins) > k {
+				t.Fatalf("k=%d: node %s has %d fanins", k, n.Name, len(n.Fanins))
+			}
+		}
+		equivalentOnAll(t, nw, dec)
+	}
+}
+
+func TestTechDecompGatesAreSimple(t *testing.T) {
+	nw := fig2a()
+	dec := TechDecomp(nw, 3)
+	for _, n := range dec.InternalNodes() {
+		// Every gate must be AND (single cube, all Pos), OR (one Pos per
+		// cube), NOT, BUF or constant.
+		switch {
+		case len(n.Fanins) == 0: // constant
+		case len(n.Fanins) == 1: // buf/inv
+			if len(n.Cover.Cubes) != 1 || n.Cover.Cubes[0][0] == logic.DC {
+				t.Fatalf("node %s is not a wire: %v", n.Name, n.Cover)
+			}
+		case len(n.Cover.Cubes) == 1: // AND
+			for _, p := range n.Cover.Cubes[0] {
+				if p != logic.Pos {
+					t.Fatalf("AND node %s has non-positive literal: %v", n.Name, n.Cover)
+				}
+			}
+		default: // OR
+			for _, cb := range n.Cover.Cubes {
+				lits := 0
+				for _, p := range cb {
+					if p == logic.Pos {
+						lits++
+					} else if p == logic.Neg {
+						t.Fatalf("OR node %s has negative literal: %v", n.Name, n.Cover)
+					}
+				}
+				if lits != 1 {
+					t.Fatalf("OR node %s cube has %d literals: %v", n.Name, lits, n.Cover)
+				}
+			}
+		}
+	}
+}
+
+func TestTechDecompSharesInverters(t *testing.T) {
+	nw := network.New("shinv")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	c := nw.AddInput("c")
+	y1 := nw.AddNode("y1", []*network.Node{a, b}, logic.MustCover("01"))
+	y2 := nw.AddNode("y2", []*network.Node{a, c}, logic.MustCover("01"))
+	nw.MarkOutput(y1)
+	nw.MarkOutput(y2)
+	dec := TechDecomp(nw, 4)
+	inverters := 0
+	for _, n := range dec.InternalNodes() {
+		if len(n.Fanins) == 1 && len(n.Cover.Cubes) == 1 && n.Cover.Cubes[0][0] == logic.Neg {
+			inverters++
+		}
+	}
+	if inverters != 1 {
+		t.Fatalf("inverters = %d, want 1 (shared !a)", inverters)
+	}
+	equivalentOnAll(t, nw, dec)
+}
+
+func TestDecomposeLarge(t *testing.T) {
+	nw := network.New("big")
+	var ins []*network.Node
+	for i := 0; i < 9; i++ {
+		ins = append(ins, nw.AddInput("i"+string(rune('0'+i))))
+	}
+	// Wide node: 9-input function with three 3-literal cubes and phases.
+	cover := logic.MustCover("111------", "---00----", "------1-1")
+	y := nw.AddNode("y", ins, cover)
+	nw.MarkOutput(y)
+	ref := nw.Clone()
+	DecomposeLarge(nw, 4)
+	for _, n := range nw.InternalNodes() {
+		if len(n.Fanins) > 4 {
+			t.Fatalf("node %s still has %d fanins", n.Name, len(n.Fanins))
+		}
+	}
+	equivalentOnAll(t, ref, nw)
+}
+
+func TestScriptsPreserveFunction(t *testing.T) {
+	nw := fig2a()
+	alg := Algebraic(nw)
+	equivalentOnAll(t, nw, alg)
+	if err := alg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	boo := Boolean(nw)
+	equivalentOnAll(t, nw, boo)
+	if err := boo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScriptsOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 15; iter++ {
+		nw := randomNetwork(rng, 7, 10)
+		alg := Algebraic(nw)
+		equivalentOnAll(t, nw, alg)
+		boo := Boolean(nw)
+		equivalentOnAll(t, nw, boo)
+	}
+}
+
+func TestAlgebraicReducesLiterals(t *testing.T) {
+	// A network with obvious shared structure should shrink.
+	nw := network.New("shrink")
+	var ins []*network.Node
+	for i := 0; i < 6; i++ {
+		ins = append(ins, nw.AddInput("x"+string(rune('0'+i))))
+	}
+	// y1 = x0x2 + x0x3 + x1x2 + x1x3 (= (x0+x1)(x2+x3))
+	y1 := nw.AddNode("y1", ins[:4], logic.MustCover("1-1-", "1--1", "-11-", "-1-1"))
+	// y2 = x4(x2+x3) shares the kernel x2+x3.
+	y2 := nw.AddNode("y2", []*network.Node{ins[2], ins[3], ins[4]}, logic.MustCover("1-1", "-11"))
+	nw.MarkOutput(y1)
+	nw.MarkOutput(y2)
+	alg := Algebraic(nw)
+	before := nw.Stats().Literals
+	after := alg.Stats().Literals
+	if after >= before {
+		t.Fatalf("literals %d -> %d, expected reduction", before, after)
+	}
+	equivalentOnAll(t, nw, alg)
+}
+
+func TestSimplifyWideNode(t *testing.T) {
+	// A 14-fanin node (beyond the truth-table route) with an absorbable
+	// cube pair must still shrink via the cover-based minimizer.
+	nw := network.New("wide")
+	var ins []*network.Node
+	for i := 0; i < 14; i++ {
+		ins = append(ins, nw.AddInput("i"+string(rune('a'+i))))
+	}
+	// y = x0 x1 + x0 x1 !x13 + x2...x12 chain cube (irredundant filler).
+	cover := logic.MustCover(
+		"11------------",
+		"11-----------0",
+		"--11111111111-",
+	)
+	y := nw.AddNode("y", ins, cover)
+	nw.MarkOutput(y)
+	ref := nw.Clone()
+	if changed := SimplifyNodes(nw); changed == 0 {
+		t.Fatal("wide node not simplified")
+	}
+	if got := len(y.Cover.Cubes); got != 2 {
+		t.Fatalf("cover has %d cubes, want 2", got)
+	}
+	if len(y.Fanins) != 13 {
+		t.Fatalf("fanins = %d, want 13 (x13 dropped)", len(y.Fanins))
+	}
+	equivalentOnAll(t, ref, nw)
+}
+
+func TestResubReusesExistingNode(t *testing.T) {
+	// d = c + e exists; y = a*c + a*e can be rewritten as y = a*d.
+	nw := network.New("rs")
+	a := nw.AddInput("a")
+	c := nw.AddInput("c")
+	e := nw.AddInput("e")
+	d := nw.AddNode("d", []*network.Node{c, e}, logic.MustCover("1-", "-1"))
+	y := nw.AddNode("y", []*network.Node{a, c, e}, logic.MustCover("11-", "1-1"))
+	nw.MarkOutput(d)
+	nw.MarkOutput(y)
+	ref := nw.Clone()
+	if n := Resub(nw); n == 0 {
+		t.Fatal("expected a resubstitution")
+	}
+	usesD := false
+	for _, f := range y.Fanins {
+		if f == d {
+			usesD = true
+		}
+	}
+	if !usesD {
+		t.Fatalf("y does not reuse d: fanins %v", y.Fanins)
+	}
+	equivalentOnAll(t, ref, nw)
+}
+
+func TestResubMergesDuplicates(t *testing.T) {
+	nw := network.New("dup2")
+	a := nw.AddInput("a")
+	c := nw.AddInput("c")
+	d1 := nw.AddNode("d1", []*network.Node{a, c}, logic.MustCover("1-", "-1"))
+	d2 := nw.AddNode("d2", []*network.Node{a, c}, logic.MustCover("1-", "-1"))
+	nw.MarkOutput(d1)
+	nw.MarkOutput(d2)
+	ref := nw.Clone()
+	Resub(nw)
+	// d2 should now be a single-cube function of d1 (a buffer), which
+	// Sweep cannot remove because it is an output — but its cover must
+	// reference d1.
+	if len(d2.Fanins) != 1 || d2.Fanins[0] != d1 {
+		t.Fatalf("duplicate not merged: fanins %v", d2.Fanins)
+	}
+	equivalentOnAll(t, ref, nw)
+}
+
+func TestResubPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 25; iter++ {
+		nw := randomNetwork(rng, 6, 9)
+		ref := nw.Clone()
+		Resub(nw)
+		equivalentOnAll(t, ref, nw)
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestResubNoCycles(t *testing.T) {
+	// A chain where later nodes could divide earlier ones must never
+	// create a cycle.
+	nw := network.New("chain")
+	a := nw.AddInput("a")
+	c := nw.AddInput("c")
+	e := nw.AddInput("e")
+	n1 := nw.AddNode("n1", []*network.Node{a, c}, logic.MustCover("1-", "-1"))
+	n2 := nw.AddNode("n2", []*network.Node{n1, e}, logic.MustCover("11"))
+	n3 := nw.AddNode("n3", []*network.Node{a, c, e}, logic.MustCover("1-1", "-11"))
+	nw.MarkOutput(n2)
+	nw.MarkOutput(n3)
+	Resub(nw)
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyDCUnreachablePatterns(t *testing.T) {
+	// y AND-combines x and its inverter's output through separate nodes:
+	// the fanin patterns (0,0) and (1,1) are unreachable, so
+	// f = a*!b over (p, q) with p = x, q = !x can simplify to a literal.
+	nw := network.New("sdc")
+	x := nw.AddInput("x")
+	p := nw.AddNode("p", []*network.Node{x}, logic.MustCover("1"))
+	q := nw.AddNode("q", []*network.Node{x}, logic.MustCover("0"))
+	f := nw.AddNode("f", []*network.Node{p, q}, logic.MustCover("10"))
+	nw.MarkOutput(p) // keep p and q alive as outputs
+	nw.MarkOutput(q)
+	nw.MarkOutput(f)
+	ref := nw.Clone()
+	if n := SimplifyDC(nw); n == 0 {
+		t.Fatal("expected a DC simplification")
+	}
+	if f.Cover.LiteralCount() > 1 {
+		t.Fatalf("f not simplified: %v over %d fanins", f.Cover, len(f.Fanins))
+	}
+	equivalentOnAll(t, ref, nw)
+}
+
+func TestSimplifyDCPreservesNetworkFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 30; iter++ {
+		nw := randomNetwork(rng, 6, 10)
+		ref := nw.Clone()
+		SimplifyDC(nw)
+		equivalentOnAll(t, ref, nw)
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestSimplifyDCOnBenchmarkShapes(t *testing.T) {
+	// The comparator's eq-chain has correlated fanins; SimplifyDC must
+	// keep the function intact (improvement is circuit-dependent).
+	nw := fig2a()
+	ref := nw.Clone()
+	SimplifyDC(nw)
+	equivalentOnAll(t, ref, nw)
+}
+
+func TestSimplifyFullObservability(t *testing.T) {
+	// y = (a ∨ b) ∧ a: whenever a=0 the output ignores n = a ∨ b, so n's
+	// patterns with a=0 are observability don't-cares and n collapses to
+	// the constant 1 (y then sweeps to a buffer of a).
+	nw := network.New("odc")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	n := nw.AddNode("n", []*network.Node{a, b}, logic.MustCover("1-", "-1"))
+	y := nw.AddNode("y", []*network.Node{n, a}, logic.MustCover("11"))
+	nw.MarkOutput(y)
+	ref := nw.Clone()
+	if c := SimplifyFull(nw); c == 0 {
+		t.Fatal("expected an ODC simplification")
+	}
+	equivalentOnAll(t, ref, nw)
+	if len(n.Fanins) != 0 || !n.Cover.HasUniverse() {
+		t.Fatalf("n not reduced to constant 1: %v over %d fanins", n.Cover, len(n.Fanins))
+	}
+}
+
+func TestSimplifyFullPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for iter := 0; iter < 25; iter++ {
+		nw := randomNetwork(rng, 6, 9)
+		ref := nw.Clone()
+		SimplifyFull(nw)
+		equivalentOnAll(t, ref, nw)
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestSimplifyFullFallsBackOnWideNetworks(t *testing.T) {
+	// 20 inputs exceeds the ODC enumeration limit; the pass must fall
+	// back to the SDC-only path without error.
+	nw := network.New("widepi")
+	var ins []*network.Node
+	for i := 0; i < 20; i++ {
+		ins = append(ins, nw.AddInput(nameOf(i)))
+	}
+	n1 := nw.AddNode("n1", ins[:3], logic.MustCover("11-", "--1"))
+	y := nw.AddNode("y", []*network.Node{n1, ins[4]}, logic.MustCover("1-", "-1"))
+	nw.MarkOutput(y)
+	ref := nw.Clone()
+	SimplifyFull(nw)
+	equivalentOnAll(t, ref, nw)
+}
+
+func nameOf(i int) string { return "pi" + string(rune('a'+i)) }

@@ -1,0 +1,72 @@
+package opt
+
+import (
+	"tels/internal/algebra"
+	"tels/internal/network"
+)
+
+// Resub performs algebraic resubstitution, the SIS resub pass: each
+// node's cover is divided by every other existing node's function, and
+// when the division saves literals the node is rewritten to reuse that
+// node as a divisor. Unlike Extract, no new nodes are created — existing
+// shared logic is simply rediscovered. Returns the number of rewrites.
+func Resub(nw *network.Network) int {
+	rewrites := 0
+	for pass := 0; pass < 4; pass++ {
+		changed := 0
+		space := newSignalSpace(nw)
+		internals := nw.InternalNodes()
+		order, err := nw.TopoSort()
+		if err != nil {
+			panic(err)
+		}
+		topoIdx := make(map[*network.Node]int, len(order))
+		for i, n := range order {
+			topoIdx[n] = i
+		}
+		exprs := make(map[*network.Node]algebra.Expr, len(internals))
+		for _, n := range internals {
+			exprs[n] = space.exprOf(n)
+		}
+		for _, n := range internals {
+			best := 0
+			var bestQ, bestR algebra.Expr
+			var bestDiv *network.Node
+			e := exprs[n]
+			if len(e) < 2 {
+				continue
+			}
+			for _, d := range internals {
+				if d == n || len(exprs[d]) < 2 {
+					continue
+				}
+				// Using d as a fanin of n adds the edge n→d; any path from
+				// n to d would close a cycle, and topological precedence of
+				// d rules that out.
+				if topoIdx[d] >= topoIdx[n] {
+					continue
+				}
+				q, r := algebra.WeakDiv(e, exprs[d])
+				if len(q) == 0 {
+					continue
+				}
+				after := q.Literals() + len(q) + r.Literals()
+				if save := e.Literals() - after; save > best {
+					best, bestQ, bestR, bestDiv = save, q, r, d
+				}
+			}
+			if bestDiv == nil {
+				continue
+			}
+			rewriteWithDivisor(space, n, bestQ, bestR, bestDiv)
+			exprs[n] = space.exprOf(n)
+			changed++
+			rewrites++
+		}
+		nw.RemoveDangling()
+		if changed == 0 {
+			break
+		}
+	}
+	return rewrites
+}

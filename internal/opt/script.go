@@ -1,0 +1,53 @@
+package opt
+
+import "tels/internal/network"
+
+// Algebraic runs the equivalent of SIS's script.algebraic on a copy of the
+// network: structural cleanup, exact node simplification, a round of
+// low-value elimination to expose larger divisors, greedy algebraic
+// extraction, and a final cleanup. The result is the algebraically-
+// factored multi-level network that threshold synthesis consumes.
+func Algebraic(nw *network.Network) *network.Network {
+	out := nw.Clone()
+	Sweep(out)
+	SimplifyNodes(out)
+	Eliminate(out, 0)
+	SimplifyNodes(out)
+	Extract(out)
+	Resub(out)
+	Sweep(out)
+	SimplifyNodes(out)
+	Sweep(out)
+	return out
+}
+
+// Boolean runs the equivalent of SIS's script.boolean: like Algebraic but
+// with a more aggressive eliminate/simplify schedule, approximating the
+// Boolean (don't-care based) simplification of the original script with
+// repeated exact local minimization. Like the SIS script, it finishes
+// with an eliminate pass that re-forms medium-sized nodes — two-level
+// minimization works better on them, and it is this final shape that
+// makes the one-to-one baseline sensitive to the fanin restriction
+// (Fig. 10). The paper derives its one-to-one baseline from this script.
+func Boolean(nw *network.Network) *network.Network {
+	out := nw.Clone()
+	Sweep(out)
+	SimplifyNodes(out)
+	Eliminate(out, 2)
+	SimplifyNodes(out)
+	Extract(out)
+	SimplifyNodes(out)
+	Eliminate(out, 0)
+	SimplifyNodes(out)
+	Extract(out)
+	Resub(out)
+	// The don’t-care ingredient of script.boolean (full_simplify): after
+	// extraction the cones share logic, so satisfiability and observability
+	// don’t-cares appear.
+	SimplifyFull(out)
+	Sweep(out)
+	Eliminate(out, 25)
+	SimplifyNodes(out)
+	Sweep(out)
+	return out
+}

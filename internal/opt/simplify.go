@@ -1,0 +1,262 @@
+package opt
+
+import (
+	"tels/internal/logic"
+	"tels/internal/network"
+	"tels/internal/truth"
+)
+
+// SimplifyMaxVars bounds the fanin count for exact node simplification;
+// larger nodes are left untouched (their covers only shrink via SCC in
+// Sweep).
+const SimplifyMaxVars = 10
+
+// SimplifyNodes replaces each node's cover with an irredundant prime cover
+// of its local function and drops fanins the function does not depend on.
+// It is the two-level-minimization step of the script pipelines (espresso
+// without external don't-cares). Returns the number of nodes changed.
+func SimplifyNodes(nw *network.Network) int {
+	changed := 0
+	for _, n := range nw.InternalNodes() {
+		if len(n.Fanins) > SimplifyMaxVars {
+			// Too wide for the exact truth-table route: fall back to
+			// cover-based espresso-style minimization.
+			if simplifyWide(n) {
+				changed++
+			}
+			continue
+		}
+		tt := truth.FromCover(n.Cover)
+		if isConst, v := tt.IsConst(); isConst {
+			if len(n.Fanins) == 0 {
+				continue
+			}
+			n.Fanins = nil
+			if v {
+				n.Cover = logic.One(0)
+			} else {
+				n.Cover = logic.Zero(0)
+			}
+			changed++
+			continue
+		}
+		sup := tt.Support()
+		reduced := tt
+		fanins := n.Fanins
+		if len(sup) != len(n.Fanins) {
+			reduced = tt.Project(sup)
+			fanins = make([]*network.Node, len(sup))
+			for i, v := range sup {
+				fanins[i] = n.Fanins[v]
+			}
+		}
+		cover := reduced.MinimalSOP()
+		if len(fanins) != len(n.Fanins) || cover.LiteralCount() < n.Cover.LiteralCount() ||
+			len(cover.Cubes) < len(n.Cover.Cubes) {
+			n.Fanins = fanins
+			n.Cover = cover
+			changed++
+		}
+	}
+	if changed > 0 {
+		nw.RemoveDangling()
+	}
+	return changed
+}
+
+// simplifyWide minimizes a wide node with the cover-based espresso-style
+// pass and drops fanins the minimized cover no longer mentions.
+func simplifyWide(n *network.Node) bool {
+	cover := n.Cover.Minimize()
+	if cover.LiteralCount() >= n.Cover.LiteralCount() && len(cover.Cubes) >= len(n.Cover.Cubes) {
+		return false
+	}
+	sup := cover.Support()
+	if len(sup) != len(n.Fanins) {
+		fanins := make([]*network.Node, len(sup))
+		keep := make(map[int]int, len(sup))
+		for i, v := range sup {
+			fanins[i] = n.Fanins[v]
+			keep[v] = i
+		}
+		reduced := logic.NewCover(len(sup))
+		for _, c := range cover.Cubes {
+			d := logic.NewCube(len(sup))
+			for v, p := range c {
+				if p != logic.DC {
+					d[keep[v]] = p
+				}
+			}
+			reduced.AddCube(d)
+		}
+		n.Fanins = fanins
+		cover = reduced
+	}
+	n.Cover = cover
+	return true
+}
+
+// EliminateMaxSupport bounds the combined support when collapsing a node
+// into a fanout during Eliminate.
+const EliminateMaxSupport = 10
+
+// Eliminate collapses low-value nodes into their fanouts, mirroring the
+// SIS eliminate command. A node's value is the literal-count change its
+// elimination would cause; nodes with value at most threshold are
+// collapsed. Output nodes are kept. Each pass builds a consumer index
+// once, collapses every qualifying node whose neighbourhood has not been
+// touched this pass, and repeats to a fixpoint. Returns the number of
+// nodes eliminated.
+func Eliminate(nw *network.Network, threshold int) int {
+	eliminated := 0
+	const maxPasses = 40
+	for pass := 0; pass < maxPasses; pass++ {
+		outputs := make(map[*network.Node]bool, len(nw.Outputs))
+		for _, o := range nw.Outputs {
+			outputs[o] = true
+		}
+		internals := nw.InternalNodes()
+		consumers := make(map[*network.Node][]*network.Node)
+		for _, m := range internals {
+			seen := map[*network.Node]bool{}
+			for _, f := range m.Fanins {
+				if f.Kind == network.Internal && !seen[f] {
+					seen[f] = true
+					consumers[f] = append(consumers[f], m)
+				}
+			}
+		}
+		dirty := make(map[*network.Node]bool)
+		changed := 0
+		for _, n := range internals {
+			if outputs[n] || dirty[n] || len(n.Fanins) == 0 {
+				continue
+			}
+			cons := consumers[n]
+			if len(cons) == 0 {
+				continue
+			}
+			refs := 0
+			collapsible := true
+			for _, m := range cons {
+				if dirty[m] {
+					collapsible = false
+					break
+				}
+				if combinedSupportSize(m, n) > EliminateMaxSupport {
+					collapsible = false
+					break
+				}
+				for i, f := range m.Fanins {
+					if f != n {
+						continue
+					}
+					for _, c := range m.Cover.Cubes {
+						if c[i] != logic.DC {
+							refs++
+						}
+					}
+				}
+			}
+			if !collapsible || refs == 0 {
+				continue
+			}
+			L := n.Cover.LiteralCount()
+			if refs*L-L-refs > threshold {
+				continue
+			}
+			ok := true
+			for _, m := range cons {
+				if !CollapseFanin(nw, m, n) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				// Partially collapsed consumers stay functionally correct
+				// (CollapseFanin is exact); mark the region dirty and move on.
+				dirty[n] = true
+				for _, m := range cons {
+					dirty[m] = true
+				}
+				continue
+			}
+			dirty[n] = true
+			for _, m := range cons {
+				dirty[m] = true
+			}
+			changed++
+			eliminated++
+		}
+		nw.RemoveDangling()
+		if changed == 0 {
+			return eliminated
+		}
+	}
+	return eliminated
+}
+
+func combinedSupportSize(m, n *network.Node) int {
+	set := make(map[*network.Node]bool)
+	for _, f := range m.Fanins {
+		if f != n {
+			set[f] = true
+		}
+	}
+	for _, f := range n.Fanins {
+		set[f] = true
+	}
+	return len(set)
+}
+
+// CollapseFanin rewrites node m with fanin n substituted by n's function.
+// Both node functions are combined exactly via truth tables; m's new
+// support is its remaining fanins plus n's fanins. Reports success
+// (failure means the combined support exceeds EliminateMaxSupport).
+func CollapseFanin(nw *network.Network, m, n *network.Node) bool {
+	var support []*network.Node
+	seen := make(map[*network.Node]bool)
+	for _, f := range m.Fanins {
+		if f == n {
+			continue
+		}
+		if !seen[f] {
+			seen[f] = true
+			support = append(support, f)
+		}
+	}
+	for _, f := range n.Fanins {
+		if !seen[f] {
+			seen[f] = true
+			support = append(support, f)
+		}
+	}
+	if len(support) > EliminateMaxSupport {
+		return false
+	}
+	tt, err := nw.LocalFunction(m, support)
+	if err != nil {
+		return false
+	}
+	sup := tt.Support()
+	reduced := tt
+	fanins := support
+	if len(sup) != len(support) {
+		reduced = tt.Project(sup)
+		fanins = make([]*network.Node, len(sup))
+		for i, v := range sup {
+			fanins[i] = support[v]
+		}
+	}
+	m.Fanins = fanins
+	m.Cover = reduced.MinimalSOP()
+	if isConst, v := reduced.IsConst(); isConst {
+		m.Fanins = nil
+		if v {
+			m.Cover = logic.One(0)
+		} else {
+			m.Cover = logic.Zero(0)
+		}
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+// Package opt implements multi-level Boolean network optimization passes
+// modelled on the SIS commands the paper's flow relies on: sweep, node
+// simplification, eliminate, algebraic extraction and bounded-fanin
+// technology decomposition, composed into script pipelines that play the
+// role of script.algebraic and script.boolean.
+package opt
+
+import (
+	"tels/internal/logic"
+	"tels/internal/network"
+)
+
+// nodeConst reports whether the node's cover is syntactically constant.
+func nodeConst(n *network.Node) (isConst, value bool) {
+	if n.Kind != network.Internal {
+		return false, false
+	}
+	if n.Cover.IsZero() {
+		return true, false
+	}
+	if n.Cover.HasUniverse() {
+		return true, true
+	}
+	return false, false
+}
+
+// nodeWire reports whether the node is a single-literal function of its
+// single fanin: a buffer (phase Pos) or inverter (phase Neg).
+func nodeWire(n *network.Node) (wire bool, phase logic.Phase) {
+	if n.Kind != network.Internal || len(n.Fanins) != 1 || len(n.Cover.Cubes) != 1 {
+		return false, logic.DC
+	}
+	p := n.Cover.Cubes[0][0]
+	if p == logic.DC {
+		return false, logic.DC // constant 1, handled by nodeConst
+	}
+	return true, p
+}
+
+// dropFaninConst rewrites the node's cover with fanin position i fixed to
+// the constant value, removing the position.
+func dropFaninConst(n *network.Node, i int, value bool) {
+	ph := logic.Neg
+	if value {
+		ph = logic.Pos
+	}
+	reduced := n.Cover.Cofactor(i, ph)
+	n.Cover = removePosition(reduced, i)
+	n.Fanins = append(n.Fanins[:i], n.Fanins[i+1:]...)
+}
+
+// removePosition deletes variable position i from every cube. The position
+// must be DC in all cubes (as after a cofactor).
+func removePosition(f logic.Cover, i int) logic.Cover {
+	out := logic.NewCover(f.N - 1)
+	for _, c := range f.Cubes {
+		d := make(logic.Cube, 0, f.N-1)
+		d = append(d, c[:i]...)
+		d = append(d, c[i+1:]...)
+		out.AddCube(d)
+	}
+	return out
+}
+
+// mergeDuplicateFanins folds repeated fanin entries into a single column.
+// Cubes requiring contradictory phases of the same signal are dropped.
+func mergeDuplicateFanins(n *network.Node) bool {
+	seen := make(map[*network.Node]int)
+	dup := false
+	for _, f := range n.Fanins {
+		if _, ok := seen[f]; ok {
+			dup = true
+			break
+		}
+		seen[f] = 1
+	}
+	if !dup {
+		return false
+	}
+	var fanins []*network.Node
+	index := make(map[*network.Node]int)
+	for _, f := range n.Fanins {
+		if _, ok := index[f]; !ok {
+			index[f] = len(fanins)
+			fanins = append(fanins, f)
+		}
+	}
+	out := logic.NewCover(len(fanins))
+nextCube:
+	for _, c := range n.Cover.Cubes {
+		d := logic.NewCube(len(fanins))
+		for i, p := range c {
+			if p == logic.DC {
+				continue
+			}
+			j := index[n.Fanins[i]]
+			if d[j] != logic.DC && d[j] != p {
+				continue nextCube // x * !x
+			}
+			d[j] = p
+		}
+		out.AddCube(d)
+	}
+	n.Fanins = fanins
+	n.Cover = out
+	return true
+}
+
+// Sweep simplifies the network structurally: duplicate fanins are merged,
+// constant and wire (buffer/inverter) fanins are absorbed into their
+// fanouts, and dangling logic is removed. It returns the number of nodes
+// removed. Output nodes are never deleted, so output names survive.
+func Sweep(nw *network.Network) int {
+	for {
+		changed := false
+		order, err := nw.TopoSort()
+		if err != nil {
+			panic(err)
+		}
+		for _, n := range order {
+			if n.Kind != network.Internal {
+				continue
+			}
+			if mergeDuplicateFanins(n) {
+				changed = true
+			}
+			for i := 0; i < len(n.Fanins); {
+				f := n.Fanins[i]
+				if isC, v := nodeConst(f); isC {
+					dropFaninConst(n, i, v)
+					changed = true
+					continue
+				}
+				if wire, ph := nodeWire(f); wire {
+					// Rewire through the buffer/inverter, flipping the
+					// column phase for an inverter.
+					n.Fanins[i] = f.Fanins[0]
+					if ph == logic.Neg {
+						for _, c := range n.Cover.Cubes {
+							switch c[i] {
+							case logic.Pos:
+								c[i] = logic.Neg
+							case logic.Neg:
+								c[i] = logic.Pos
+							}
+						}
+					}
+					changed = true
+					// The rewire may have introduced a duplicate fanin.
+					mergeDuplicateFanins(n)
+					if i >= len(n.Fanins) {
+						break
+					}
+					continue
+				}
+				i++
+			}
+			// Normalize trivially redundant covers.
+			scc := n.Cover.SCC()
+			if len(scc.Cubes) != len(n.Cover.Cubes) {
+				n.Cover = scc
+				changed = true
+			}
+		}
+		removed := nw.RemoveDangling()
+		if !changed && removed == 0 {
+			return 0
+		}
+		if !changed {
+			return removed
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package rtd
+
+import (
+	"strings"
+	"testing"
+
+	"tels/internal/core"
+	"tels/internal/mcnc"
+	"tels/internal/opt"
+)
+
+func sampleNetwork(t *testing.T) *core.Network {
+	t.Helper()
+	tn := core.NewNetwork("demo")
+	tn.AddInput("a")
+	tn.AddInput("b")
+	tn.AddInput("c")
+	gates := []*core.Gate{
+		{Name: "g1", Inputs: []string{"a", "b", "c"}, Weights: []int{2, -1, -1}, T: 1},
+		{Name: "f", Inputs: []string{"g1", "c"}, Weights: []int{1, 1}, T: 1},
+	}
+	for _, g := range gates {
+		if err := tn.AddGate(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn.MarkOutput("f")
+	return tn
+}
+
+func TestMapStructure(t *testing.T) {
+	nl, err := Map(sampleNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Mobiles) != 2 {
+		t.Fatalf("mobiles = %d, want 2", len(nl.Mobiles))
+	}
+	g1 := nl.Mobiles[0]
+	if g1.Name != "g1" || len(g1.Branches) != 3 {
+		t.Fatalf("g1 mobile wrong: %+v", g1)
+	}
+	// The two negative weights become falling branches of unit peak.
+	falls := 0
+	for _, b := range g1.Branches {
+		if b.Falling {
+			falls++
+			if b.Weight != 1 {
+				t.Fatalf("falling branch weight = %d, want 1", b.Weight)
+			}
+		}
+	}
+	if falls != 2 {
+		t.Fatalf("falling branches = %d, want 2", falls)
+	}
+	if g1.DriverPeak != 1 {
+		t.Fatalf("driver peak = %d, want |T| = 1", g1.DriverPeak)
+	}
+}
+
+func TestAreaMatchesEq14(t *testing.T) {
+	tn := sampleNetwork(t)
+	nl, err := Map(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := nl.Stats().Area, tn.Area(); got != want {
+		t.Fatalf("mapped area = %d, network Eq.14 area = %d", got, want)
+	}
+}
+
+func TestDeviceCounts(t *testing.T) {
+	nl, err := Map(sampleNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nl.Stats()
+	// g1: 3 branches + 2 = 5 RTDs, 3 HFETs; f: 2 branches + 2 = 4 RTDs, 2 HFETs.
+	if s.RTDs != 9 || s.HFETs != 5 {
+		t.Fatalf("devices = %d RTDs / %d HFETs, want 9/5", s.RTDs, s.HFETs)
+	}
+	if s.Mobiles != 2 {
+		t.Fatalf("mobiles = %d", s.Mobiles)
+	}
+}
+
+func TestZeroWeightSkipped(t *testing.T) {
+	tn := core.NewNetwork("z")
+	tn.AddInput("a")
+	tn.AddInput("b")
+	if err := tn.AddGate(&core.Gate{
+		Name: "f", Inputs: []string{"a", "b"}, Weights: []int{1, 0}, T: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tn.MarkOutput("f")
+	nl, err := Map(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Mobiles[0].Branches) != 1 {
+		t.Fatalf("zero-weight input not skipped: %+v", nl.Mobiles[0])
+	}
+}
+
+func TestWriteNetlist(t *testing.T) {
+	nl, err := Map(sampleNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := nl.WriteString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"MOBILE netlist demo",
+		"mobile_g1",
+		"rtd_peak=2",
+		"side=fall",
+		"driver_peak=1",
+		".end",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("netlist missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestMapSynthesizedBenchmark(t *testing.T) {
+	src := mcnc.Build("cm152a")
+	tn, _, err := core.Synthesize(opt.Algebraic(src), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Map(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := nl.Stats()
+	if s.Mobiles != tn.GateCount() {
+		t.Fatalf("mobiles %d != gates %d", s.Mobiles, tn.GateCount())
+	}
+	if s.Area != tn.Area() {
+		t.Fatalf("area %d != Eq.14 area %d", s.Area, tn.Area())
+	}
+	if s.RTDs <= s.Mobiles || s.HFETs == 0 {
+		t.Fatalf("implausible device counts: %+v", s)
+	}
+}

@@ -1,0 +1,26 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"tels/internal/core"
+	"tels/internal/network"
+	"tels/internal/sim"
+)
+
+// ExampleProve synthesizes a small network and proves the threshold
+// implementation equivalent with a BDD.
+func ExampleProve() {
+	b := network.NewBuilder("demo")
+	x, y, z := b.Input("x"), b.Input("y"), b.Input("z")
+	b.Output(b.Or("f", b.And("g", x, y), z))
+
+	tn, _, err := core.Synthesize(b.Net, core.DefaultOptions())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := sim.Prove(b.Net, tn, 1)
+	fmt.Println(res, err)
+	// Output: proved <nil>
+}

@@ -1,0 +1,257 @@
+// Package sim validates synthesized threshold networks against their
+// source Boolean networks and implements the Monte-Carlo weight
+// perturbation experiments of §VI-C: every synthesized benchmark is
+// simulated with disturbed weights w' = w + v·U(−0.5, 0.5) and counted as
+// failed if any input vector produces a wrong output.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"tels/internal/core"
+	"tels/internal/network"
+)
+
+// ExhaustiveLimit is the largest primary-input count for which equivalence
+// checks enumerate all vectors; beyond it a random sample is used.
+const ExhaustiveLimit = 14
+
+// DefaultRandomVectors is the sample size for large networks.
+const DefaultRandomVectors = 4096
+
+// Vectors produces the input assignments used for checking nw: exhaustive
+// when the input count is at most ExhaustiveLimit, otherwise `samples`
+// random vectors drawn from rng.
+func Vectors(nw *network.Network, samples int, rng *rand.Rand) []map[string]bool {
+	n := len(nw.Inputs)
+	if n <= ExhaustiveLimit {
+		out := make([]map[string]bool, 0, 1<<uint(n))
+		for m := 0; m < 1<<uint(n); m++ {
+			in := make(map[string]bool, n)
+			for i, node := range nw.Inputs {
+				in[node.Name] = m&(1<<uint(i)) != 0
+			}
+			out = append(out, in)
+		}
+		return out
+	}
+	out := make([]map[string]bool, 0, samples)
+	for v := 0; v < samples; v++ {
+		in := make(map[string]bool, n)
+		for _, node := range nw.Inputs {
+			in[node.Name] = rng.Intn(2) == 1
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// Equivalent checks that the threshold network computes the same outputs
+// as the Boolean network on all vectors (or a random sample for wide
+// networks). It returns a descriptive error on the first mismatch.
+func Equivalent(nw *network.Network, tn *core.Network, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	bev, err := nw.NewEvaluator()
+	if err != nil {
+		return err
+	}
+	tev, err := tn.NewEvaluator()
+	if err != nil {
+		return err
+	}
+	var want, got []bool
+	for _, in := range Vectors(nw, DefaultRandomVectors, rng) {
+		want, err = bev.Eval(in, want)
+		if err != nil {
+			return err
+		}
+		got, err = tev.Eval(in, got)
+		if err != nil {
+			return err
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return fmt.Errorf("sim: output %s mismatches on %v: boolean=%v threshold=%v",
+					nw.Outputs[i].Name, in, want[i], got[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Perturbation is one Monte-Carlo disturbance of a threshold network's
+// weights, aligned with an Evaluator's gate order.
+type Perturbation struct {
+	noise [][]float64
+}
+
+// PerturbFor draws a disturbance with multiplier v for the evaluator's
+// network: each weight receives an independent v·U(−0.5, 0.5) offset, per
+// §VI-C.
+func PerturbFor(ev *core.Evaluator, v float64, rng *rand.Rand) *Perturbation {
+	order := ev.GateOrder()
+	p := &Perturbation{noise: make([][]float64, len(order))}
+	for gi, g := range order {
+		n := make([]float64, len(g.Weights))
+		for i := range n {
+			n[i] = v * (rng.Float64() - 0.5)
+		}
+		p.noise[gi] = n
+	}
+	return p
+}
+
+// Perturb draws a disturbance for the network (convenience wrapper that
+// builds a fresh evaluator; use PerturbFor in hot loops).
+func Perturb(tn *core.Network, v float64, rng *rand.Rand) *Perturbation {
+	ev, err := tn.NewEvaluator()
+	if err != nil {
+		panic(err) // networks passed here are always validated
+	}
+	return PerturbFor(ev, v, rng)
+}
+
+// EvalPerturbed evaluates the threshold network under the disturbance.
+func EvalPerturbed(tn *core.Network, p *Perturbation, inputs map[string]bool) ([]bool, error) {
+	ev, err := tn.NewEvaluator()
+	if err != nil {
+		return nil, err
+	}
+	out, err := ev.EvalPerturbed(inputs, p.noise, nil)
+	if err != nil {
+		return nil, err
+	}
+	return append([]bool(nil), out...), nil
+}
+
+// FailsUnderPerturbation reports whether the disturbed threshold network
+// produces a wrong output on any of the vectors ("the circuit fails if
+// there exists any input vector with which TELS generates a wrong output
+// value under the disturbed weights").
+func FailsUnderPerturbation(nw *network.Network, tn *core.Network, p *Perturbation,
+	vectors []map[string]bool) (bool, error) {
+	bev, err := nw.NewEvaluator()
+	if err != nil {
+		return false, err
+	}
+	tev, err := tn.NewEvaluator()
+	if err != nil {
+		return false, err
+	}
+	return failsWith(bev, tev, p, vectors)
+}
+
+func failsWith(bev *network.Evaluator, tev *core.Evaluator, p *Perturbation,
+	vectors []map[string]bool) (bool, error) {
+	var want, got []bool
+	var err error
+	for _, in := range vectors {
+		want, err = bev.Eval(in, want)
+		if err != nil {
+			return false, err
+		}
+		got, err = tev.EvalPerturbed(in, p.noise, got)
+		if err != nil {
+			return false, err
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// FailureRateConfig controls a Monte-Carlo failure-rate measurement.
+type FailureRateConfig struct {
+	Trials  int   // disturbed instances per circuit (default 10)
+	Samples int   // random vectors for wide circuits (default DefaultRandomVectors)
+	Seed    int64 // RNG seed
+}
+
+// FailureRate measures the fraction of (circuit, disturbance) trials that
+// fail under multiplier v. The paper reports the percentage of benchmarks
+// failing; with one trial per benchmark that statistic is very coarse, so
+// the default runs several independent disturbances per circuit and pools
+// them (documented in EXPERIMENTS.md). Circuits are processed in
+// parallel; each draws from its own deterministic RNG stream, so the
+// result depends only on cfg.Seed, never on scheduling.
+func FailureRate(pairs []Pair, v float64, cfg FailureRateConfig) (float64, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 10
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = DefaultRandomVectors
+	}
+	if len(pairs) == 0 {
+		return 0, fmt.Errorf("sim: no trials")
+	}
+	failures := make([]int, len(pairs))
+	errs := make([]error, len(pairs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				failures[i], errs[i] = pairFailures(pairs[i], v, cfg, int64(i))
+			}
+		}()
+	}
+	for i := range pairs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	failed := 0
+	for i := range pairs {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		failed += failures[i]
+	}
+	return float64(failed) / float64(len(pairs)*cfg.Trials), nil
+}
+
+// pairFailures runs the trials for one circuit with a per-pair RNG stream.
+func pairFailures(pair Pair, v float64, cfg FailureRateConfig, idx int64) (int, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1_000_003*idx))
+	vectors := Vectors(pair.Bool, cfg.Samples, rng)
+	bev, err := pair.Bool.NewEvaluator()
+	if err != nil {
+		return 0, err
+	}
+	tev, err := pair.Threshold.NewEvaluator()
+	if err != nil {
+		return 0, err
+	}
+	failed := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		p := PerturbFor(tev, v, rng)
+		bad, err := failsWith(bev, tev, p, vectors)
+		if err != nil {
+			return 0, err
+		}
+		if bad {
+			failed++
+		}
+	}
+	return failed, nil
+}
+
+// Pair couples a Boolean reference network with its synthesized threshold
+// implementation.
+type Pair struct {
+	Name      string
+	Bool      *network.Network
+	Threshold *core.Network
+}

@@ -1,0 +1,195 @@
+package truth
+
+import (
+	"math/bits"
+	"sort"
+
+	"tels/internal/logic"
+)
+
+// Primes returns all prime implicants of the function as cubes over its N
+// variables, computed by Quine–McCluskey iterative merging. Cubes are
+// packed into uint64 keys (values | dcs<<32) and bucketed by DC mask and
+// ones count so only cubes that can actually merge are compared.
+func (t *Table) Primes() []logic.Cube {
+	type qmCube struct {
+		values uint32 // bits for non-DC positions (DC positions are 0)
+		dcs    uint32 // bitmask of DC positions
+	}
+	key := func(c qmCube) uint64 { return uint64(c.values) | uint64(c.dcs)<<32 }
+
+	var current []qmCube
+	for m := 0; m < t.Size(); m++ {
+		if t.Get(m) {
+			current = append(current, qmCube{values: uint32(m)})
+		}
+	}
+	var primes []qmCube
+	for len(current) > 0 {
+		merged := make([]bool, len(current))
+		// Bucket by (dcs, popcount(values)): a merge pairs two cubes with
+		// identical DC masks whose values differ in exactly one bit, so
+		// their ones counts differ by one.
+		type bucketKey struct {
+			dcs  uint32
+			ones int
+		}
+		buckets := make(map[bucketKey][]int)
+		for i, c := range current {
+			buckets[bucketKey{c.dcs, bits.OnesCount32(c.values)}] = append(
+				buckets[bucketKey{c.dcs, bits.OnesCount32(c.values)}], i)
+		}
+		nextSet := make(map[uint64]qmCube)
+		for bk, lo := range buckets {
+			hi, ok := buckets[bucketKey{bk.dcs, bk.ones + 1}]
+			if !ok {
+				continue
+			}
+			for _, a := range lo {
+				for _, b := range hi {
+					diff := current[a].values ^ current[b].values
+					if diff&(diff-1) != 0 {
+						continue
+					}
+					merged[a] = true
+					merged[b] = true
+					nc := qmCube{values: current[a].values &^ diff, dcs: bk.dcs | diff}
+					nextSet[key(nc)] = nc
+				}
+			}
+		}
+		for i, c := range current {
+			if !merged[i] {
+				primes = append(primes, c)
+			}
+		}
+		keys := make([]uint64, 0, len(nextSet))
+		for k := range nextSet {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		current = current[:0]
+		for _, k := range keys {
+			current = append(current, nextSet[k])
+		}
+	}
+	out := make([]logic.Cube, 0, len(primes))
+	for _, p := range primes {
+		c := logic.NewCube(t.n)
+		for i := 0; i < t.n; i++ {
+			bit := uint32(1) << uint(i)
+			switch {
+			case p.dcs&bit != 0:
+				c[i] = logic.DC
+			case p.values&bit != 0:
+				c[i] = logic.Pos
+			default:
+				c[i] = logic.Neg
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// MinimalSOP returns an irredundant prime cover of the function: all
+// essential primes plus a greedy selection covering the remaining minterms.
+// The result is exact as a cover (equivalent to t) though not guaranteed
+// minimum-cardinality.
+func (t *Table) MinimalSOP() logic.Cover {
+	return t.MinimalSOPWithDC(nil)
+}
+
+// MinimalSOPWithDC returns an irredundant prime cover of an incompletely
+// specified function: primes are generated over the union of the ON-set
+// and the don't-care set dc, but only true ON-set minterms must be
+// covered. The returned cover agrees with t wherever dc is 0 and is free
+// on the dc minterms — the classical two-level use of satisfiability
+// don't-cares. A nil dc behaves like MinimalSOP.
+func (t *Table) MinimalSOPWithDC(dc *Table) logic.Cover {
+	expand := t
+	if dc != nil {
+		t.checkArity(dc)
+		expand = t.Or(dc)
+	}
+	primes := expand.Primes()
+	cover := logic.NewCover(t.n)
+	if len(primes) == 0 {
+		return cover // constant 0
+	}
+	// Which primes cover which ON-set minterms (don't-cares need not be
+	// covered).
+	var minterms []int
+	for m := 0; m < t.Size(); m++ {
+		if t.Get(m) && (dc == nil || !dc.Get(m)) {
+			minterms = append(minterms, m)
+		}
+	}
+	if len(minterms) == 0 {
+		return cover // ON-set fully inside the DC set: constant 0 works
+	}
+	assign := make([]bool, t.n)
+	covers := make([][]int, len(primes)) // prime index -> minterm indices
+	coveredBy := make([][]int, len(minterms))
+	for mi, m := range minterms {
+		for i := 0; i < t.n; i++ {
+			assign[i] = m&(1<<uint(i)) != 0
+		}
+		for pi, p := range primes {
+			if p.Eval(assign) {
+				covers[pi] = append(covers[pi], mi)
+				coveredBy[mi] = append(coveredBy[mi], pi)
+			}
+		}
+	}
+	selected := make([]bool, len(primes))
+	covered := make([]bool, len(minterms))
+	remaining := len(minterms)
+	take := func(pi int) {
+		if selected[pi] {
+			return
+		}
+		selected[pi] = true
+		for _, mi := range covers[pi] {
+			if !covered[mi] {
+				covered[mi] = true
+				remaining--
+			}
+		}
+	}
+	// Essential primes first.
+	for mi := range minterms {
+		if len(coveredBy[mi]) == 1 {
+			take(coveredBy[mi][0])
+		}
+	}
+	// Greedy cover of the rest.
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for pi := range primes {
+			if selected[pi] {
+				continue
+			}
+			gain := 0
+			for _, mi := range covers[pi] {
+				if !covered[mi] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = pi, gain
+			}
+		}
+		if best < 0 {
+			break // unreachable: primes cover all ON minterms
+		}
+		take(best)
+	}
+	for pi, p := range primes {
+		if selected[pi] {
+			cover.AddCube(p.Clone())
+		}
+	}
+	return cover
+}

@@ -1,0 +1,195 @@
+package truth
+
+import (
+	"math/rand"
+	"testing"
+
+	"tels/internal/logic"
+)
+
+func TestPrimesXor(t *testing.T) {
+	x := Var(2, 0).Xor(Var(2, 1))
+	primes := x.Primes()
+	if len(primes) != 2 {
+		t.Fatalf("xor has %d primes, want 2: %v", len(primes), primes)
+	}
+	got := map[string]bool{}
+	for _, p := range primes {
+		got[p.String()] = true
+	}
+	if !got["01"] || !got["10"] {
+		t.Fatalf("xor primes = %v", got)
+	}
+}
+
+func TestPrimesAbsorb(t *testing.T) {
+	// f = x0 + x0*x1 has the single prime x0.
+	f := Var(2, 0).Or(Var(2, 0).And(Var(2, 1)))
+	primes := f.Primes()
+	if len(primes) != 1 || primes[0].String() != "1-" {
+		t.Fatalf("primes = %v, want [1-]", primes)
+	}
+}
+
+func TestPrimesConstant(t *testing.T) {
+	one := Const(2, true)
+	primes := one.Primes()
+	if len(primes) != 1 || !primes[0].IsUniverse() {
+		t.Fatalf("constant-1 primes = %v, want the universe", primes)
+	}
+	if got := Const(2, false).Primes(); len(got) != 0 {
+		t.Fatalf("constant-0 primes = %v, want none", got)
+	}
+}
+
+func primeOracle(tt *Table, c logic.Cube) bool {
+	// c is an implicant of tt and no single literal can be dropped.
+	cover := logic.NewCover(tt.N())
+	cover.AddCube(c)
+	if !FromCover(cover).implies(tt) {
+		return false
+	}
+	for i, p := range c {
+		if p == logic.DC {
+			continue
+		}
+		bigger := logic.NewCover(tt.N())
+		bigger.AddCube(c.Without(i))
+		if FromCover(bigger).implies(tt) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPrimesAreExactlyPrimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 120; iter++ {
+		n := 1 + rng.Intn(4)
+		tt := randomTable(rng, n)
+		primes := tt.Primes()
+		seen := map[string]bool{}
+		for _, p := range primes {
+			if !primeOracle(tt, p) {
+				t.Fatalf("iter %d: %v is not prime for %s", iter, p, tt)
+			}
+			seen[p.String()] = true
+		}
+		// Completeness: every implicant cube that the oracle says is prime
+		// must be listed (enumerate all 3^n cubes).
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= 3
+		}
+		for code := 0; code < total; code++ {
+			c := logic.NewCube(n)
+			x := code
+			empty := false
+			for i := 0; i < n; i++ {
+				c[i] = logic.Phase(x % 3)
+				x /= 3
+				_ = empty
+			}
+			if primeOracle(tt, c) && !seen[c.String()] {
+				t.Fatalf("iter %d: prime %v missing from %v (f=%s)", iter, c, primes, tt)
+			}
+		}
+	}
+}
+
+func TestMinimalSOPEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(5)
+		tt := randomTable(rng, n)
+		cover := tt.MinimalSOP()
+		if !FromCover(cover).Equal(tt) {
+			t.Fatalf("iter %d: MinimalSOP not equivalent (f=%s, cover=%v)", iter, tt, cover)
+		}
+	}
+}
+
+func TestMinimalSOPIrredundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 120; iter++ {
+		n := 1 + rng.Intn(4)
+		tt := randomTable(rng, n)
+		cover := tt.MinimalSOP()
+		for drop := range cover.Cubes {
+			smaller := logic.NewCover(n)
+			for i, c := range cover.Cubes {
+				if i != drop {
+					smaller.AddCube(c)
+				}
+			}
+			if FromCover(smaller).Equal(tt) {
+				t.Fatalf("iter %d: cube %d of %v is redundant for %s", iter, drop, cover, tt)
+			}
+		}
+	}
+}
+
+func TestMinimalSOPUnatePhases(t *testing.T) {
+	// For a unate function, the minimal prime cover uses each variable in
+	// only its unate phase (primes of unate functions are unate).
+	f := Var(3, 0).Or(Var(3, 1).Not().And(Var(3, 2)))
+	cover := f.MinimalSOP()
+	u := cover.Usage()
+	if u[0].Neg != 0 || u[1].Pos != 0 || u[2].Neg != 0 {
+		t.Fatalf("unate cover uses wrong phases: %v", cover)
+	}
+}
+
+func TestMinimalSOPWithDC(t *testing.T) {
+	// f = x0*x1 with don't cares on every minterm where x0 != x1: the
+	// cover may expand to the single literal x0 (or x1).
+	on := Var(2, 0).And(Var(2, 1))
+	dc := Var(2, 0).Xor(Var(2, 1))
+	cover := on.MinimalSOPWithDC(dc)
+	if cover.LiteralCount() != 1 {
+		t.Fatalf("cover = %v, want a single literal", cover)
+	}
+	// The cover must agree with f outside the DC set.
+	got := FromCover(cover)
+	for m := 0; m < 4; m++ {
+		if dc.Get(m) {
+			continue
+		}
+		if got.Get(m) != on.Get(m) {
+			t.Fatalf("cover differs from f at care minterm %d", m)
+		}
+	}
+}
+
+func TestMinimalSOPWithDCRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 200; iter++ {
+		n := 2 + rng.Intn(4)
+		on := randomTable(rng, n)
+		dc := randomTable(rng, n)
+		cover := on.MinimalSOPWithDC(dc)
+		got := FromCover(cover)
+		for m := 0; m < on.Size(); m++ {
+			if dc.Get(m) {
+				continue
+			}
+			if got.Get(m) != on.Get(m) {
+				t.Fatalf("iter %d: cover differs at care minterm %d", iter, m)
+			}
+		}
+		// More don't cares can only help: literal count must not exceed
+		// the DC-free minimization.
+		if cover.LiteralCount() > on.MinimalSOP().LiteralCount() {
+			t.Fatalf("iter %d: DC minimization worse than exact", iter)
+		}
+	}
+}
+
+func TestMinimalSOPWithDCFullDC(t *testing.T) {
+	on := Var(2, 0)
+	dc := Const(2, true)
+	cover := on.MinimalSOPWithDC(dc)
+	if !cover.IsZero() {
+		t.Fatalf("fully-DC function should minimize to constant 0, got %v", cover)
+	}
+}

@@ -1,0 +1,368 @@
+// Package truth implements an exact truth-table engine for small Boolean
+// functions (up to 24 variables). The threshold synthesizer works on
+// collapsed node functions whose support is bounded by the fanin
+// restriction, so exact bit-level manipulation is both affordable and
+// removes any dependence on cover minimality: unateness, support membership
+// and equivalence are all decided exactly here.
+package truth
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tels/internal/logic"
+)
+
+// MaxVars is the largest supported variable count. 2^24 bits = 2 MiB per
+// table; collapsed functions in practice have at most a dozen variables.
+const MaxVars = 24
+
+// Table is the truth table of a Boolean function of N variables. Bit m of
+// the table is the function value on the assignment whose i-th variable is
+// bit i of m.
+type Table struct {
+	n    int
+	bits []uint64
+}
+
+// New returns the constant-0 table of n variables.
+func New(n int) *Table {
+	if n < 0 || n > MaxVars {
+		panic(fmt.Sprintf("truth: variable count %d out of range [0,%d]", n, MaxVars))
+	}
+	return &Table{n: n, bits: make([]uint64, wordsFor(n))}
+}
+
+func wordsFor(n int) int {
+	size := 1 << uint(n)
+	if size < 64 {
+		return 1
+	}
+	return size / 64
+}
+
+// N returns the number of variables.
+func (t *Table) N() int { return t.n }
+
+// Size returns the number of minterms, 2^N.
+func (t *Table) Size() int { return 1 << uint(t.n) }
+
+// Get reports the function value at minterm m.
+func (t *Table) Get(m int) bool {
+	return t.bits[m>>6]&(1<<uint(m&63)) != 0
+}
+
+// Set assigns the function value at minterm m.
+func (t *Table) Set(m int, v bool) {
+	if v {
+		t.bits[m>>6] |= 1 << uint(m&63)
+	} else {
+		t.bits[m>>6] &^= 1 << uint(m&63)
+	}
+}
+
+// mask returns the valid-bit mask for the final word of a table with fewer
+// than 64 minterms.
+func (t *Table) mask() uint64 {
+	if t.Size() >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(t.Size())) - 1
+}
+
+// Clone returns an independent copy.
+func (t *Table) Clone() *Table {
+	u := New(t.n)
+	copy(u.bits, t.bits)
+	return u
+}
+
+// Const returns the constant table of n variables with the given value.
+func Const(n int, v bool) *Table {
+	t := New(n)
+	if v {
+		for i := range t.bits {
+			t.bits[i] = ^uint64(0)
+		}
+		t.bits[len(t.bits)-1] &= t.mask()
+		if t.Size() < 64 {
+			t.bits[0] &= t.mask()
+		}
+	}
+	return t
+}
+
+// Var returns the table of the projection function x_i over n variables.
+func Var(n, i int) *Table {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("truth: variable %d out of range for %d-variable table", i, n))
+	}
+	t := New(n)
+	for m := 0; m < t.Size(); m++ {
+		if m&(1<<uint(i)) != 0 {
+			t.Set(m, true)
+		}
+	}
+	return t
+}
+
+// Not returns the complement function.
+func (t *Table) Not() *Table {
+	u := New(t.n)
+	for i := range t.bits {
+		u.bits[i] = ^t.bits[i]
+	}
+	u.bits[len(u.bits)-1] &= t.mask()
+	if t.Size() < 64 {
+		u.bits[0] &= t.mask()
+	}
+	return u
+}
+
+// And returns the conjunction of two tables of the same arity.
+func (t *Table) And(u *Table) *Table {
+	t.checkArity(u)
+	v := New(t.n)
+	for i := range t.bits {
+		v.bits[i] = t.bits[i] & u.bits[i]
+	}
+	return v
+}
+
+// Or returns the disjunction of two tables of the same arity.
+func (t *Table) Or(u *Table) *Table {
+	t.checkArity(u)
+	v := New(t.n)
+	for i := range t.bits {
+		v.bits[i] = t.bits[i] | u.bits[i]
+	}
+	return v
+}
+
+// Xor returns the exclusive-or of two tables of the same arity.
+func (t *Table) Xor(u *Table) *Table {
+	t.checkArity(u)
+	v := New(t.n)
+	for i := range t.bits {
+		v.bits[i] = t.bits[i] ^ u.bits[i]
+	}
+	return v
+}
+
+func (t *Table) checkArity(u *Table) {
+	if t.n != u.n {
+		panic(fmt.Sprintf("truth: arity mismatch %d vs %d", t.n, u.n))
+	}
+}
+
+// Equal reports whether two tables denote the same function.
+func (t *Table) Equal(u *Table) bool {
+	if t.n != u.n {
+		return false
+	}
+	for i := range t.bits {
+		if t.bits[i] != u.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConst reports whether the function is constant, and its value.
+func (t *Table) IsConst() (bool, bool) {
+	ones := t.CountOnes()
+	if ones == 0 {
+		return true, false
+	}
+	if ones == t.Size() {
+		return true, true
+	}
+	return false, false
+}
+
+// CountOnes returns the number of ON-set minterms.
+func (t *Table) CountOnes() int {
+	n := 0
+	for _, w := range t.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Eval evaluates the function on an assignment of all N variables.
+func (t *Table) Eval(assign []bool) bool {
+	m := 0
+	for i, v := range assign {
+		if v {
+			m |= 1 << uint(i)
+		}
+	}
+	return t.Get(m)
+}
+
+// Cofactor returns the cofactor with respect to variable i fixed at value v.
+// The result still has N variables but no longer depends on variable i.
+func (t *Table) Cofactor(i int, v bool) *Table {
+	u := New(t.n)
+	step := 1 << uint(i)
+	for m := 0; m < t.Size(); m++ {
+		src := m
+		if v {
+			src = m | step
+		} else {
+			src = m &^ step
+		}
+		u.Set(m, t.Get(src))
+	}
+	return u
+}
+
+// DependsOn reports whether the function depends on variable i.
+func (t *Table) DependsOn(i int) bool {
+	return !t.Cofactor(i, false).Equal(t.Cofactor(i, true))
+}
+
+// Support returns the indices of variables the function truly depends on.
+func (t *Table) Support() []int {
+	var s []int
+	for i := 0; i < t.n; i++ {
+		if t.DependsOn(i) {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// Unateness classifies a variable's influence on the function.
+type Unateness int
+
+// The possible unateness classifications of one variable.
+const (
+	Independent Unateness = iota // f does not depend on the variable
+	PosUnate                     // f is positive (monotone increasing) in it
+	NegUnate                     // f is negative (monotone decreasing) in it
+	Binate                       // f depends on it non-monotonically
+)
+
+func (u Unateness) String() string {
+	switch u {
+	case Independent:
+		return "independent"
+	case PosUnate:
+		return "positive-unate"
+	case NegUnate:
+		return "negative-unate"
+	case Binate:
+		return "binate"
+	}
+	return "unknown"
+}
+
+// implies reports whether the ON-set of t is a subset of the ON-set of u.
+func (t *Table) implies(u *Table) bool {
+	for i := range t.bits {
+		if t.bits[i]&^u.bits[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// VarUnateness classifies variable i exactly via cofactor containment:
+// f is positive unate in x iff f|x=0 implies f|x=1.
+func (t *Table) VarUnateness(i int) Unateness {
+	f0 := t.Cofactor(i, false)
+	f1 := t.Cofactor(i, true)
+	le := f0.implies(f1)
+	ge := f1.implies(f0)
+	switch {
+	case le && ge:
+		return Independent
+	case le:
+		return PosUnate
+	case ge:
+		return NegUnate
+	default:
+		return Binate
+	}
+}
+
+// IsUnate reports whether the function is unate in every variable it
+// depends on.
+func (t *Table) IsUnate() bool {
+	for i := 0; i < t.n; i++ {
+		if t.VarUnateness(i) == Binate {
+			return false
+		}
+	}
+	return true
+}
+
+// FromCover builds the table of a cover.
+func FromCover(f logic.Cover) *Table {
+	t := New(f.N)
+	assign := make([]bool, f.N)
+	for m := 0; m < t.Size(); m++ {
+		for i := 0; i < f.N; i++ {
+			assign[i] = m&(1<<uint(i)) != 0
+		}
+		if f.Eval(assign) {
+			t.Set(m, true)
+		}
+	}
+	return t
+}
+
+// Project returns the function re-expressed over only the given variables,
+// which must include the true support. The k-th variable of the result is
+// vars[k] of the original.
+func (t *Table) Project(vars []int) *Table {
+	for _, s := range t.Support() {
+		found := false
+		for _, v := range vars {
+			if v == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("truth: Project drops support variable %d", s))
+		}
+	}
+	u := New(len(vars))
+	for m := 0; m < u.Size(); m++ {
+		src := 0
+		for k, v := range vars {
+			if m&(1<<uint(k)) != 0 {
+				src |= 1 << uint(v)
+			}
+		}
+		u.Set(m, t.Get(src))
+	}
+	return u
+}
+
+// SubstituteNeg returns the function with variable i replaced by its
+// complement (the phase-substitution used to put unate functions in
+// positive form).
+func (t *Table) SubstituteNeg(i int) *Table {
+	u := New(t.n)
+	step := 1 << uint(i)
+	for m := 0; m < t.Size(); m++ {
+		u.Set(m, t.Get(m^step))
+	}
+	return u
+}
+
+// String renders the table as a bit string, minterm 0 first.
+func (t *Table) String() string {
+	b := make([]byte, t.Size())
+	for m := 0; m < t.Size(); m++ {
+		if t.Get(m) {
+			b[m] = '1'
+		} else {
+			b[m] = '0'
+		}
+	}
+	return string(b)
+}

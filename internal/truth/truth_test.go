@@ -1,0 +1,186 @@
+package truth
+
+import (
+	"math/rand"
+	"testing"
+
+	"tels/internal/logic"
+)
+
+func randomTable(rng *rand.Rand, n int) *Table {
+	t := New(n)
+	for m := 0; m < t.Size(); m++ {
+		t.Set(m, rng.Intn(2) == 1)
+	}
+	return t
+}
+
+func TestVarAndConst(t *testing.T) {
+	x := Var(3, 1)
+	for m := 0; m < 8; m++ {
+		want := m&2 != 0
+		if x.Get(m) != want {
+			t.Fatalf("Var(3,1) at %d = %v, want %v", m, x.Get(m), want)
+		}
+	}
+	one := Const(2, true)
+	if c, v := one.IsConst(); !c || !v {
+		t.Fatal("Const(2,true) should be constant 1")
+	}
+	zero := Const(2, false)
+	if c, v := zero.IsConst(); !c || v {
+		t.Fatal("Const(2,false) should be constant 0")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a, b := Var(2, 0), Var(2, 1)
+	and := a.And(b)
+	if and.CountOnes() != 1 || !and.Get(3) {
+		t.Fatalf("a*b wrong: %s", and)
+	}
+	or := a.Or(b)
+	if or.CountOnes() != 3 || or.Get(0) {
+		t.Fatalf("a+b wrong: %s", or)
+	}
+	xor := a.Xor(b)
+	if !xor.Get(1) || !xor.Get(2) || xor.Get(0) || xor.Get(3) {
+		t.Fatalf("a^b wrong: %s", xor)
+	}
+	not := a.Not()
+	if !not.Get(0) || not.Get(1) {
+		t.Fatalf("!a wrong: %s", not)
+	}
+}
+
+func TestNotMasksHighBits(t *testing.T) {
+	// For n < 6 the complement must not set bits beyond 2^n.
+	a := New(3)
+	na := a.Not()
+	if got, want := na.CountOnes(), 8; got != want {
+		t.Fatalf("CountOnes(!0) = %d, want %d", got, want)
+	}
+	if !na.Equal(Const(3, true)) {
+		t.Fatal("!const0 != const1")
+	}
+}
+
+func TestCofactorAndSupport(t *testing.T) {
+	// f = x0*x1 + x2
+	f := Var(3, 0).And(Var(3, 1)).Or(Var(3, 2))
+	f1 := f.Cofactor(2, true)
+	if c, v := f1.IsConst(); !c || !v {
+		t.Fatal("f|x2=1 should be constant 1")
+	}
+	f0 := f.Cofactor(2, false)
+	if !f0.Equal(Var(3, 0).And(Var(3, 1))) {
+		t.Fatal("f|x2=0 should be x0*x1")
+	}
+	sup := f.Support()
+	if len(sup) != 3 {
+		t.Fatalf("Support = %v, want all three", sup)
+	}
+	g := Var(3, 0).Or(Var(3, 0)) // depends only on x0
+	if got := g.Support(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Support = %v, want [0]", got)
+	}
+}
+
+func TestUnateness(t *testing.T) {
+	// f = x0 + !x1: positive in x0, negative in x1.
+	f := Var(2, 0).Or(Var(2, 1).Not())
+	if u := f.VarUnateness(0); u != PosUnate {
+		t.Errorf("x0 unateness = %v, want positive", u)
+	}
+	if u := f.VarUnateness(1); u != NegUnate {
+		t.Errorf("x1 unateness = %v, want negative", u)
+	}
+	// xor is binate in both.
+	x := Var(2, 0).Xor(Var(2, 1))
+	if u := x.VarUnateness(0); u != Binate {
+		t.Errorf("xor unateness = %v, want binate", u)
+	}
+	if x.IsUnate() {
+		t.Error("xor should not be unate")
+	}
+	if !f.IsUnate() {
+		t.Error("x0 + !x1 should be unate")
+	}
+	// Independence.
+	g := Var(2, 0)
+	if u := g.VarUnateness(1); u != Independent {
+		t.Errorf("unused var unateness = %v, want independent", u)
+	}
+}
+
+func TestFromCoverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(5)
+		cv := logic.NewCover(n)
+		for c := 0; c < 1+rng.Intn(4); c++ {
+			cube := logic.NewCube(n)
+			for j := 0; j < n; j++ {
+				cube[j] = logic.Phase(rng.Intn(3))
+			}
+			cv.AddCube(cube)
+		}
+		tt := FromCover(cv)
+		assign := make([]bool, n)
+		for m := 0; m < tt.Size(); m++ {
+			for i := 0; i < n; i++ {
+				assign[i] = m&(1<<uint(i)) != 0
+			}
+			if tt.Get(m) != cv.Eval(assign) {
+				t.Fatalf("iter %d: FromCover disagrees at %d", iter, m)
+			}
+		}
+	}
+}
+
+func TestProject(t *testing.T) {
+	// f = x1 + x3 over 4 vars; project to [1,3].
+	f := Var(4, 1).Or(Var(4, 3))
+	g := f.Project([]int{1, 3})
+	want := Var(2, 0).Or(Var(2, 1))
+	if !g.Equal(want) {
+		t.Fatalf("Project = %s, want %s", g, want)
+	}
+}
+
+func TestProjectPanicsOnDroppedSupport(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Project should panic when dropping a support variable")
+		}
+	}()
+	Var(3, 2).Project([]int{0, 1})
+}
+
+func TestSubstituteNeg(t *testing.T) {
+	// f = x0*!x1; substituting x1 -> !x1 yields x0*x1.
+	f := Var(2, 0).And(Var(2, 1).Not())
+	g := f.SubstituteNeg(1)
+	if !g.Equal(Var(2, 0).And(Var(2, 1))) {
+		t.Fatalf("SubstituteNeg wrong: %s", g)
+	}
+	// Applying twice restores the function.
+	if !g.SubstituteNeg(1).Equal(f) {
+		t.Fatal("SubstituteNeg is not an involution")
+	}
+}
+
+func TestLargeTables(t *testing.T) {
+	// Exercise the multi-word path (n > 6).
+	n := 8
+	f := Var(n, 7).And(Var(n, 0))
+	if f.CountOnes() != 64 {
+		t.Fatalf("x7*x0 over 8 vars has %d ones, want 64", f.CountOnes())
+	}
+	if !f.Not().Not().Equal(f) {
+		t.Fatal("double complement broken on multi-word table")
+	}
+	if f.VarUnateness(7) != PosUnate {
+		t.Fatal("unateness broken on multi-word table")
+	}
+}
