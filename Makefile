@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments examples clean
+.PHONY: all build test race cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -14,7 +14,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/
+	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/
+
+# serve runs the synthesis daemon on :8455 (override with ADDR=...).
+ADDR ?= :8455
+serve:
+	$(GO) run ./cmd/telsd -addr $(ADDR)
+
+# ci is the exact gate GitHub Actions runs.
+ci: build test race
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

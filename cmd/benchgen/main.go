@@ -12,22 +12,23 @@ import (
 	"path/filepath"
 
 	"tels/internal/blif"
+	"tels/internal/cli"
 	"tels/internal/mcnc"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available benchmarks")
-		dir  = flag.String("dir", "", "write <name>.blif files into this directory")
+		list  = flag.Bool("list", false, "list available benchmarks")
+		dir   = flag.String("dir", "", "write <name>.blif files into this directory")
+		quiet = flag.Bool("q", false, "suppress informational diagnostics")
 	)
 	flag.Parse()
-	if err := run(*list, *dir, flag.Args()); err != nil {
-		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
-		os.Exit(1)
-	}
+	t := cli.New("benchgen")
+	t.Quiet = *quiet
+	t.Fail(run(t, *list, *dir, flag.Args()))
 }
 
-func run(list bool, dir string, args []string) error {
+func run(t *cli.Tool, list bool, dir string, args []string) error {
 	if list {
 		for _, bm := range mcnc.All() {
 			nw := bm.Build()
@@ -70,7 +71,7 @@ func run(list bool, dir string, args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "benchgen: wrote %s\n", path)
+		t.Infof("wrote %s", path)
 	}
 	return nil
 }

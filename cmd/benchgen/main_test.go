@@ -4,14 +4,16 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"tels/internal/cli"
 )
 
 func TestListAndEmit(t *testing.T) {
-	if err := run(true, "", nil); err != nil {
+	if err := run(&cli.Tool{Name: "benchgen", Quiet: true}, true, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := run(false, dir, []string{"mux4", "adder4"}); err != nil {
+	if err := run(&cli.Tool{Name: "benchgen", Quiet: true}, false, dir, []string{"mux4", "adder4"}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"mux4.blif", "adder4.blif"} {
@@ -26,10 +28,10 @@ func TestListAndEmit(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if err := run(false, "", nil); err == nil {
+	if err := run(&cli.Tool{Name: "benchgen", Quiet: true}, false, "", nil); err == nil {
 		t.Fatal("no benchmark name accepted")
 	}
-	if err := run(false, "", []string{"no-such-circuit"}); err == nil {
+	if err := run(&cli.Tool{Name: "benchgen", Quiet: true}, false, "", []string{"no-such-circuit"}); err == nil {
 		t.Fatal("unknown benchmark accepted")
 	}
 }

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tels/internal/cli"
+	"tels/internal/service"
 )
 
 const testBlif = `
@@ -28,12 +32,23 @@ func writeTemp(t *testing.T, name, content string) string {
 	return path
 }
 
+func quietTool() *cli.Tool {
+	return &cli.Tool{Name: "tels", Quiet: true}
+}
+
+// base returns the default flag configuration for tests.
+func base(args ...string) config {
+	return config{fanin: 3, deltaOn: 0, deltaOff: 1, script: "algebraic", mapper: "tels", verify: true, args: args}
+}
+
 func TestRunFullFlow(t *testing.T) {
 	in := writeTemp(t, "small.blif", testBlif)
 	out := filepath.Join(t.TempDir(), "small.tln")
 	rtdOut := filepath.Join(t.TempDir(), "small.sp")
-	err := run(3, 0, 1, 0, 0, false, "algebraic", "tels", out, rtdOut, true, true, []string{in})
-	if err != nil {
+	cfg := base(in)
+	cfg.output = out
+	cfg.rtdOut = rtdOut
+	if err := run(quietTool(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	tln, err := os.ReadFile(out)
@@ -55,8 +70,11 @@ func TestRunFullFlow(t *testing.T) {
 func TestRunOneToOneAndScripts(t *testing.T) {
 	in := writeTemp(t, "small.blif", testBlif)
 	for _, script := range []string{"algebraic", "boolean", "none"} {
-		out := filepath.Join(t.TempDir(), script+".tln")
-		if err := run(3, 0, 1, 0, 0, false, script, "one2one", out, "", true, true, []string{in}); err != nil {
+		cfg := base(in)
+		cfg.script = script
+		cfg.mapper = "one2one"
+		cfg.output = filepath.Join(t.TempDir(), script+".tln")
+		if err := run(quietTool(), cfg); err != nil {
 			t.Fatalf("script %s: %v", script, err)
 		}
 	}
@@ -66,26 +84,20 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	in := writeTemp(t, "small.blif", testBlif)
 	cases := []struct {
 		name string
-		err  func() error
+		mod  func(*config)
 	}{
-		{"bad script", func() error {
-			return run(3, 0, 1, 0, 0, false, "wat", "tels", "", "", false, true, []string{in})
-		}},
-		{"bad mapper", func() error {
-			return run(3, 0, 1, 0, 0, false, "none", "wat", "", "", false, true, []string{in})
-		}},
-		{"two inputs", func() error {
-			return run(3, 0, 1, 0, 0, false, "none", "tels", "", "", false, true, []string{in, in})
-		}},
-		{"missing file", func() error {
-			return run(3, 0, 1, 0, 0, false, "none", "tels", "", "", false, true, []string{"/nonexistent.blif"})
-		}},
-		{"bad fanin", func() error {
-			return run(1, 0, 1, 0, 0, false, "none", "tels", "", "", false, true, []string{in})
-		}},
+		{"bad script", func(c *config) { c.script = "wat" }},
+		{"bad mapper", func(c *config) { c.mapper = "wat" }},
+		{"two inputs", func(c *config) { c.args = []string{in, in} }},
+		{"missing file", func(c *config) { c.args = []string{"/nonexistent.blif"} }},
+		{"bad fanin", func(c *config) { c.fanin = 1 }},
 	}
 	for _, tc := range cases {
-		if tc.err() == nil {
+		cfg := base(in)
+		cfg.script = "none"
+		cfg.verify = false
+		tc.mod(&cfg)
+		if err := run(quietTool(), cfg); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
 	}
@@ -93,7 +105,36 @@ func TestRunRejectsBadArgs(t *testing.T) {
 
 func TestRunBadBlif(t *testing.T) {
 	in := writeTemp(t, "bad.blif", ".model m\n.inputs a\n.outputs y\n.names a b y\n11 1\n.end")
-	if err := run(3, 0, 1, 0, 0, false, "none", "tels", "", "", false, true, []string{in}); err == nil {
+	cfg := base(in)
+	cfg.script = "none"
+	cfg.verify = false
+	if err := run(quietTool(), cfg); err == nil {
 		t.Fatal("undefined signal accepted")
+	}
+}
+
+// TestRunServerRoundTrip drives the -server mode against an in-process
+// telsd handler: the CLI submits the job, polls it, fetches the .tln, and
+// writes the same outputs the local flow would.
+func TestRunServerRoundTrip(t *testing.T) {
+	m := service.New(service.Config{Workers: 2})
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+
+	in := writeTemp(t, "small.blif", testBlif)
+	out := filepath.Join(t.TempDir(), "small.tln")
+	cfg := base(in)
+	cfg.output = out
+	cfg.server = srv.URL
+	if err := run(quietTool(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	tln, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tln), ".tnet small") {
+		t.Fatalf("tln output wrong:\n%s", tln)
 	}
 }

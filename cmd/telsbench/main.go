@@ -24,6 +24,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"tels/internal/cli"
 	"tels/internal/core"
 	"tels/internal/enum"
 	"tels/internal/expt"
@@ -37,16 +38,16 @@ func main() {
 		trials = flag.Int("trials", 10, "Monte-Carlo disturbances per circuit (fig11/fig12)")
 		seed   = flag.Int64("seed", 1, "experiment RNG seed")
 		csvDir = flag.String("csv", "", "also write plottable CSV files into this directory")
+		quiet  = flag.Bool("q", false, "suppress informational diagnostics")
 	)
 	flag.Parse()
+	t := cli.New("telsbench")
+	t.Quiet = *quiet
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
 	}
-	if err := run(cmd, *fanin, *quick, *trials, *seed, *csvDir); err != nil {
-		fmt.Fprintf(os.Stderr, "telsbench: %v\n", err)
-		os.Exit(1)
-	}
+	t.Fail(run(cmd, *fanin, *quick, *trials, *seed, *csvDir))
 }
 
 func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir string) error {

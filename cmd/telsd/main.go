@@ -1,0 +1,95 @@
+// Command telsd is the TELS synthesis daemon: it serves the full
+// BLIF → optimize → synthesize → verify flow as a JSON-over-HTTP job API
+// with a bounded worker pool and a content-addressed result cache, so
+// repeated synthesis of the same netlist with the same knobs is served
+// without re-running the flow.
+//
+//	telsd -addr :8455 -workers 8 -cache 256
+//
+// Endpoints:
+//
+//	POST   /synth            submit a job ({"blif": "...", "fanin": 3, ...})
+//	GET    /jobs             list retained jobs
+//	GET    /jobs/{id}        job status and result
+//	GET    /jobs/{id}/tln    the synthesized threshold netlist (text)
+//	POST   /jobs/{id}/cancel cancel a queued or running job
+//	GET    /healthz          liveness probe
+//	GET    /metrics          job, cache, and latency counters
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tels/internal/cli"
+	"tels/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8455", "listen address")
+		workers = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
+		queue   = flag.Int("queue", 0, "queue depth (0 = 4×workers)")
+		cache   = flag.Int("cache", service.DefaultCacheEntries, "result-cache capacity in entries")
+		timeout = flag.Duration("timeout", 2*time.Minute, "default per-job timeout")
+		maxjobs = flag.Int("maxjobs", 1024, "retained job records")
+		quiet   = flag.Bool("q", false, "suppress startup and shutdown messages")
+	)
+	flag.Parse()
+	t := cli.New("telsd")
+	t.Quiet = *quiet
+	if flag.NArg() > 0 {
+		t.Usage("unexpected arguments %v", flag.Args())
+	}
+	if err := run(t, *addr, *workers, *queue, *cache, *timeout, *maxjobs); err != nil {
+		t.Fail(err)
+	}
+}
+
+func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Duration, maxjobs int) error {
+	m := service.New(service.Config{
+		Workers:        workers,
+		QueueDepth:     queue,
+		CacheEntries:   cache,
+		DefaultTimeout: timeout,
+		MaxJobs:        maxjobs,
+	})
+	defer m.Close()
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(m),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.ListenAndServe()
+	}()
+	t.Infof("serving on %s (%d workers, cache %d entries)", addr, m.Workers(), cache)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	t.Infof("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"tels/internal/blif"
+	"tels/internal/cli"
 	"tels/internal/core"
 	"tels/internal/network"
 	"tels/internal/sim"
@@ -30,16 +31,15 @@ func main() {
 		seed   = flag.Int64("seed", 1, "RNG seed")
 		v      = flag.Float64("v", 0.8, "weight-variation multiplier for perturb")
 		trials = flag.Int("trials", 100, "Monte-Carlo trials for perturb")
+		quiet  = flag.Bool("q", false, "suppress informational diagnostics")
 	)
 	flag.Parse()
+	t := cli.New("telsim")
+	t.Quiet = *quiet
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "telsim: need a command (info, run, compare, perturb, dot)")
-		os.Exit(2)
+		t.Usage("need a command (info, run, compare, perturb, dot)")
 	}
-	if err := run(flag.Arg(0), flag.Args()[1:], *n, *seed, *v, *trials); err != nil {
-		fmt.Fprintf(os.Stderr, "telsim: %v\n", err)
-		os.Exit(1)
-	}
+	t.Fail(run(flag.Arg(0), flag.Args()[1:], *n, *seed, *v, *trials))
 }
 
 // loaded is a network in either representation.

@@ -1,0 +1,62 @@
+// Package cli centralizes the error-path conventions shared by the TELS
+// command-line tools: diagnostics go to stderr prefixed with the tool
+// name, failures exit non-zero, and informational chatter respects a
+// common -q quiet flag.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Tool carries a command's name and verbosity through its run functions.
+type Tool struct {
+	// Name prefixes every diagnostic, e.g. "tels: ...".
+	Name string
+	// Quiet suppresses Infof output (the -q flag).
+	Quiet bool
+	// Stderr defaults to os.Stderr; tests may redirect it.
+	Stderr io.Writer
+}
+
+// New returns a tool writing diagnostics to os.Stderr.
+func New(name string) *Tool {
+	return &Tool{Name: name, Stderr: os.Stderr}
+}
+
+func (t *Tool) errw() io.Writer {
+	if t.Stderr != nil {
+		return t.Stderr
+	}
+	return os.Stderr
+}
+
+// Infof prints a status line to stderr unless the tool is quiet.
+func (t *Tool) Infof(format string, args ...any) {
+	if t.Quiet {
+		return
+	}
+	fmt.Fprintf(t.errw(), t.Name+": "+format+"\n", args...)
+}
+
+// Errorf prints a diagnostic to stderr regardless of quietness.
+func (t *Tool) Errorf(format string, args ...any) {
+	fmt.Fprintf(t.errw(), t.Name+": "+format+"\n", args...)
+}
+
+// Fail prints the error and exits 1. A nil error is a no-op.
+func (t *Tool) Fail(err error) {
+	if err == nil {
+		return
+	}
+	t.Errorf("%v", err)
+	os.Exit(1)
+}
+
+// Usage prints a usage diagnostic and exits 2 (flag.Parse's convention
+// for bad invocations).
+func (t *Tool) Usage(format string, args ...any) {
+	t.Errorf(format, args...)
+	os.Exit(2)
+}

@@ -89,24 +89,31 @@ type TableIRow struct {
 }
 
 // TableI runs the Table I experiment (ψ = 3 in the paper) over the given
-// benchmarks, verifying every synthesized network by simulation.
+// benchmarks, verifying every synthesized network by simulation. The
+// benchmarks run in parallel on a bounded worker pool; every benchmark
+// synthesizes with the base options (the tie-break seed never depends on
+// goroutine scheduling) and the rows come back in input order, so the
+// output is identical to a sequential run.
 func TableI(names []string, o core.Options) ([]TableIRow, error) {
-	rows := make([]TableIRow, 0, len(names))
-	for _, name := range names {
-		flow, err := RunFlow(name, o)
+	rows := make([]TableIRow, len(names))
+	err := forEachIndexed(len(names), 0, func(i int) error {
+		flow, err := RunFlow(names[i], o)
 		if err != nil {
-			return nil, err
-		}
-		row := TableIRow{
-			Name:     name,
-			OneToOne: flow.OneToOne.Stats(),
-			TELS:     flow.TELS.Stats(),
+			return err
 		}
 		if err := flow.Verify(1); err != nil {
-			return nil, fmt.Errorf("expt: %s failed simulation: %w", name, err)
+			return fmt.Errorf("expt: %s failed simulation: %w", names[i], err)
 		}
-		row.Verified = true
-		rows = append(rows, row)
+		rows[i] = TableIRow{
+			Name:     names[i],
+			OneToOne: flow.OneToOne.Stats(),
+			TELS:     flow.TELS.Stats(),
+			Verified: true,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -243,13 +250,17 @@ func Fig12(names []string, v float64, deltaOns []int, trials int, seed int64) ([
 }
 
 // synthPairs synthesizes the benchmarks with the given δon for the defect
-// experiments.
+// experiments. The benchmarks synthesize in parallel; each derives its
+// options purely from the base seed and δon, and the pair order follows
+// the input names, so the Monte-Carlo streams that consume the pairs see
+// exactly the sequence a sequential run would produce.
 func synthPairs(names []string, deltaOn int, seed int64) ([]sim.Pair, error) {
-	pairs := make([]sim.Pair, 0, len(names))
-	for _, name := range names {
+	pairs := make([]sim.Pair, len(names))
+	err := forEachIndexed(len(names), 0, func(i int) error {
+		name := names[i]
 		bm, ok := mcnc.Get(name)
 		if !ok {
-			return nil, fmt.Errorf("expt: unknown benchmark %q", name)
+			return fmt.Errorf("expt: unknown benchmark %q", name)
 		}
 		src := bm.Build()
 		alg := opt.Algebraic(src)
@@ -257,9 +268,13 @@ func synthPairs(names []string, deltaOn int, seed int64) ([]sim.Pair, error) {
 			Fanin: 3, DeltaOn: deltaOn, DeltaOff: 1, Seed: seed,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("expt: %s (δon=%d): %w", name, deltaOn, err)
+			return fmt.Errorf("expt: %s (δon=%d): %w", name, deltaOn, err)
 		}
-		pairs = append(pairs, sim.Pair{Name: name, Bool: src, Threshold: tn})
+		pairs[i] = sim.Pair{Name: name, Bool: src, Threshold: tn}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pairs, nil
 }

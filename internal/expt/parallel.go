@@ -1,0 +1,48 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachIndexed runs fn(0..n-1) on a bounded worker pool and returns
+// the lowest-index error, so failures are reported deterministically no
+// matter how the goroutines are scheduled. Workers ≤ 0 selects
+// GOMAXPROCS. Results must be written into index-addressed slots by fn;
+// combined with per-index seeds derived from the base experiment seed,
+// the parallel drivers produce byte-identical output to the sequential
+// ones.
+func forEachIndexed(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package expt
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"tels/internal/core"
+)
+
+func TestForEachIndexed(t *testing.T) {
+	var calls atomic.Int64
+	got := make([]int, 10)
+	if err := forEachIndexed(10, 3, func(i int) error {
+		calls.Add(1)
+		got[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 10 {
+		t.Fatalf("calls = %d, want 10", calls.Load())
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+
+	// The lowest-index error wins, regardless of scheduling.
+	errA, errB := errors.New("a"), errors.New("b")
+	err := forEachIndexed(8, 4, func(i int) error {
+		switch i {
+		case 2:
+			return errA
+		case 6:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("err = %v, want the index-2 error", err)
+	}
+
+	if err := forEachIndexed(0, 4, func(int) error { return errA }); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+}
+
+// TestParallelDriversDeterministic runs the parallelized drivers twice
+// and demands identical output: row order, stats, and Monte-Carlo rates
+// must depend only on the inputs and seeds, never on scheduling.
+func TestParallelDriversDeterministic(t *testing.T) {
+	names := []string{"mux4", "rd53", "cm152a", "parity8"}
+
+	rows1, err := TableI(names, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2, err := TableI(names, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows1, rows2) {
+		t.Fatalf("TableI not deterministic:\n%+v\nvs\n%+v", rows1, rows2)
+	}
+	for i, r := range rows1 {
+		if r.Name != names[i] {
+			t.Fatalf("row %d is %s, want %s (input order lost)", i, r.Name, names[i])
+		}
+	}
+
+	c1, err := Fig11([]string{"mux4", "rd53"}, []float64{0.5}, []int{0, 1}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Fig11([]string{"mux4", "rd53"}, []float64{0.5}, []int{0, 1}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("Fig11 not deterministic:\n%+v\nvs\n%+v", c1, c2)
+	}
+}

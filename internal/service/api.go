@@ -1,0 +1,157 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tels/internal/core"
+)
+
+// SubmitRequest is the JSON wire form of a synthesis request
+// (POST /synth). It mirrors the cmd/tels flags; absent fields take the
+// same defaults the CLI uses (ψ=3, δon=0, δoff=1, algebraic script, tels
+// mapper, verification on).
+type SubmitRequest struct {
+	BLIF      string `json:"blif"`
+	Script    string `json:"script,omitempty"`
+	Mapper    string `json:"mapper,omitempty"`
+	Fanin     int    `json:"fanin,omitempty"`
+	DeltaOn   *int   `json:"delta_on,omitempty"`
+	DeltaOff  *int   `json:"delta_off,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Exact     bool   `json:"exact,omitempty"`
+	MaxWeight int    `json:"max_weight,omitempty"`
+	// SkipVerify disables the equivalence check.
+	SkipVerify bool `json:"skip_verify,omitempty"`
+	// TimeoutMS bounds the job's run time in milliseconds (0 = server
+	// default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Request converts the wire form to the typed job request.
+func (s SubmitRequest) Request() Request {
+	o := core.DefaultOptions()
+	if s.Fanin != 0 {
+		o.Fanin = s.Fanin
+	}
+	if s.DeltaOn != nil {
+		o.DeltaOn = *s.DeltaOn
+	}
+	if s.DeltaOff != nil {
+		o.DeltaOff = *s.DeltaOff
+	}
+	o.Seed = s.Seed
+	o.ExactILP = s.Exact
+	o.MaxWeight = s.MaxWeight
+	return Request{
+		BLIF:       s.BLIF,
+		Script:     s.Script,
+		Mapper:     s.Mapper,
+		Options:    o,
+		SkipVerify: s.SkipVerify,
+		Timeout:    time.Duration(s.TimeoutMS) * time.Millisecond,
+	}
+}
+
+// maxBodyBytes bounds request bodies; the largest MCNC benchmark is well
+// under 1 MiB of BLIF.
+const maxBodyBytes = 8 << 20
+
+// NewHandler exposes the manager as a JSON-over-HTTP API:
+//
+//	POST   /synth            submit a job (SubmitRequest JSON) → Job
+//	GET    /jobs             list retained jobs
+//	GET    /jobs/{id}        job status (includes result when done)
+//	GET    /jobs/{id}/tln    the synthesized .tln as text/plain
+//	POST   /jobs/{id}/cancel cancel a queued or running job
+//	DELETE /jobs/{id}        same as cancel
+//	GET    /healthz          liveness probe
+//	GET    /metrics          expvar-style counters
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /synth", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		if len(body) > maxBodyBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+			return
+		}
+		var sr SubmitRequest
+		if err := json.Unmarshal(body, &sr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		job, err := m.Submit(sr.Request())
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /jobs/{id}/tln", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		if job.State != StateDone || job.Result == nil {
+			writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", job.ID, job.State))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, job.Result.TLN)
+	})
+	cancel := func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := m.Get(id); !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			return
+		}
+		cancelled := m.Cancel(id)
+		job, _ := m.Get(id)
+		writeJSON(w, http.StatusOK, map[string]any{"cancelled": cancelled, "job": job})
+	}
+	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
+	mux.HandleFunc("DELETE /jobs/{id}", cancel)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": m.Workers()})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.MetricsSnapshot())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a minimal HTTP client for a telsd daemon, used by the
+// cmd/tels -server round-trip mode and by tests.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://localhost:8455".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces WaitDone (default 50 ms).
+	PollInterval time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// Submit posts a synthesis request and returns the accepted job.
+func (c *Client) Submit(ctx context.Context, sr SubmitRequest) (Job, error) {
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return Job{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/synth"), bytes.NewReader(body))
+	if err != nil {
+		return Job{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var job Job
+	if err := c.doJSON(req, http.StatusAccepted, &job); err != nil {
+		return Job{}, err
+	}
+	return job, nil
+}
+
+// Job fetches the current snapshot of a job.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id), nil)
+	if err != nil {
+		return Job{}, err
+	}
+	var job Job
+	if err := c.doJSON(req, http.StatusOK, &job); err != nil {
+		return Job{}, err
+	}
+	return job, nil
+}
+
+// WaitDone polls until the job reaches a terminal state or ctx expires.
+func (c *Client) WaitDone(ctx context.Context, id string) (Job, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		job, err := c.Job(ctx, id)
+		if err != nil {
+			return Job{}, err
+		}
+		if job.State.Terminal() {
+			return job, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return Job{}, ctx.Err()
+		}
+	}
+}
+
+// TLN fetches the finished job's threshold netlist as text.
+func (c *Client) TLN(ctx context.Context, id string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id+"/tln"), nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp.StatusCode, body)
+	}
+	return string(body), nil
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/jobs/"+id+"/cancel"), nil)
+	if err != nil {
+		return err
+	}
+	return c.doJSON(req, http.StatusOK, &struct{}{})
+}
+
+// Metrics fetches the daemon's counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int64)
+	if err := c.doJSON(req, http.StatusOK, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Client) doJSON(req *http.Request, wantStatus int, out any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return apiError(resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func apiError(status int, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("service: server returned %d: %s", status, e.Error)
+	}
+	return fmt.Errorf("service: server returned %d: %s", status, strings.TrimSpace(string(body)))
+}

@@ -1,0 +1,129 @@
+// Package service turns the batch TELS flow into a long-lived synthesis
+// service: a job manager with a bounded worker pool runs the
+// BLIF → optimize → synthesize → verify pipeline per job, a
+// content-addressed cache short-circuits repeated requests, and a typed
+// job API (submit, status, result, list, cancel) backs the cmd/telsd
+// HTTP daemon.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"tels/internal/core"
+)
+
+// State is the lifecycle phase of a job.
+type State string
+
+// Job states. A job moves queued → running → one of the terminal states
+// (done, failed, cancelled). Cancellation may also strike while queued.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request describes one synthesis job: the source netlist plus the knobs
+// cmd/tels exposes. The zero value of every field is usable; defaults are
+// normalized by Normalize.
+type Request struct {
+	// BLIF is the source network in BLIF text form.
+	BLIF string `json:"blif"`
+	// Script selects the pre-synthesis optimization: "algebraic"
+	// (default), "boolean", or "none".
+	Script string `json:"script,omitempty"`
+	// Mapper selects "tels" (default) or "one2one".
+	Mapper string `json:"mapper,omitempty"`
+	// Options configure the threshold synthesis core.
+	Options core.Options `json:"options"`
+	// Verify runs the BDD/simulation equivalence check. Defaults to on;
+	// SkipVerify turns it off (named so the zero value keeps the check).
+	SkipVerify bool `json:"skip_verify,omitempty"`
+	// Timeout bounds the job's wall-clock run time. Zero uses the
+	// manager's default.
+	Timeout time.Duration `json:"timeout,omitempty"`
+}
+
+// Normalize fills defaults and rejects malformed requests.
+func (r *Request) Normalize() error {
+	if r.BLIF == "" {
+		return fmt.Errorf("service: empty blif")
+	}
+	if r.Script == "" {
+		r.Script = "algebraic"
+	}
+	switch r.Script {
+	case "algebraic", "boolean", "none":
+	default:
+		return fmt.Errorf("service: unknown script %q (want algebraic, boolean, or none)", r.Script)
+	}
+	if r.Mapper == "" {
+		r.Mapper = "tels"
+	}
+	switch r.Mapper {
+	case "tels", "one2one":
+	default:
+		return fmt.Errorf("service: unknown mapper %q (want tels or one2one)", r.Mapper)
+	}
+	if r.Options.Fanin == 0 {
+		r.Options.Fanin = core.DefaultOptions().Fanin
+	}
+	// δoff=0 makes the ON (Σ ≥ T+δon) and OFF (Σ ≤ T−δoff) constraints
+	// overlap at Σ=T, which the "fire iff Σ ≥ T" evaluator resolves as
+	// ON — synthesized networks can then fail verification. Normalize to
+	// the paper's default δoff=1, matching the cmd/tels -doff default.
+	if r.Options.DeltaOff == 0 {
+		r.Options.DeltaOff = 1
+	}
+	if r.Timeout < 0 {
+		return fmt.Errorf("service: negative timeout")
+	}
+	return nil
+}
+
+// StageTimes records the per-stage wall-clock latency of one run.
+type StageTimes struct {
+	Parse      time.Duration `json:"parse"`
+	Optimize   time.Duration `json:"optimize"`
+	Synthesize time.Duration `json:"synthesize"`
+	Verify     time.Duration `json:"verify"`
+}
+
+// Result is the outcome of a completed job.
+type Result struct {
+	// TLN is the synthesized threshold network in .tln text form.
+	TLN string `json:"tln"`
+	// Stats summarizes the threshold network (gates, levels, area).
+	Stats core.Stats `json:"stats"`
+	// SynthStats reports the TELS core's work (zero for one2one).
+	SynthStats core.SynthStats `json:"synth_stats"`
+	// Verified is "proved", "simulated", or "skipped".
+	Verified string `json:"verified"`
+	// CacheHit marks results served from the content-addressed cache.
+	CacheHit bool `json:"cache_hit"`
+	// Stages holds the per-stage latencies of the run that produced the
+	// result (the original run's, for cache hits).
+	Stages StageTimes `json:"stages"`
+}
+
+// Job is a snapshot of one submission's state. Snapshots are values: the
+// manager copies them out under its lock, so callers can read them
+// without further synchronization.
+type Job struct {
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Digest   string    `json:"digest"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started,omitempty"`
+	Finished time.Time `json:"finished,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+}

@@ -1,0 +1,412 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config sizes the manager.
+type Config struct {
+	// Workers is the worker-pool size (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker
+	// (default 4×Workers). Submit fails with ErrQueueFull beyond it.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default DefaultCacheEntries).
+	CacheEntries int
+	// DefaultTimeout bounds jobs that don't set their own Timeout
+	// (default 2 minutes).
+	DefaultTimeout time.Duration
+	// MaxJobs bounds the retained job table (default 1024); the oldest
+	// finished jobs are pruned first.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Submission errors.
+var (
+	ErrQueueFull = errors.New("service: job queue full")
+	ErrClosed    = errors.New("service: manager closed")
+)
+
+// jobRecord is the manager's mutable view of one submission. All mutable
+// fields are guarded by the manager's mutex; the immutable ones are set
+// at submit time.
+type jobRecord struct {
+	id     string
+	req    Request
+	digest string
+
+	state     State
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	err       error
+	result    *Result
+	cancelled bool // Cancel was requested (distinguishes cancel from timeout)
+
+	ctx    context.Context // cancelled by Cancel or manager shutdown
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the job reaches a terminal state
+}
+
+// flight is one in-progress pipeline run; jobs with the same digest wait
+// on it instead of re-running the synthesis (singleflight).
+type flight struct {
+	done chan struct{}
+	res  Result
+	err  error
+}
+
+// Manager owns the worker pool, the job table, and the result cache.
+type Manager struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+
+	mu      sync.Mutex
+	jobs    map[string]*jobRecord
+	order   []string // submission order, for List and pruning
+	flights map[string]*flight
+	seq     int
+	closed  bool
+
+	queue      chan *jobRecord
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// exec runs one pipeline; tests replace it to model slow or stuck
+	// jobs deterministically. Set before any Submit.
+	exec func(context.Context, Request) (Result, error)
+}
+
+// New starts a manager with its worker pool.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      NewCache(cfg.CacheEntries),
+		metrics:    &Metrics{},
+		jobs:       make(map[string]*jobRecord),
+		flights:    make(map[string]*flight),
+		queue:      make(chan *jobRecord, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		exec:       runBounded,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Workers reports the worker-pool size.
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Close stops accepting jobs, cancels everything in flight, and waits for
+// the workers to drain.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+// Submit validates and enqueues a request, returning the job snapshot.
+// The digest is computed up front, so a request that doesn't parse fails
+// here rather than occupying a worker.
+func (m *Manager) Submit(req Request) (Job, error) {
+	if err := req.Normalize(); err != nil {
+		return Job{}, err
+	}
+	digest, err := Digest(req)
+	if err != nil {
+		return Job{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Job{}, ErrClosed
+	}
+	m.seq++
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &jobRecord{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		req:     req,
+		digest:  digest,
+		state:   StateQueued,
+		created: time.Now(),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return Job{}, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.metrics.jobsSubmitted.Add(1)
+	m.pruneLocked()
+	return j.snapshotLocked(), nil
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.snapshotLocked(), true
+}
+
+// List returns snapshots of the retained jobs in submission order.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j, ok := m.jobs[id]; ok {
+			out = append(out, j.snapshotLocked())
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a queued or running job. It reports
+// whether the request took effect (false for unknown or already-terminal
+// jobs). A queued job is finalized immediately; a running job's worker
+// observes the context and releases its slot without waiting for the
+// abandoned pipeline goroutine.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || j.state.Terminal() {
+		return false
+	}
+	j.cancelled = true
+	j.cancel()
+	if j.state == StateQueued {
+		m.finishLocked(j, nil, context.Canceled)
+	}
+	return true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires, and
+// returns the final snapshot.
+func (m *Manager) Wait(ctx context.Context, id string) (Job, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.snapshotLocked(), nil
+}
+
+// MetricsSnapshot returns the counter map for /metrics.
+func (m *Manager) MetricsSnapshot() map[string]int64 {
+	m.mu.Lock()
+	perState := make(map[State]int)
+	for _, j := range m.jobs {
+		perState[j.state]++
+	}
+	m.mu.Unlock()
+	return m.metrics.Snapshot(perState, m.cache.Len())
+}
+
+// pruneLocked evicts the oldest finished jobs beyond MaxJobs.
+func (m *Manager) pruneLocked() {
+	if len(m.order) <= m.cfg.MaxJobs {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.order) - m.cfg.MaxJobs
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 && j != nil && j.state.Terminal() {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+func (j *jobRecord) snapshotLocked() Job {
+	job := Job{
+		ID:       j.id,
+		State:    j.state,
+		Digest:   j.digest,
+		Created:  j.created,
+		Started:  j.started,
+		Finished: j.finished,
+		Result:   j.result,
+	}
+	if j.err != nil {
+		job.Error = j.err.Error()
+	}
+	return job
+}
+
+// worker drains the queue until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+// runJob drives one job: cache lookup, singleflight coalescing, or an
+// actual pipeline run under the job's deadline.
+func (m *Manager) runJob(j *jobRecord) {
+	m.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting for a worker
+		m.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	timeout := j.req.Timeout
+	if timeout <= 0 {
+		timeout = m.cfg.DefaultTimeout
+	}
+	m.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(j.ctx, timeout)
+	defer cancel()
+
+	for {
+		m.mu.Lock()
+		if res, ok := m.cache.Get(j.digest); ok {
+			m.metrics.cacheHits.Add(1)
+			res.CacheHit = true
+			m.finishLocked(j, &res, nil)
+			m.mu.Unlock()
+			return
+		}
+		if f, ok := m.flights[j.digest]; ok {
+			m.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				m.finish(j, nil, ctx.Err())
+				return
+			}
+			if f.err != nil {
+				// The leader failed (error, cancel, or timeout): this
+				// job retries from the top and may become the leader.
+				continue
+			}
+			m.mu.Lock()
+			m.metrics.cacheHits.Add(1)
+			res := f.res
+			res.CacheHit = true
+			m.finishLocked(j, &res, nil)
+			m.mu.Unlock()
+			return
+		}
+		f := &flight{done: make(chan struct{})}
+		m.flights[j.digest] = f
+		m.metrics.cacheMisses.Add(1)
+		m.metrics.jobsExecuted.Add(1)
+		m.mu.Unlock()
+
+		res, err := m.exec(ctx, j.req)
+
+		m.mu.Lock()
+		delete(m.flights, j.digest)
+		if err == nil {
+			evicted := m.cache.Put(j.digest, res)
+			m.metrics.cacheEvictions.Add(int64(evicted))
+			m.metrics.addStages(res.Stages)
+		}
+		f.res, f.err = res, err
+		close(f.done)
+		if err != nil {
+			m.finishLocked(j, nil, err)
+		} else {
+			r := res
+			m.finishLocked(j, &r, nil)
+		}
+		m.mu.Unlock()
+		return
+	}
+}
+
+func (m *Manager) finish(j *jobRecord, res *Result, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finishLocked(j, res, err)
+}
+
+// finishLocked moves the job to its terminal state and fires its done
+// channel. Callers hold m.mu.
+func (m *Manager) finishLocked(j *jobRecord, res *Result, err error) {
+	if j.state.Terminal() {
+		return
+	}
+	j.finished = time.Now()
+	j.result = res
+	switch {
+	case err == nil:
+		j.state = StateDone
+		m.metrics.jobsDone.Add(1)
+	case j.cancelled || errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = context.Canceled
+		m.metrics.jobsCancelled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateFailed
+		j.err = fmt.Errorf("service: job timed out: %w", err)
+		m.metrics.jobsFailed.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err
+		m.metrics.jobsFailed.Add(1)
+	}
+	j.cancel() // release the context's resources
+	close(j.done)
+}

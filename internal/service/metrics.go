@@ -1,0 +1,58 @@
+package service
+
+import (
+	"sync/atomic"
+)
+
+// Metrics aggregates the service's expvar-style counters: cumulative job
+// outcomes, cache traffic, and per-stage latency sums (nanoseconds). All
+// counters are monotonic; current per-state job counts are derived from
+// the job table at snapshot time by the manager.
+type Metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	jobsExecuted  atomic.Int64 // pipeline runs actually started (= cache misses)
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheEvictions atomic.Int64
+
+	parseNS      atomic.Int64
+	optimizeNS   atomic.Int64
+	synthesizeNS atomic.Int64
+	verifyNS     atomic.Int64
+}
+
+func (m *Metrics) addStages(st StageTimes) {
+	m.parseNS.Add(int64(st.Parse))
+	m.optimizeNS.Add(int64(st.Optimize))
+	m.synthesizeNS.Add(int64(st.Synthesize))
+	m.verifyNS.Add(int64(st.Verify))
+}
+
+// Snapshot flattens the counters into a name → value map ready for JSON
+// rendering. perState and cacheLen are sampled by the manager under its
+// lock so the snapshot is internally consistent for the job table.
+func (m *Metrics) Snapshot(perState map[State]int, cacheLen int) map[string]int64 {
+	out := map[string]int64{
+		"jobs_submitted":          m.jobsSubmitted.Load(),
+		"jobs_done":               m.jobsDone.Load(),
+		"jobs_failed":             m.jobsFailed.Load(),
+		"jobs_cancelled":          m.jobsCancelled.Load(),
+		"jobs_executed":           m.jobsExecuted.Load(),
+		"cache_hits":              m.cacheHits.Load(),
+		"cache_misses":            m.cacheMisses.Load(),
+		"cache_evictions":         m.cacheEvictions.Load(),
+		"cache_entries":           int64(cacheLen),
+		"stage_parse_ns_sum":      m.parseNS.Load(),
+		"stage_optimize_ns_sum":   m.optimizeNS.Load(),
+		"stage_synthesize_ns_sum": m.synthesizeNS.Load(),
+		"stage_verify_ns_sum":     m.verifyNS.Load(),
+	}
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		out["jobs_state_"+string(s)] = int64(perState[s])
+	}
+	return out
+}

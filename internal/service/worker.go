@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"tels/internal/blif"
+	"tels/internal/core"
+	"tels/internal/network"
+	"tels/internal/opt"
+	"tels/internal/sim"
+)
+
+// runBounded executes the pipeline under the job's context. The synthesis
+// core is not preemptible, so the pipeline runs in its own goroutine and
+// is abandoned when the context fires: the worker slot is released
+// immediately and the orphaned run's result is discarded (its flight is
+// already resolved with the context error, so coalesced jobs retry).
+func runBounded(ctx context.Context, req Request) (Result, error) {
+	type outcome struct {
+		res Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := runPipeline(ctx, req)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// runPipeline is the full batch flow of cmd/tels: parse → optimize →
+// synthesize → verify → render. The context is checked between stages so
+// a cancelled job stops at the next stage boundary even when its worker
+// has already moved on.
+func runPipeline(ctx context.Context, req Request) (Result, error) {
+	var st StageTimes
+	t := time.Now()
+	src, err := blif.ParseString(req.BLIF)
+	st.Parse = time.Since(t)
+	if err != nil {
+		return Result{}, fmt.Errorf("service: parse: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	t = time.Now()
+	var optimized *network.Network
+	switch req.Script {
+	case "algebraic":
+		optimized = opt.Algebraic(src)
+	case "boolean":
+		optimized = opt.Boolean(src)
+	default:
+		optimized = src.Clone()
+	}
+	st.Optimize = time.Since(t)
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	t = time.Now()
+	var tn *core.Network
+	var synthStats core.SynthStats
+	switch req.Mapper {
+	case "one2one":
+		tn, err = core.OneToOne(optimized, req.Options)
+	default:
+		tn, synthStats, err = core.Synthesize(optimized, req.Options)
+	}
+	st.Synthesize = time.Since(t)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	verified := "skipped"
+	if !req.SkipVerify {
+		t = time.Now()
+		proof, err := sim.Prove(src, tn, 1)
+		st.Verify = time.Since(t)
+		if err != nil {
+			return Result{}, fmt.Errorf("service: verification failed: %w", err)
+		}
+		verified = proof.String()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	return Result{
+		TLN:        tn.String(),
+		Stats:      tn.Stats(),
+		SynthStats: synthStats,
+		Verified:   verified,
+		Stages:     st,
+	}, nil
+}
