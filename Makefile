@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments examples serve ci clean
+.PHONY: all build test race benchsmoke cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -14,7 +14,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/
+	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/ ./internal/fsim/
+
+# benchsmoke compiles and runs the packed-vs-scalar Fig. 11 benchmark once
+# (correctness smoke, not a measurement).
+benchsmoke:
+	$(GO) test -run=NONE -bench=Fig11Inner -benchtime=1x .
 
 # serve runs the synthesis daemon on :8455 (override with ADDR=...).
 ADDR ?= :8455
@@ -22,7 +27,7 @@ serve:
 	$(GO) run ./cmd/telsd -addr $(ADDR)
 
 # ci is the exact gate GitHub Actions runs.
-ci: build test race
+ci: build test race benchsmoke
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

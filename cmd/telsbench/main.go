@@ -14,10 +14,14 @@
 //	telsbench all             everything above
 //
 // The -quick flag shrinks the Monte-Carlo grids and skips the largest
-// benchmark (i10) for a fast smoke run.
+// benchmark (i10) for a fast smoke run. The -json flag replaces the
+// rendered tables of table1, fig10, fig11, and fig12 with a machine-
+// readable JSON document on stdout (BENCH_fig11.json in the repo root is
+// such a baseline, regenerated with `telsbench -quick -json fig11`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,12 +37,13 @@ import (
 
 func main() {
 	var (
-		fanin  = flag.Int("fanin", 3, "fanin restriction ψ (Table I uses 3)")
-		quick  = flag.Bool("quick", false, "smaller grids; skip i10")
-		trials = flag.Int("trials", 10, "Monte-Carlo disturbances per circuit (fig11/fig12)")
-		seed   = flag.Int64("seed", 1, "experiment RNG seed")
-		csvDir = flag.String("csv", "", "also write plottable CSV files into this directory")
-		quiet  = flag.Bool("q", false, "suppress informational diagnostics")
+		fanin   = flag.Int("fanin", 3, "fanin restriction ψ (Table I uses 3)")
+		quick   = flag.Bool("quick", false, "smaller grids; skip i10")
+		trials  = flag.Int("trials", 10, "Monte-Carlo disturbances per circuit (fig11/fig12)")
+		seed    = flag.Int64("seed", 1, "experiment RNG seed")
+		csvDir  = flag.String("csv", "", "also write plottable CSV files into this directory")
+		jsonOut = flag.Bool("json", false, "emit JSON instead of tables (table1, fig10, fig11, fig12)")
+		quiet   = flag.Bool("q", false, "suppress informational diagnostics")
 	)
 	flag.Parse()
 	t := cli.New("telsbench")
@@ -47,10 +52,17 @@ func main() {
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
 	}
-	t.Fail(run(cmd, *fanin, *quick, *trials, *seed, *csvDir))
+	t.Fail(run(cmd, *fanin, *quick, *trials, *seed, *csvDir, *jsonOut))
 }
 
-func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir string) error {
+// writeJSON renders one experiment's machine-readable document.
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir string, jsonOut bool) error {
 	o := core.Options{Fanin: fanin, DeltaOn: 0, DeltaOff: 1, Seed: seed}
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -73,14 +85,21 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 	}
 	_ = emit
 	switch cmd {
+	case "table1", "fig10", "fig11", "fig12":
+	default:
+		if jsonOut {
+			return fmt.Errorf("-json supports table1, fig10, fig11, and fig12, not %q", cmd)
+		}
+	}
+	switch cmd {
 	case "table1":
-		return table1(o, quick, emit)
+		return table1(o, quick, jsonOut, emit)
 	case "fig10":
-		return fig10(o, quick, emit)
+		return fig10(o, quick, jsonOut, emit)
 	case "fig11":
-		return fig11(trials, seed, quick, emit)
+		return fig11(trials, seed, quick, jsonOut, emit)
 	case "fig12":
-		return fig12(trials, seed, quick, emit)
+		return fig12(trials, seed, quick, jsonOut, emit)
 	case "timing":
 		return timing(o, quick)
 	case "ablation":
@@ -95,10 +114,10 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		return seedSweep(o, quick)
 	case "all":
 		for _, c := range []func() error{
-			func() error { return table1(o, quick, emit) },
-			func() error { return fig10(o, quick, emit) },
-			func() error { return fig11(trials, seed, quick, emit) },
-			func() error { return fig12(trials, seed, quick, emit) },
+			func() error { return table1(o, quick, false, emit) },
+			func() error { return fig10(o, quick, false, emit) },
+			func() error { return fig11(trials, seed, quick, false, emit) },
+			func() error { return fig12(trials, seed, quick, false, emit) },
 			func() error { return timing(o, quick) },
 			func() error { return ablation(o, quick) },
 			func() error { return heuristics(o, quick) },
@@ -204,17 +223,27 @@ func tableSet(quick bool) []string {
 	return out
 }
 
-func table1(o core.Options, quick bool, emit emitFn) error {
-	fmt.Printf("Table I — threshold synthesis results with fanin restriction %d\n\n", o.Fanin)
+func table1(o core.Options, quick, jsonOut bool, emit emitFn) error {
+	if !jsonOut {
+		fmt.Printf("Table I — threshold synthesis results with fanin restriction %d\n\n", o.Fanin)
+	}
 	rows, err := expt.TableI(tableSet(quick), o)
 	if err != nil {
 		return err
 	}
-	fmt.Print(expt.RenderTableI(rows))
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "table1", "fanin": o.Fanin, "rows": rows,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(expt.RenderTableI(rows))
+	}
 	return emit("table1.csv", func(w io.Writer) error { return expt.WriteTableICSV(w, rows) })
 }
 
-func fig10(o core.Options, quick bool, emit emitFn) error {
+func fig10(o core.Options, quick, jsonOut bool, emit emitFn) error {
 	fanins := []int{3, 4, 5, 6, 7, 8}
 	if quick {
 		fanins = []int{3, 4, 5}
@@ -223,7 +252,15 @@ func fig10(o core.Options, quick bool, emit emitFn) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(expt.RenderFig10("comp", points))
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "fig10", "benchmark": "comp", "points": points,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(expt.RenderFig10("comp", points))
+	}
 	return emit("fig10.csv", func(w io.Writer) error { return expt.WriteFig10CSV(w, points) })
 }
 
@@ -238,7 +275,7 @@ func defectGrid(quick bool) (vs []float64, deltaOns []int) {
 	return vs, deltaOns
 }
 
-func fig11(trials int, seed int64, quick bool, emit emitFn) error {
+func fig11(trials int, seed int64, quick, jsonOut bool, emit emitFn) error {
 	vs, deltaOns := defectGrid(quick)
 	names := expt.DefectSet()
 	if quick {
@@ -248,11 +285,20 @@ func fig11(trials int, seed int64, quick bool, emit emitFn) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(expt.RenderFig11(curves))
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "fig11", "benchmarks": names,
+			"trials": trials, "seed": seed, "curves": curves,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(expt.RenderFig11(curves))
+	}
 	return emit("fig11.csv", func(w io.Writer) error { return expt.WriteFig11CSV(w, curves) })
 }
 
-func fig12(trials int, seed int64, quick bool, emit emitFn) error {
+func fig12(trials int, seed int64, quick, jsonOut bool, emit emitFn) error {
 	_, deltaOns := defectGrid(quick)
 	names := expt.DefectSet()
 	if quick {
@@ -262,7 +308,16 @@ func fig12(trials int, seed int64, quick bool, emit emitFn) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(expt.RenderFig12(0.8, points))
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "fig12", "benchmarks": names, "v": 0.8,
+			"trials": trials, "seed": seed, "points": points,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(expt.RenderFig12(0.8, points))
+	}
 	return emit("fig12.csv", func(w io.Writer) error { return expt.WriteFig12CSV(w, 0.8, points) })
 }
 

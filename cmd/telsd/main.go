@@ -6,6 +6,14 @@
 //
 //	telsd -addr :8455 -workers 8 -cache 256
 //
+// Besides plain synthesis jobs, {"kind": "yield"} jobs append a
+// Monte-Carlo yield analysis on the packed fsim engine: the synthesized
+// network is re-simulated under a defect model ({"yield": {"model":
+// "weight"|"drift"|"stuck", ...}}) with CI-based early stopping, and the
+// result carries the failure rate, Wilson interval, and critical-gate
+// ranking. Yield jobs are cached content-addressed like synthesis jobs,
+// with the defect knobs folded into the digest.
+//
 // Endpoints:
 //
 //	POST   /synth            submit a job ({"blif": "...", "fanin": 3, ...})

@@ -7,7 +7,13 @@
 //	telsim compare <golden.blif> <impl.tln>       prove/check equivalence
 //	telsim perturb <golden.blif> <impl.tln> [-v V] [-trials K]
 //	                                              Monte-Carlo failure rate
+//	telsim faults <impl.tln> [-n N] [-seed S]     single stuck-at fault sweep
+//	telsim yield <golden.blif> <impl.tln> [-model weight|drift|stuck]
+//	       [-v V] [-p P] [-maxtrials K] [-eps E]  Monte-Carlo yield estimate
 //	telsim dot <net.tln>                          Graphviz export
+//
+// faults and yield run on the packed fsim engine: 64 vectors per machine
+// word, exhaustive up to fsim.ExhaustiveInputs inputs, sampled beyond.
 package main
 
 import (
@@ -21,25 +27,41 @@ import (
 	"tels/internal/blif"
 	"tels/internal/cli"
 	"tels/internal/core"
+	"tels/internal/fsim"
 	"tels/internal/network"
 	"tels/internal/sim"
 )
 
+// options carries the flag values shared across subcommands.
+type options struct {
+	n         int
+	seed      int64
+	v         float64
+	trials    int
+	maxTrials int
+	eps       float64
+	model     string
+	p         float64
+}
+
 func main() {
-	var (
-		n      = flag.Int("n", 16, "random vectors for run")
-		seed   = flag.Int64("seed", 1, "RNG seed")
-		v      = flag.Float64("v", 0.8, "weight-variation multiplier for perturb")
-		trials = flag.Int("trials", 100, "Monte-Carlo trials for perturb")
-		quiet  = flag.Bool("q", false, "suppress informational diagnostics")
-	)
+	var o options
+	flag.IntVar(&o.n, "n", 16, "random vectors for run; sample size for faults/yield on wide nets")
+	flag.Int64Var(&o.seed, "seed", 1, "RNG seed")
+	flag.Float64Var(&o.v, "v", 0.8, "variation multiplier for perturb and yield")
+	flag.IntVar(&o.trials, "trials", 100, "Monte-Carlo trials for perturb")
+	flag.IntVar(&o.maxTrials, "maxtrials", 2000, "trial cap for yield")
+	flag.Float64Var(&o.eps, "eps", 0.02, "yield early-stop CI half-width")
+	flag.StringVar(&o.model, "model", "weight", "yield defect model: weight, drift, or stuck")
+	flag.Float64Var(&o.p, "p", 0.01, "per-gate stuck probability for -model stuck")
+	quiet := flag.Bool("q", false, "suppress informational diagnostics")
 	flag.Parse()
 	t := cli.New("telsim")
 	t.Quiet = *quiet
 	if flag.NArg() < 1 {
-		t.Usage("need a command (info, run, compare, perturb, dot)")
+		t.Usage("need a command (info, run, compare, perturb, faults, yield, dot)")
 	}
-	t.Fail(run(flag.Arg(0), flag.Args()[1:], *n, *seed, *v, *trials))
+	t.Fail(run(flag.Arg(0), flag.Args()[1:], o))
 }
 
 // loaded is a network in either representation.
@@ -68,7 +90,7 @@ func load(path string) (loaded, error) {
 	return loaded{boolean: nw}, nil
 }
 
-func run(cmd string, args []string, n int, seed int64, v float64, trials int) error {
+func run(cmd string, args []string, o options) error {
 	switch cmd {
 	case "info":
 		if len(args) != 1 {
@@ -79,17 +101,27 @@ func run(cmd string, args []string, n int, seed int64, v float64, trials int) er
 		if len(args) != 1 {
 			return fmt.Errorf("run needs one netlist")
 		}
-		return simulate(args[0], n, seed)
+		return simulate(args[0], o.n, o.seed)
 	case "compare":
 		if len(args) != 2 {
 			return fmt.Errorf("compare needs <golden.blif> <impl.tln>")
 		}
-		return compare(args[0], args[1], seed)
+		return compare(args[0], args[1], o.seed)
 	case "perturb":
 		if len(args) != 2 {
 			return fmt.Errorf("perturb needs <golden.blif> <impl.tln>")
 		}
-		return perturb(args[0], args[1], v, trials, seed)
+		return perturb(args[0], args[1], o.v, o.trials, o.seed)
+	case "faults":
+		if len(args) != 1 {
+			return fmt.Errorf("faults needs one .tln netlist")
+		}
+		return faults(args[0], o)
+	case "yield":
+		if len(args) != 2 {
+			return fmt.Errorf("yield needs <golden.blif> <impl.tln>")
+		}
+		return yield(args[0], args[1], o)
 	case "dot":
 		if len(args) != 1 {
 			return fmt.Errorf("dot needs one .tln netlist")
@@ -246,5 +278,83 @@ func perturb(golden, impl string, v float64, trials int, seed int64) error {
 		return err
 	}
 	fmt.Printf("v=%.2f: %d trials, failure rate %.1f%%\n", v, trials, 100*rate)
+	return nil
+}
+
+// batchFor builds the fault/yield vector batch: exhaustive when the input
+// count permits, n random vectors otherwise.
+func batchFor(inputs []string, n int, seed int64) *fsim.Batch {
+	if len(inputs) <= fsim.ExhaustiveInputs {
+		return fsim.Exhaustive(inputs)
+	}
+	if n < fsim.DefaultSamples {
+		n = fsim.DefaultSamples
+	}
+	return fsim.Random(inputs, n, rand.New(rand.NewSource(seed)))
+}
+
+func faults(impl string, o options) error {
+	l, err := load(impl)
+	if err != nil {
+		return err
+	}
+	if l.threshold == nil {
+		return fmt.Errorf("faults supports threshold (.tln) netlists")
+	}
+	rep, err := fsim.FaultSweep(l.threshold, batchFor(l.threshold.Inputs, o.n, o.seed))
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	for _, s := range rep.Sites {
+		status := fmt.Sprintf("detected by %d vectors", s.Detected)
+		if s.Detected == 0 {
+			status = "UNDETECTABLE"
+		}
+		fmt.Printf("  %s stuck-at-%d: %s\n", s.Gate, s.Stuck, status)
+	}
+	return nil
+}
+
+func yield(golden, impl string, o options) error {
+	g, err := load(golden)
+	if err != nil {
+		return err
+	}
+	i, err := load(impl)
+	if err != nil {
+		return err
+	}
+	if g.boolean == nil || i.threshold == nil {
+		return fmt.Errorf("yield needs a BLIF golden network and a .tln implementation")
+	}
+	var model fsim.DefectModel
+	switch o.model {
+	case "weight":
+		model = fsim.WeightVariation{V: o.v}
+	case "drift":
+		model = fsim.ThresholdDrift{V: o.v}
+	case "stuck":
+		model = fsim.StuckAt{P: o.p}
+	default:
+		return fmt.Errorf("unknown defect model %q (want weight, drift, or stuck)", o.model)
+	}
+	rep, err := fsim.EstimateYield(g.boolean, i.threshold, model, fsim.YieldConfig{
+		MaxTrials: o.maxTrials,
+		HalfWidth: o.eps,
+		Samples:   o.n,
+		Seed:      o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	for n, s := range rep.Critical {
+		if n >= 5 {
+			break
+		}
+		fmt.Printf("  critical %d: %s (blamed for %d failing lanes, flipped on %d)\n",
+			n+1, s.Gate, s.Blamed, s.Flipped)
+	}
 	return nil
 }

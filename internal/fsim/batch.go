@@ -1,0 +1,212 @@
+// Package fsim is the word-parallel fault- and variation-simulation
+// engine: it packs 64 input vectors into each uint64 word and evaluates
+// Boolean networks (internal/network) and threshold networks
+// (internal/core) in topological order over preallocated flat buffers —
+// no per-vector maps, no per-gate allocation in the hot loop. On top of
+// the packed evaluators it provides defect models (weight variation,
+// threshold drift, stuck-at gate faults), a Monte-Carlo yield estimator
+// with sequential early stopping, and a critical-gate ranking that
+// attributes observed output failures to the first flipped gate on each
+// failing lane. The scalar evaluators in internal/sim, internal/network
+// and internal/core remain the correctness oracle; property tests pin the
+// packed paths to them bit for bit.
+package fsim
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// lanes is the SIMD width of the engine: vectors per machine word. The
+// packing layout (vector index = block*lanes + lane) is the only place the
+// width is assumed; a future wider backend swaps this constant and the
+// word type.
+const lanes = 64
+
+// MaxExhaustiveInputs bounds Exhaustive batches (2^20 vectors ≈ 16 K words
+// per input); callers with wider networks sample with Random instead.
+const MaxExhaustiveInputs = 20
+
+// Batch is a set of packed input assignments: for every input, one uint64
+// word per block of 64 vectors, with vector index v living in bit v%64 of
+// block v/64. The final block's unused lanes are masked out of every
+// comparison helper.
+type Batch struct {
+	inputs []string
+	pos    map[string]int
+	n      int
+	blocks int
+	words  [][]uint64 // [input][block]
+	mask   []uint64   // [block] valid-lane mask
+}
+
+// newBatch allocates an empty batch for the inputs and vector count.
+func newBatch(inputs []string, n int) *Batch {
+	blocks := (n + lanes - 1) / lanes
+	b := &Batch{
+		inputs: append([]string(nil), inputs...),
+		pos:    make(map[string]int, len(inputs)),
+		n:      n,
+		blocks: blocks,
+		words:  make([][]uint64, len(inputs)),
+		mask:   make([]uint64, blocks),
+	}
+	for i, name := range b.inputs {
+		b.pos[name] = i
+		b.words[i] = make([]uint64, blocks)
+	}
+	for blk := range b.mask {
+		b.mask[blk] = ^uint64(0)
+	}
+	if rem := n % lanes; rem != 0 && blocks > 0 {
+		b.mask[blocks-1] = (uint64(1) << uint(rem)) - 1
+	}
+	return b
+}
+
+// Len returns the number of vectors in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Blocks returns the number of 64-lane blocks.
+func (b *Batch) Blocks() int { return b.blocks }
+
+// Inputs returns the input names, in column order.
+func (b *Batch) Inputs() []string { return b.inputs }
+
+// Exhaustive packs all 2^n assignments of the inputs: vector m assigns
+// input i the value of bit i of m, matching the enumeration order of
+// sim.Vectors. It panics if len(inputs) exceeds MaxExhaustiveInputs.
+func Exhaustive(inputs []string) *Batch {
+	n := len(inputs)
+	if n > MaxExhaustiveInputs {
+		panic(fmt.Sprintf("fsim: exhaustive batch over %d inputs (max %d)", n, MaxExhaustiveInputs))
+	}
+	b := newBatch(inputs, 1<<uint(n))
+	// Inside a 64-lane block, inputs 0..5 follow fixed alternation
+	// patterns; inputs 6+ are constant per block, selected by the block
+	// index bits.
+	var low = [6]uint64{
+		0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
+		0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
+	}
+	for i := 0; i < n; i++ {
+		w := b.words[i]
+		if i < 6 {
+			for blk := range w {
+				w[blk] = low[i]
+			}
+			continue
+		}
+		for blk := range w {
+			if blk>>(uint(i)-6)&1 == 1 {
+				w[blk] = ^uint64(0)
+			}
+		}
+	}
+	return b
+}
+
+// Random packs n uniformly random assignments. The RNG consumption order
+// (vector-major, input-minor, one Intn(2) per bit) is identical to
+// sim.Vectors, so a packed caller sampling from the same seeded stream
+// sees exactly the vectors the scalar path would.
+func Random(inputs []string, n int, rng *rand.Rand) *Batch {
+	b := newBatch(inputs, n)
+	for v := 0; v < n; v++ {
+		blk, bit := v/lanes, uint(v%lanes)
+		for i := range inputs {
+			if rng.Intn(2) == 1 {
+				b.words[i][blk] |= uint64(1) << bit
+			}
+		}
+	}
+	return b
+}
+
+// Pack converts explicit assignments (e.g. from sim.Vectors) into a batch.
+// Every assignment must cover every input by name.
+func Pack(inputs []string, vecs []map[string]bool) (*Batch, error) {
+	b := newBatch(inputs, len(vecs))
+	for v, vec := range vecs {
+		blk, bit := v/lanes, uint(v%lanes)
+		for i, name := range inputs {
+			val, ok := vec[name]
+			if !ok {
+				return nil, fmt.Errorf("fsim: vector %d has no value for input %s", v, name)
+			}
+			if val {
+				b.words[i][blk] |= uint64(1) << bit
+			}
+		}
+	}
+	return b, nil
+}
+
+// Assignment reconstructs vector v as a name→value map (for error
+// messages; never used in hot loops).
+func (b *Batch) Assignment(v int) map[string]bool {
+	out := make(map[string]bool, len(b.inputs))
+	blk, bit := v/lanes, uint(v%lanes)
+	for i, name := range b.inputs {
+		out[name] = b.words[i][blk]>>bit&1 == 1
+	}
+	return out
+}
+
+// columns resolves the batch column of every name, erroring on inputs the
+// batch does not carry.
+func (b *Batch) columns(names []string) ([]int, error) {
+	cols := make([]int, len(names))
+	for i, name := range names {
+		c, ok := b.pos[name]
+		if !ok {
+			return nil, fmt.Errorf("fsim: batch has no column for input %s", name)
+		}
+		cols[i] = c
+	}
+	return cols, nil
+}
+
+// Differs reports whether two packed output sets (shaped [output][block])
+// disagree on any valid lane, with early exit on the first differing word.
+func (b *Batch) Differs(a, c [][]uint64) bool {
+	for o := range a {
+		ao, co := a[o], c[o]
+		for blk := 0; blk < b.blocks; blk++ {
+			if (ao[blk]^co[blk])&b.mask[blk] != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FirstDiff locates the lowest (vector, output) pair where the two packed
+// output sets disagree.
+func (b *Batch) FirstDiff(a, c [][]uint64) (vec, out int, found bool) {
+	bestVec, bestOut := -1, -1
+	for o := range a {
+		ao, co := a[o], c[o]
+		for blk := 0; blk < b.blocks; blk++ {
+			d := (ao[blk] ^ co[blk]) & b.mask[blk]
+			if d == 0 {
+				continue
+			}
+			v := blk*lanes + bits.TrailingZeros64(d)
+			if bestVec < 0 || v < bestVec {
+				bestVec, bestOut = v, o
+			}
+			break // later blocks of this output can only be higher vectors
+		}
+	}
+	if bestVec < 0 {
+		return 0, 0, false
+	}
+	return bestVec, bestOut, true
+}
+
+// Bit extracts output word bit v for packed rows shaped [block].
+func Bit(row []uint64, v int) bool {
+	return row[v/lanes]>>uint(v%lanes)&1 == 1
+}

@@ -1,0 +1,361 @@
+package fsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tels/internal/core"
+	"tels/internal/logic"
+	"tels/internal/network"
+)
+
+// randomBoolNet builds a random DAG of SOP nodes over n inputs.
+func randomBoolNet(rng *rand.Rand, n int) *network.Network {
+	nw := network.New("rand")
+	var signals []*network.Node
+	for i := 0; i < n; i++ {
+		signals = append(signals, nw.AddInput(fmt.Sprintf("x%d", i)))
+	}
+	nodes := 2 + rng.Intn(8)
+	for i := 0; i < nodes; i++ {
+		k := 1 + rng.Intn(3)
+		if k > len(signals) {
+			k = len(signals)
+		}
+		fanins := make([]*network.Node, 0, k)
+		seen := map[int]bool{}
+		for len(fanins) < k {
+			j := rng.Intn(len(signals))
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			fanins = append(fanins, signals[j])
+		}
+		cubes := make([]string, 1+rng.Intn(3))
+		for c := range cubes {
+			s := make([]byte, k)
+			for p := range s {
+				s[p] = "01-"[rng.Intn(3)]
+			}
+			cubes[c] = string(s)
+		}
+		node := nw.AddNode(fmt.Sprintf("n%d", i), fanins, logic.MustCover(cubes...))
+		signals = append(signals, node)
+	}
+	// Mark a few nodes (possibly inputs) as outputs, at least one.
+	outs := 1 + rng.Intn(3)
+	for i := 0; i < outs; i++ {
+		nw.MarkOutput(signals[rng.Intn(len(signals))])
+	}
+	return nw
+}
+
+// randomThreshNet builds a random threshold-gate DAG over n inputs.
+func randomThreshNet(rng *rand.Rand, n int) *core.Network {
+	tn := core.NewNetwork("rand")
+	var signals []string
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("x%d", i)
+		tn.AddInput(name)
+		signals = append(signals, name)
+	}
+	gates := 2 + rng.Intn(8)
+	for i := 0; i < gates; i++ {
+		k := 1 + rng.Intn(4)
+		if k > len(signals) {
+			k = len(signals)
+		}
+		g := &core.Gate{Name: fmt.Sprintf("g%d", i), T: rng.Intn(7) - 2}
+		seen := map[int]bool{}
+		for len(g.Inputs) < k {
+			j := rng.Intn(len(signals))
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			g.Inputs = append(g.Inputs, signals[j])
+			g.Weights = append(g.Weights, rng.Intn(7)-3)
+		}
+		if err := tn.AddGate(g); err != nil {
+			panic(err)
+		}
+		signals = append(signals, g.Name)
+	}
+	tn.MarkOutput(signals[len(signals)-1])
+	tn.MarkOutput(signals[rng.Intn(len(signals))])
+	return tn
+}
+
+// TestExhaustiveBatchLayout pins the packing convention: vector m assigns
+// input i the value of bit i of m.
+func TestExhaustiveBatchLayout(t *testing.T) {
+	inputs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	b := Exhaustive(inputs)
+	if b.Len() != 256 || b.Blocks() != 4 {
+		t.Fatalf("len=%d blocks=%d", b.Len(), b.Blocks())
+	}
+	for m := 0; m < b.Len(); m++ {
+		got := b.Assignment(m)
+		for i, name := range inputs {
+			want := m>>uint(i)&1 == 1
+			if got[name] != want {
+				t.Fatalf("vector %d input %s = %v, want %v", m, name, got[name], want)
+			}
+		}
+	}
+}
+
+// TestRandomBatchMatchesScalarStream checks that Random consumes the RNG
+// exactly like the scalar per-vector sampler.
+func TestRandomBatchMatchesScalarStream(t *testing.T) {
+	inputs := []string{"a", "b", "c"}
+	b := Random(inputs, 100, rand.New(rand.NewSource(7)))
+	rng := rand.New(rand.NewSource(7))
+	for v := 0; v < 100; v++ {
+		got := b.Assignment(v)
+		for _, name := range inputs {
+			want := rng.Intn(2) == 1
+			if got[name] != want {
+				t.Fatalf("vector %d input %s = %v, want %v", v, name, got[name], want)
+			}
+		}
+	}
+}
+
+// TestPackedBoolMatchesScalar is the property test: on random networks
+// and all 2^n inputs, the packed Boolean evaluator equals the scalar
+// network.Evaluator bit for bit.
+func TestPackedBoolMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		nw := randomBoolNet(rng, n)
+		sim, err := CompileBool(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := nw.NewEvaluator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := Exhaustive(inputNames(nw))
+		got, err := sim.Eval(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []bool
+		for m := 0; m < batch.Len(); m++ {
+			want, err = ev.Eval(batch.Assignment(m), want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for o := range want {
+				if Bit(got[o], m) != want[o] {
+					t.Fatalf("trial %d: vector %d output %d: packed=%v scalar=%v",
+						trial, m, o, Bit(got[o], m), want[o])
+				}
+			}
+		}
+	}
+}
+
+func inputNames(nw *network.Network) []string {
+	names := make([]string, len(nw.Inputs))
+	for i, in := range nw.Inputs {
+		names[i] = in.Name
+	}
+	return names
+}
+
+// TestPackedThreshMatchesScalar: packed threshold evaluation equals the
+// scalar core.Evaluator on random networks over all 2^n inputs.
+func TestPackedThreshMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(8)
+		tn := randomThreshNet(rng, n)
+		sim, err := CompileThresh(tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := tn.NewEvaluator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := Exhaustive(tn.Inputs)
+		got, err := sim.Eval(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []bool
+		for m := 0; m < batch.Len(); m++ {
+			want, err = ev.Eval(batch.Assignment(m), want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for o := range want {
+				if Bit(got[o], m) != want[o] {
+					t.Fatalf("trial %d: vector %d output %d: packed=%v scalar=%v",
+						trial, m, o, Bit(got[o], m), want[o])
+				}
+			}
+		}
+	}
+}
+
+// TestPackedPerturbedMatchesScalar: under random weight noise the packed
+// evaluator equals core.Evaluator.EvalPerturbed bit for bit (same float
+// association order, so even razor-edge sums agree).
+func TestPackedPerturbedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(7)
+		tn := randomThreshNet(rng, n)
+		sim, err := CompileThresh(tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := tn.NewEvaluator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		noise := make([][]float64, len(sim.GateOrder()))
+		for gi, g := range sim.GateOrder() {
+			ns := make([]float64, len(g.Weights))
+			for i := range ns {
+				ns[i] = 2 * (rng.Float64() - 0.5)
+			}
+			noise[gi] = ns
+		}
+		batch := Exhaustive(tn.Inputs)
+		got, err := sim.EvalPerturbed(batch, noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []bool
+		for m := 0; m < batch.Len(); m++ {
+			want, err = ev.EvalPerturbed(batch.Assignment(m), noise, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for o := range want {
+				if Bit(got[o], m) != want[o] {
+					t.Fatalf("trial %d: vector %d output %d: packed=%v scalar=%v",
+						trial, m, o, Bit(got[o], m), want[o])
+				}
+			}
+		}
+	}
+}
+
+// TestGateOrderMatchesCoreEvaluator pins the noise-slice alignment
+// contract between fsim and the scalar evaluator.
+func TestGateOrderMatchesCoreEvaluator(t *testing.T) {
+	tn := randomThreshNet(rand.New(rand.NewSource(23)), 5)
+	sim, err := CompileThresh(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := tn.NewEvaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sim.GateOrder(), ev.GateOrder()
+	if len(a) != len(b) {
+		t.Fatalf("order lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order[%d]: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+	}
+}
+
+// TestStuckAtDefect: sticking the output gate forces the output word.
+func TestStuckAtDefect(t *testing.T) {
+	tn := core.NewNetwork("s")
+	tn.AddInput("a")
+	tn.AddInput("b")
+	if err := tn.AddGate(&core.Gate{Name: "f", Inputs: []string{"a", "b"}, Weights: []int{1, 1}, T: 2}); err != nil {
+		t.Fatal(err)
+	}
+	tn.MarkOutput("f")
+	sim, err := CompileThresh(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := Exhaustive(tn.Inputs)
+	for _, v := range []int8{0, 1} {
+		out, err := sim.EvalDefect(batch, &Defect{Stuck: []int8{v}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m := 0; m < batch.Len(); m++ {
+			if Bit(out[0], m) != (v == 1) {
+				t.Fatalf("stuck-at-%d: vector %d = %v", v, m, Bit(out[0], m))
+			}
+		}
+	}
+}
+
+// TestFaninLimit: compile rejects gates beyond the packed fanin limit.
+func TestFaninLimit(t *testing.T) {
+	tn := core.NewNetwork("wide")
+	g := &core.Gate{Name: "f", T: 1}
+	for i := 0; i < PackedFaninLimit+1; i++ {
+		name := fmt.Sprintf("x%d", i)
+		tn.AddInput(name)
+		g.Inputs = append(g.Inputs, name)
+		g.Weights = append(g.Weights, 1)
+	}
+	if err := tn.AddGate(g); err != nil {
+		t.Fatal(err)
+	}
+	tn.MarkOutput("f")
+	if _, err := CompileThresh(tn); err == nil {
+		t.Fatal("expected a fanin-limit error")
+	}
+}
+
+// TestFirstDiff checks mismatch localization across blocks.
+func TestFirstDiff(t *testing.T) {
+	b := newBatch([]string{"x"}, 130)
+	a := [][]uint64{{0, 0, 0}}
+	c := [][]uint64{{0, 1 << 5, 1 << 1}}
+	vec, out, found := b.FirstDiff(a, c)
+	if !found || vec != 69 || out != 0 {
+		t.Fatalf("FirstDiff = (%d, %d, %v), want (69, 0, true)", vec, out, found)
+	}
+	// Lanes beyond Len are masked: 130 vectors → block 2 valid bits 0..1.
+	c2 := [][]uint64{{0, 0, 1 << 2}}
+	if _, _, found := b.FirstDiff(a, c2); found {
+		t.Fatal("diff found in masked lane")
+	}
+}
+
+// TestPackDense round-trips explicit vectors.
+func TestPackDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inputs := []string{"p", "q", "r"}
+	vecs := make([]map[string]bool, 77)
+	for i := range vecs {
+		vecs[i] = map[string]bool{}
+		for _, n := range inputs {
+			vecs[i][n] = rng.Intn(2) == 1
+		}
+	}
+	b, err := Pack(inputs, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vecs {
+		got := b.Assignment(i)
+		for _, n := range inputs {
+			if got[n] != want[n] {
+				t.Fatalf("vector %d input %s mismatch", i, n)
+			}
+		}
+	}
+}

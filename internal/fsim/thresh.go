@@ -1,0 +1,290 @@
+package fsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tels/internal/core"
+)
+
+// PackedFaninLimit bounds the gate fanin the packed threshold evaluator
+// accepts: each gate is evaluated through a 2^k-entry fire table, so the
+// limit caps the per-gate scratch at 4096 words (32 KiB). Networks
+// synthesized under the paper's fanin restriction (ψ ≤ 8) are far below
+// it; CompileThresh fails beyond it and callers fall back to the scalar
+// evaluator.
+const PackedFaninLimit = 12
+
+// fireTable is the packed truth table of one gate under one weight
+// assignment: bit m is the gate output on input minterm m (bit i of m is
+// the value of gate input i). ones counts the set bits so evaluation can
+// OR whichever of the ON or OFF minterm sets is smaller.
+type fireTable struct {
+	bits []uint64
+	ones int
+}
+
+func newFireTable(k int) fireTable {
+	return fireTable{bits: make([]uint64, (1<<uint(k)+lanes-1)/lanes)}
+}
+
+func (ft *fireTable) set(m int) {
+	ft.bits[m/lanes] |= uint64(1) << uint(m%lanes)
+	ft.ones++
+}
+
+func (ft *fireTable) clear() {
+	for i := range ft.bits {
+		ft.bits[i] = 0
+	}
+	ft.ones = 0
+}
+
+// pGate is one compiled threshold gate.
+type pGate struct {
+	g    *core.Gate
+	ins  []int // fanin value slots
+	slot int   // output value slot
+	size int   // 1 << fanin
+}
+
+// ThreshSim evaluates a threshold network 64 vectors at a time, under
+// exact weights (Eval), Monte-Carlo weight noise (EvalPerturbed), or a
+// general Defect (EvalDefect). Compile once, evaluate many batches; not
+// safe for concurrent use.
+type ThreshSim struct {
+	tn       *core.Network
+	order    []*core.Gate
+	inputs   []string
+	inSlots  []int
+	gates    []pGate
+	outSlots []int
+
+	vals    []uint64    // one word per signal, rewritten per block
+	out     [][]uint64  // [output][block], reused across calls
+	scratch []uint64    // minterm masks, 2^maxFanin words
+	base    []fireTable // exact-weight tables, built at compile time
+	work    []fireTable // rebuilt per perturbed/defect evaluation
+}
+
+// CompileThresh prepares the packed evaluator. The gate order is
+// tn.TopoGates(), identical to core.Evaluator.GateOrder(), so noise
+// slices drawn for one are valid for the other.
+func CompileThresh(tn *core.Network) (*ThreshSim, error) {
+	order, err := tn.TopoGates()
+	if err != nil {
+		return nil, err
+	}
+	s := &ThreshSim{tn: tn, order: order}
+	slot := make(map[string]int, len(tn.Inputs)+len(order))
+	for _, in := range tn.Inputs {
+		slot[in] = len(slot)
+		s.inputs = append(s.inputs, in)
+		s.inSlots = append(s.inSlots, slot[in])
+	}
+	maxFanin := 0
+	for _, g := range order {
+		if len(g.Inputs) > PackedFaninLimit {
+			return nil, fmt.Errorf("fsim: gate %s fanin %d exceeds packed limit %d",
+				g.Name, len(g.Inputs), PackedFaninLimit)
+		}
+		if len(g.Inputs) > maxFanin {
+			maxFanin = len(g.Inputs)
+		}
+		slot[g.Name] = len(slot)
+	}
+	s.vals = make([]uint64, len(slot))
+	s.scratch = make([]uint64, 1<<uint(maxFanin))
+	s.base = make([]fireTable, len(order))
+	s.work = make([]fireTable, len(order))
+	for gi, g := range order {
+		pg := pGate{g: g, slot: slot[g.Name], size: 1 << uint(len(g.Inputs))}
+		for _, in := range g.Inputs {
+			is, ok := slot[in]
+			if !ok {
+				return nil, fmt.Errorf("fsim: gate %s input %s is undriven", g.Name, in)
+			}
+			pg.ins = append(pg.ins, is)
+		}
+		s.gates = append(s.gates, pg)
+		s.base[gi] = newFireTable(len(g.Inputs))
+		s.work[gi] = newFireTable(len(g.Inputs))
+		fillExactFire(g, &s.base[gi])
+	}
+	for _, o := range tn.Outputs {
+		os, ok := slot[o]
+		if !ok {
+			return nil, fmt.Errorf("fsim: output %s is undriven", o)
+		}
+		s.outSlots = append(s.outSlots, os)
+	}
+	s.out = make([][]uint64, len(s.outSlots))
+	return s, nil
+}
+
+// GateOrder exposes the evaluation order; noise slices passed to
+// EvalPerturbed and Defect fields are aligned with it.
+func (s *ThreshSim) GateOrder() []*core.Gate { return s.order }
+
+// fillExactFire enumerates the gate's integer-weight truth table.
+func fillExactFire(g *core.Gate, ft *fireTable) {
+	ft.clear()
+	for m := 0; m < 1<<uint(len(g.Inputs)); m++ {
+		sum := 0
+		for i, w := range g.Weights {
+			if m>>uint(i)&1 == 1 {
+				sum += w
+			}
+		}
+		if sum >= g.T {
+			ft.set(m)
+		}
+	}
+}
+
+// fillNoisyFire enumerates the truth table under real-valued weight noise
+// and threshold drift. The per-minterm sum accumulates float64 terms in
+// ascending input order — exactly the association the scalar
+// core.Evaluator.EvalPerturbed uses — so packed and scalar agree bit for
+// bit even on razor-edge sums.
+func fillNoisyFire(g *core.Gate, noise []float64, drift float64, ft *fireTable) {
+	ft.clear()
+	t := float64(g.T) + drift
+	for m := 0; m < 1<<uint(len(g.Inputs)); m++ {
+		sum := 0.0
+		for i, w := range g.Weights {
+			if m>>uint(i)&1 == 1 {
+				if noise != nil {
+					sum += float64(w) + noise[i]
+				} else {
+					sum += float64(w)
+				}
+			}
+		}
+		if sum >= t {
+			ft.set(m)
+		}
+	}
+}
+
+// Eval computes the packed outputs under the exact integer weights.
+func (s *ThreshSim) Eval(b *Batch) ([][]uint64, error) {
+	return s.evalWith(b, s.base, nil, nil)
+}
+
+// EvalPerturbed computes the packed outputs with per-gate weight noise
+// (noise[gi] aligned with GateOrder()[gi].Weights), the w' = w +
+// v·U(−0.5,0.5) model of §VI-C.
+func (s *ThreshSim) EvalPerturbed(b *Batch, noise [][]float64) ([][]uint64, error) {
+	for gi := range s.gates {
+		fillNoisyFire(s.gates[gi].g, noise[gi], 0, &s.work[gi])
+	}
+	return s.evalWith(b, s.work, nil, nil)
+}
+
+// EvalDefect computes the packed outputs under a defect instance, writing
+// per-gate output words into trace ([gate][block]) when trace is non-nil.
+func (s *ThreshSim) EvalDefect(b *Batch, d *Defect, trace [][]uint64) ([][]uint64, error) {
+	tabs := s.base
+	if d != nil && (d.WeightNoise != nil || d.ThresholdNoise != nil) {
+		tabs = s.work
+		for gi := range s.gates {
+			var wn []float64
+			drift := 0.0
+			if d.WeightNoise != nil {
+				wn = d.WeightNoise[gi]
+			}
+			if d.ThresholdNoise != nil {
+				drift = d.ThresholdNoise[gi]
+			}
+			fillNoisyFire(s.gates[gi].g, wn, drift, &s.work[gi])
+		}
+	}
+	var stuck []int8
+	if d != nil {
+		stuck = d.Stuck
+	}
+	return s.evalWith(b, tabs, stuck, trace)
+}
+
+// evalWith is the shared packed inner loop: per block, load the input
+// words, evaluate every gate through its fire table over an incrementally
+// doubled minterm-mask array, and collect the outputs.
+func (s *ThreshSim) evalWith(b *Batch, tabs []fireTable, stuck []int8, trace [][]uint64) ([][]uint64, error) {
+	cols, err := b.columns(s.inputs)
+	if err != nil {
+		return nil, err
+	}
+	for o := range s.out {
+		if cap(s.out[o]) < b.blocks {
+			s.out[o] = make([]uint64, b.blocks)
+		}
+		s.out[o] = s.out[o][:b.blocks]
+	}
+	mts := s.scratch
+	for blk := 0; blk < b.blocks; blk++ {
+		for i, slot := range s.inSlots {
+			s.vals[slot] = b.words[cols[i]][blk]
+		}
+		for gi := range s.gates {
+			pg := &s.gates[gi]
+			if stuck != nil && stuck[gi] >= 0 {
+				var word uint64
+				if stuck[gi] == 1 {
+					word = ^uint64(0)
+				}
+				s.vals[pg.slot] = word
+				if trace != nil {
+					trace[gi][blk] = word
+				}
+				continue
+			}
+			// Build the 2^k minterm masks by recursive doubling,
+			// processing fanins in reverse so input i lands at index
+			// bit i: each pass splits every existing mask on one input
+			// word, costing ~2·2^k word-ops total.
+			mts[0] = ^uint64(0)
+			size := 1
+			for i := len(pg.ins) - 1; i >= 0; i-- {
+				w := s.vals[pg.ins[i]]
+				for j := size - 1; j >= 0; j-- {
+					t := mts[j]
+					mts[2*j+1] = t & w
+					mts[2*j] = t &^ w
+				}
+				size <<= 1
+			}
+			// OR the smaller of the ON/OFF minterm sets; the minterm
+			// masks partition the lanes, so the OFF union is the exact
+			// complement of the ON union.
+			ft := &tabs[gi]
+			invert := 2*ft.ones > size
+			var acc uint64
+			words := (size + lanes - 1) / lanes
+			for wi := 0; wi < words; wi++ {
+				fw := ft.bits[wi]
+				if invert {
+					fw = ^fw
+				}
+				if rem := size - wi*lanes; rem < lanes {
+					fw &= uint64(1)<<uint(rem) - 1
+				}
+				for fw != 0 {
+					acc |= mts[wi*lanes+bits.TrailingZeros64(fw)]
+					fw &= fw - 1
+				}
+			}
+			if invert {
+				acc = ^acc
+			}
+			s.vals[pg.slot] = acc
+			if trace != nil {
+				trace[gi][blk] = acc
+			}
+		}
+		for o, slot := range s.outSlots {
+			s.out[o][blk] = s.vals[slot]
+		}
+	}
+	return s.out, nil
+}

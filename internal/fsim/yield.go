@@ -1,0 +1,243 @@
+package fsim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+
+	"tels/internal/core"
+	"tels/internal/network"
+)
+
+// ExhaustiveInputs is the widest network the yield estimator checks
+// exhaustively, mirroring sim.ExhaustiveLimit; wider networks are sampled
+// with DefaultSamples random vectors.
+const ExhaustiveInputs = 14
+
+// DefaultSamples is the random-vector sample size for wide networks.
+const DefaultSamples = 4096
+
+// YieldConfig controls a Monte-Carlo yield measurement.
+type YieldConfig struct {
+	// MaxTrials caps the defect instances drawn (default 2000).
+	MaxTrials int
+	// MinTrials is the floor before early stopping may strike
+	// (default 64).
+	MinTrials int
+	// HalfWidth is the target confidence-interval half-width on the
+	// failure rate; sampling stops once the Wilson interval is at least
+	// this tight (default 0.02).
+	HalfWidth float64
+	// Z is the normal quantile of the interval (default 1.96 ≈ 95%).
+	Z float64
+	// Samples is the random-vector count for networks wider than
+	// ExhaustiveInputs (default DefaultSamples).
+	Samples int
+	// Seed drives both vector sampling and defect drawing.
+	Seed int64
+}
+
+func (c YieldConfig) withDefaults() YieldConfig {
+	if c.MaxTrials <= 0 {
+		c.MaxTrials = 2000
+	}
+	if c.MinTrials <= 0 {
+		c.MinTrials = 64
+	}
+	if c.MinTrials > c.MaxTrials {
+		c.MinTrials = c.MaxTrials
+	}
+	if c.HalfWidth <= 0 {
+		c.HalfWidth = 0.02
+	}
+	if c.Z <= 0 {
+		c.Z = 1.96
+	}
+	if c.Samples <= 0 {
+		c.Samples = DefaultSamples
+	}
+	return c
+}
+
+// GateImpact ranks one gate's contribution to observed failures.
+type GateImpact struct {
+	// Gate names the threshold gate.
+	Gate string `json:"gate"`
+	// Blamed counts failing (trial, vector) pairs attributed to this
+	// gate: it was the first gate in topological order whose output
+	// flipped on that lane, i.e. the gate whose noise margin was
+	// violated before the error propagated.
+	Blamed int `json:"blamed"`
+	// Flipped counts every (trial, vector) pair in failing trials where
+	// the gate's output differed from its clean value, attributed or not.
+	Flipped int `json:"flipped"`
+}
+
+// YieldReport is the outcome of a yield measurement.
+type YieldReport struct {
+	Model        string       `json:"model"`
+	Trials       int          `json:"trials"`
+	Failures     int          `json:"failures"`
+	FailureRate  float64      `json:"failure_rate"`
+	Yield        float64      `json:"yield"`
+	Lo           float64      `json:"ci_lo"`
+	Hi           float64      `json:"ci_hi"`
+	EarlyStopped bool         `json:"early_stopped"`
+	Vectors      int          `json:"vectors"`
+	Critical     []GateImpact `json:"critical,omitempty"`
+}
+
+// wilson returns the Wilson score interval for fails successes in n
+// trials at normal quantile z.
+func wilson(fails, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(fails) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	hw := z * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf)) / denom
+	lo, hi = center-hw, center+hw
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// EstimateYield measures the fraction of defect instances under which the
+// threshold network computes a wrong output on any vector ("the circuit
+// fails if there exists any input vector with which TELS generates a
+// wrong output value"), stopping early once the failure-rate confidence
+// interval is tighter than cfg.HalfWidth. The Boolean network is the
+// golden reference; failures are attributed to critical gates by first
+// topological flip.
+func EstimateYield(nw *network.Network, tn *core.Network, model DefectModel, cfg YieldConfig) (*YieldReport, error) {
+	cfg = cfg.withDefaults()
+	bsim, err := CompileBool(nw)
+	if err != nil {
+		return nil, err
+	}
+	tsim, err := CompileThresh(tn)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inputs := make([]string, len(nw.Inputs))
+	for i, in := range nw.Inputs {
+		inputs[i] = in.Name
+	}
+	var batch *Batch
+	if len(inputs) <= ExhaustiveInputs {
+		batch = Exhaustive(inputs)
+	} else {
+		batch = Random(inputs, cfg.Samples, rng)
+	}
+
+	ref, err := bsim.Eval(batch)
+	if err != nil {
+		return nil, err
+	}
+	golden := make([][]uint64, len(ref))
+	for o := range ref {
+		golden[o] = append([]uint64(nil), ref[o]...)
+	}
+
+	gates := tsim.GateOrder()
+	cleanTrace := makeTrace(len(gates), batch.Blocks())
+	if _, err := tsim.EvalDefect(batch, nil, cleanTrace); err != nil {
+		return nil, err
+	}
+	badTrace := makeTrace(len(gates), batch.Blocks())
+	blamed := make([]int, len(gates))
+	flipped := make([]int, len(gates))
+
+	rep := &YieldReport{Model: model.Name(), Vectors: batch.Len()}
+	for rep.Trials < cfg.MaxTrials {
+		d := model.Draw(tsim, rng)
+		out, err := tsim.EvalDefect(batch, d, badTrace)
+		if err != nil {
+			return nil, err
+		}
+		rep.Trials++
+		failedTrial := false
+		for blk := 0; blk < batch.Blocks(); blk++ {
+			var fail uint64
+			for o := range out {
+				fail |= out[o][blk] ^ golden[o][blk]
+			}
+			fail &= batch.mask[blk]
+			if fail == 0 {
+				continue
+			}
+			failedTrial = true
+			// Attribute each failing lane to the first flipped gate in
+			// topological order; once a lane is blamed it is removed so
+			// downstream propagation is not double-counted.
+			remaining := fail
+			for gi := range gates {
+				flip := (cleanTrace[gi][blk] ^ badTrace[gi][blk]) & batch.mask[blk]
+				if flip == 0 {
+					continue
+				}
+				flipped[gi] += bits.OnesCount64(flip & fail)
+				if hit := flip & remaining; hit != 0 {
+					blamed[gi] += bits.OnesCount64(hit)
+					remaining &^= hit
+				}
+			}
+		}
+		if failedTrial {
+			rep.Failures++
+		}
+		lo, hi := wilson(rep.Failures, rep.Trials, cfg.Z)
+		if rep.Trials >= cfg.MinTrials && (hi-lo)/2 <= cfg.HalfWidth {
+			rep.EarlyStopped = rep.Trials < cfg.MaxTrials
+			break
+		}
+	}
+
+	rep.FailureRate = float64(rep.Failures) / float64(rep.Trials)
+	rep.Yield = 1 - rep.FailureRate
+	rep.Lo, rep.Hi = wilson(rep.Failures, rep.Trials, cfg.Z)
+	for gi, g := range gates {
+		if blamed[gi] == 0 && flipped[gi] == 0 {
+			continue
+		}
+		rep.Critical = append(rep.Critical, GateImpact{Gate: g.Name, Blamed: blamed[gi], Flipped: flipped[gi]})
+	}
+	sort.Slice(rep.Critical, func(i, j int) bool {
+		a, b := rep.Critical[i], rep.Critical[j]
+		if a.Blamed != b.Blamed {
+			return a.Blamed > b.Blamed
+		}
+		if a.Flipped != b.Flipped {
+			return a.Flipped > b.Flipped
+		}
+		return a.Gate < b.Gate
+	})
+	return rep, nil
+}
+
+func makeTrace(gates, blocks int) [][]uint64 {
+	tr := make([][]uint64, gates)
+	for i := range tr {
+		tr[i] = make([]uint64, blocks)
+	}
+	return tr
+}
+
+// String renders a one-line summary for CLI output.
+func (r *YieldReport) String() string {
+	stop := "max-trials"
+	if r.EarlyStopped {
+		stop = "early-stop"
+	}
+	return fmt.Sprintf("%s: %d/%d trials failed (rate %.3f, 95%% CI [%.3f, %.3f], yield %.3f, %s, %d vectors)",
+		r.Model, r.Failures, r.Trials, r.FailureRate, r.Lo, r.Hi, r.Yield, stop, r.Vectors)
+}

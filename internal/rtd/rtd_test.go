@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"tels/internal/core"
+	"tels/internal/logic"
 	"tels/internal/mcnc"
+	"tels/internal/network"
 	"tels/internal/opt"
 )
 
@@ -145,5 +147,125 @@ func TestMapSynthesizedBenchmark(t *testing.T) {
 	}
 	if s.RTDs <= s.Mobiles || s.HFETs == 0 {
 		t.Fatalf("implausible device counts: %+v", s)
+	}
+}
+
+// TestNegativeThresholdDriver: a gate with T < 0 (an LTG that fires even
+// with no active inputs, e.g. NOR via negative weights) still maps to a
+// physical |T| driver RTD and the Eq. 14 area stays consistent.
+func TestNegativeThresholdDriver(t *testing.T) {
+	tn := core.NewNetwork("nor")
+	tn.AddInput("a")
+	tn.AddInput("b")
+	if err := tn.AddGate(&core.Gate{
+		Name: "f", Inputs: []string{"a", "b"}, Weights: []int{-1, -1}, T: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tn.MarkOutput("f")
+	nl, err := Map(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nl.Mobiles[0]
+	for _, b := range m.Branches {
+		if !b.Falling || b.Weight != 1 {
+			t.Fatalf("negative weight mapped wrong: %+v", b)
+		}
+	}
+	if m.DriverPeak != 0 {
+		t.Fatalf("driver peak = %d, want |T| = 0", m.DriverPeak)
+	}
+	if got, want := nl.Stats().Area, tn.Area(); got != want {
+		t.Fatalf("mapped area = %d, Eq.14 area = %d", got, want)
+	}
+
+	neg := core.NewNetwork("negT")
+	neg.AddInput("a")
+	if err := neg.AddGate(&core.Gate{
+		Name: "f", Inputs: []string{"a"}, Weights: []int{-2}, T: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	neg.MarkOutput("f")
+	nl, err = Map(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Mobiles[0].DriverPeak != 1 {
+		t.Fatalf("driver peak = %d, want |T| = 1", nl.Mobiles[0].DriverPeak)
+	}
+	if got, want := nl.Stats().Area, neg.Area(); got != want {
+		t.Fatalf("mapped area = %d, Eq.14 area = %d", got, want)
+	}
+}
+
+// TestMapInvertedInputsOneToOne: a source network using inverted literals
+// synthesizes (one-to-one) into LTGs with negative input weights, and the
+// MOBILE mapping keeps each such input on a falling RTD branch.
+func TestMapInvertedInputsOneToOne(t *testing.T) {
+	nw := network.New("inv")
+	a := nw.AddInput("a")
+	b := nw.AddInput("b")
+	// f = a'·b + a·b' (XOR via inverted literals; decomposes to gates
+	// whose covers carry Neg phases).
+	f := nw.AddNode("f", []*network.Node{a, b}, logic.MustCover("01", "10"))
+	nw.MarkOutput(f)
+	o := core.DefaultOptions()
+	tn, err := core.OneToOne(nw, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Map(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	falling, total := 0, 0
+	for gi, g := range tn.Gates {
+		m := nl.Mobiles[gi]
+		bi := 0
+		for i, w := range g.Weights {
+			if w == 0 {
+				continue
+			}
+			br := m.Branches[bi]
+			bi++
+			total++
+			if br.Input != g.Inputs[i] {
+				t.Fatalf("gate %s branch %d input %q, want %q", g.Name, bi, br.Input, g.Inputs[i])
+			}
+			if br.Falling != (w < 0) || br.Weight != abs(w) {
+				t.Fatalf("gate %s weight %d mapped to %+v", g.Name, w, br)
+			}
+			if br.Falling {
+				falling++
+			}
+		}
+	}
+	if falling == 0 {
+		t.Fatalf("XOR one-to-one mapping produced no inverted (falling) branches across %d branches", total)
+	}
+	if got, want := nl.Stats().Area, tn.Area(); got != want {
+		t.Fatalf("mapped area = %d, Eq.14 area = %d", got, want)
+	}
+}
+
+// TestMapRejectsCycle: the mapper surfaces topological-order errors.
+func TestMapRejectsCycle(t *testing.T) {
+	tn := core.NewNetwork("loop")
+	tn.AddInput("a")
+	if err := tn.AddGate(&core.Gate{
+		Name: "g1", Inputs: []string{"g2", "a"}, Weights: []int{1, 1}, T: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tn.AddGate(&core.Gate{
+		Name: "g2", Inputs: []string{"g1"}, Weights: []int{1}, T: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tn.MarkOutput("g2")
+	if _, err := Map(tn); err == nil {
+		t.Fatal("cyclic network mapped without error")
 	}
 }

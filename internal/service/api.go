@@ -14,9 +14,11 @@ import (
 // SubmitRequest is the JSON wire form of a synthesis request
 // (POST /synth). It mirrors the cmd/tels flags; absent fields take the
 // same defaults the CLI uses (ψ=3, δon=0, δoff=1, algebraic script, tels
-// mapper, verification on).
+// mapper, verification on). Kind "yield" appends a Monte-Carlo yield
+// analysis configured by the Yield block.
 type SubmitRequest struct {
 	BLIF      string `json:"blif"`
+	Kind      string `json:"kind,omitempty"`
 	Script    string `json:"script,omitempty"`
 	Mapper    string `json:"mapper,omitempty"`
 	Fanin     int    `json:"fanin,omitempty"`
@@ -25,6 +27,8 @@ type SubmitRequest struct {
 	Seed      int64  `json:"seed,omitempty"`
 	Exact     bool   `json:"exact,omitempty"`
 	MaxWeight int    `json:"max_weight,omitempty"`
+	// Yield configures the analysis stage of kind "yield" jobs.
+	Yield *YieldSpec `json:"yield,omitempty"`
 	// SkipVerify disables the equivalence check.
 	SkipVerify bool `json:"skip_verify,omitempty"`
 	// TimeoutMS bounds the job's run time in milliseconds (0 = server
@@ -47,14 +51,19 @@ func (s SubmitRequest) Request() Request {
 	o.Seed = s.Seed
 	o.ExactILP = s.Exact
 	o.MaxWeight = s.MaxWeight
-	return Request{
+	req := Request{
 		BLIF:       s.BLIF,
+		Kind:       s.Kind,
 		Script:     s.Script,
 		Mapper:     s.Mapper,
 		Options:    o,
 		SkipVerify: s.SkipVerify,
 		Timeout:    time.Duration(s.TimeoutMS) * time.Millisecond,
 	}
+	if s.Yield != nil {
+		req.Yield = *s.Yield
+	}
+	return req
 }
 
 // maxBodyBytes bounds request bodies; the largest MCNC benchmark is well

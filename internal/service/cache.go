@@ -29,6 +29,14 @@ func Digest(req Request) (string, error) {
 	fmt.Fprintf(h, "tels/v1\nscript=%s\nmapper=%s\nverify=%t\n", req.Script, req.Mapper, !req.SkipVerify)
 	fmt.Fprintf(h, "fanin=%d\ndon=%d\ndoff=%d\nseed=%d\nmaxilp=%d\nexact=%t\nmaxw=%d\nnocollapse=%t\nnotheorem2=%t\nsplit=%d\n",
 		o.Fanin, o.DeltaOn, o.DeltaOff, o.Seed, o.MaxILPNodes, o.ExactILP, o.MaxWeight, o.NoCollapse, o.NoTheorem2, o.Split)
+	// Yield jobs fold the analysis knobs into the address; plain synth
+	// requests keep the original encoding so their digests are stable
+	// across this addition.
+	if req.Kind == "yield" {
+		y := req.Yield
+		fmt.Fprintf(h, "kind=yield\nymodel=%s\nyv=%g\nyp=%g\nymax=%d\nyhw=%g\nyseed=%d\n",
+			y.Model, y.V, y.P, y.MaxTrials, y.HalfWidth, y.Seed)
+	}
 	fmt.Fprintf(h, "blif=%s", canon)
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tels/internal/core"
+	"tels/internal/fsim"
 )
 
 // State is the lifecycle phase of a job.
@@ -31,12 +32,51 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// YieldSpec configures the analysis stage of a yield job.
+type YieldSpec struct {
+	// Model selects the defect model: "weight" (default), "drift", or
+	// "stuck".
+	Model string `json:"model,omitempty"`
+	// V is the variation multiplier for weight/drift models (default 0.8,
+	// the paper's §VI-C midpoint).
+	V float64 `json:"v,omitempty"`
+	// P is the per-gate stuck probability for the stuck model
+	// (default 0.01).
+	P float64 `json:"p,omitempty"`
+	// MaxTrials caps the Monte-Carlo defect instances (0 = fsim default).
+	MaxTrials int `json:"max_trials,omitempty"`
+	// HalfWidth is the early-stop CI half-width (0 = fsim default).
+	HalfWidth float64 `json:"half_width,omitempty"`
+	// Seed drives vector sampling and defect drawing.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// DefectModel instantiates the configured fsim model.
+func (y YieldSpec) DefectModel() (fsim.DefectModel, error) {
+	switch y.Model {
+	case "weight":
+		return fsim.WeightVariation{V: y.V}, nil
+	case "drift":
+		return fsim.ThresholdDrift{V: y.V}, nil
+	case "stuck":
+		return fsim.StuckAt{P: y.P}, nil
+	}
+	return nil, fmt.Errorf("service: unknown defect model %q (want weight, drift, or stuck)", y.Model)
+}
+
 // Request describes one synthesis job: the source netlist plus the knobs
 // cmd/tels exposes. The zero value of every field is usable; defaults are
 // normalized by Normalize.
 type Request struct {
 	// BLIF is the source network in BLIF text form.
 	BLIF string `json:"blif"`
+	// Kind selects the pipeline: "synth" (default) runs
+	// parse → optimize → synthesize → verify; "yield" additionally runs a
+	// Monte-Carlo yield analysis of the synthesized network on the packed
+	// fsim engine, with the parsed source as the golden reference.
+	Kind string `json:"kind,omitempty"`
+	// Yield configures the analysis stage of yield jobs.
+	Yield YieldSpec `json:"yield,omitempty"`
 	// Script selects the pre-synthesis optimization: "algebraic"
 	// (default), "boolean", or "none".
 	Script string `json:"script,omitempty"`
@@ -56,6 +96,30 @@ type Request struct {
 func (r *Request) Normalize() error {
 	if r.BLIF == "" {
 		return fmt.Errorf("service: empty blif")
+	}
+	if r.Kind == "" {
+		r.Kind = "synth"
+	}
+	switch r.Kind {
+	case "synth":
+	case "yield":
+		if r.Yield.Model == "" {
+			r.Yield.Model = "weight"
+		}
+		if r.Yield.V == 0 {
+			r.Yield.V = 0.8
+		}
+		if r.Yield.P == 0 {
+			r.Yield.P = 0.01
+		}
+		if _, err := r.Yield.DefectModel(); err != nil {
+			return err
+		}
+		if r.Yield.MaxTrials < 0 || r.Yield.HalfWidth < 0 {
+			return fmt.Errorf("service: negative yield bounds")
+		}
+	default:
+		return fmt.Errorf("service: unknown job kind %q (want synth or yield)", r.Kind)
 	}
 	if r.Script == "" {
 		r.Script = "algebraic"
@@ -95,6 +159,8 @@ type StageTimes struct {
 	Optimize   time.Duration `json:"optimize"`
 	Synthesize time.Duration `json:"synthesize"`
 	Verify     time.Duration `json:"verify"`
+	// Analyze is the yield-analysis stage (zero for synth jobs).
+	Analyze time.Duration `json:"analyze,omitempty"`
 }
 
 // Result is the outcome of a completed job.
@@ -107,6 +173,8 @@ type Result struct {
 	SynthStats core.SynthStats `json:"synth_stats"`
 	// Verified is "proved", "simulated", or "skipped".
 	Verified string `json:"verified"`
+	// Yield is the Monte-Carlo yield analysis (yield jobs only).
+	Yield *fsim.YieldReport `json:"yield,omitempty"`
 	// CacheHit marks results served from the content-addressed cache.
 	CacheHit bool `json:"cache_hit"`
 	// Stages holds the per-stage latencies of the run that produced the

@@ -23,6 +23,7 @@ type Metrics struct {
 	optimizeNS   atomic.Int64
 	synthesizeNS atomic.Int64
 	verifyNS     atomic.Int64
+	analyzeNS    atomic.Int64
 }
 
 func (m *Metrics) addStages(st StageTimes) {
@@ -30,6 +31,7 @@ func (m *Metrics) addStages(st StageTimes) {
 	m.optimizeNS.Add(int64(st.Optimize))
 	m.synthesizeNS.Add(int64(st.Synthesize))
 	m.verifyNS.Add(int64(st.Verify))
+	m.analyzeNS.Add(int64(st.Analyze))
 }
 
 // Snapshot flattens the counters into a name → value map ready for JSON
@@ -50,6 +52,7 @@ func (m *Metrics) Snapshot(perState map[State]int, cacheLen int) map[string]int6
 		"stage_optimize_ns_sum":   m.optimizeNS.Load(),
 		"stage_synthesize_ns_sum": m.synthesizeNS.Load(),
 		"stage_verify_ns_sum":     m.verifyNS.Load(),
+		"stage_analyze_ns_sum":    m.analyzeNS.Load(),
 	}
 	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
 		out["jobs_state_"+string(s)] = int64(perState[s])

@@ -388,3 +388,101 @@ func TestManagerCloseRejectsSubmit(t *testing.T) {
 	}
 	m.Close() // idempotent
 }
+
+// TestYieldJob runs a kind "yield" job end to end: the result carries a
+// deterministic yield report, the analyze stage is timed, and an
+// identical resubmission is served from the cache with the same report.
+func TestYieldJob(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2})
+	req := Request{
+		BLIF:  testBlif,
+		Kind:  "yield",
+		Yield: YieldSpec{Model: "weight", V: 2.0, MaxTrials: 200, Seed: 3},
+	}
+	job, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("state = %s (%s)", done.State, done.Error)
+	}
+	rep := done.Result.Yield
+	if rep == nil || rep.Trials == 0 || rep.Vectors != 8 {
+		t.Fatalf("bad yield report: %+v", rep)
+	}
+	if done.Result.Stages.Analyze <= 0 {
+		t.Fatalf("analyze stage not timed: %+v", done.Result.Stages)
+	}
+
+	again, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2, err := m.Wait(context.Background(), again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done2.Result.CacheHit {
+		t.Fatal("identical yield job should be a cache hit")
+	}
+	r2 := done2.Result.Yield
+	if r2.Trials != rep.Trials || r2.Failures != rep.Failures || r2.FailureRate != rep.FailureRate {
+		t.Fatalf("cached report differs: %+v vs %+v", r2, rep)
+	}
+}
+
+// TestYieldRequestValidation rejects unknown kinds and defect models and
+// keeps yield knobs out of plain synthesis digests.
+func TestYieldRequestValidation(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	bad := []Request{
+		{BLIF: testBlif, Kind: "wat"},
+		{BLIF: testBlif, Kind: "yield", Yield: YieldSpec{Model: "cosmic-ray"}},
+		{BLIF: testBlif, Kind: "yield", Yield: YieldSpec{MaxTrials: -1}},
+	}
+	for i, req := range bad {
+		if _, err := m.Submit(req); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+
+	synth := testRequest()
+	if err := synth.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	yield := Request{BLIF: testBlif, Kind: "yield"}
+	if err := yield.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Digest(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy, err := Digest(yield)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds == dy {
+		t.Fatal("yield job shares a digest with plain synthesis")
+	}
+	seeded := yield
+	seeded.Yield.Seed = 99
+	dseed, err := Digest(seeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dseed == dy {
+		t.Fatal("yield seed must change the digest")
+	}
+
+	// The wire form carries the yield block through to the typed request.
+	sr := SubmitRequest{BLIF: testBlif, Kind: "yield", Yield: &YieldSpec{Model: "drift", V: 1.5}}
+	req := sr.Request()
+	if req.Kind != "yield" || req.Yield.Model != "drift" || req.Yield.V != 1.5 {
+		t.Fatalf("wire conversion dropped yield spec: %+v", req)
+	}
+}

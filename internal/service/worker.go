@@ -7,6 +7,7 @@ import (
 
 	"tels/internal/blif"
 	"tels/internal/core"
+	"tels/internal/fsim"
 	"tels/internal/network"
 	"tels/internal/opt"
 	"tels/internal/sim"
@@ -97,11 +98,33 @@ func runPipeline(ctx context.Context, req Request) (Result, error) {
 		return Result{}, err
 	}
 
+	var yield *fsim.YieldReport
+	if req.Kind == "yield" {
+		model, err := req.Yield.DefectModel()
+		if err != nil {
+			return Result{}, err
+		}
+		t = time.Now()
+		yield, err = fsim.EstimateYield(src, tn, model, fsim.YieldConfig{
+			MaxTrials: req.Yield.MaxTrials,
+			HalfWidth: req.Yield.HalfWidth,
+			Seed:      req.Yield.Seed,
+		})
+		st.Analyze = time.Since(t)
+		if err != nil {
+			return Result{}, fmt.Errorf("service: yield analysis: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
 	return Result{
 		TLN:        tn.String(),
 		Stats:      tn.Stats(),
 		SynthStats: synthStats,
 		Verified:   verified,
+		Yield:      yield,
 		Stages:     st,
 	}, nil
 }

@@ -3,6 +3,13 @@
 // perturbation experiments of §VI-C: every synthesized benchmark is
 // simulated with disturbed weights w' = w + v·U(−0.5, 0.5) and counted as
 // failed if any input vector produces a wrong output.
+//
+// The hot paths (Equivalent's simulation sweep and FailureRate's
+// Monte-Carlo inner loop) run word-parallel through internal/fsim, 64
+// vectors per machine word; the scalar evaluators in this package remain
+// the correctness oracle (FailureRateConfig.Scalar and EquivalentScalar
+// force them), and both paths consume the seeded RNG streams identically,
+// so packed and scalar runs produce the same results.
 package sim
 
 import (
@@ -12,6 +19,7 @@ import (
 	"sync"
 
 	"tels/internal/core"
+	"tels/internal/fsim"
 	"tels/internal/network"
 )
 
@@ -49,10 +57,58 @@ func Vectors(nw *network.Network, samples int, rng *rand.Rand) []map[string]bool
 	return out
 }
 
+// inputNames returns the Boolean network's primary-input names in order.
+func inputNames(nw *network.Network) []string {
+	names := make([]string, len(nw.Inputs))
+	for i, in := range nw.Inputs {
+		names[i] = in.Name
+	}
+	return names
+}
+
+// packedBatch builds the packed counterpart of Vectors: exhaustive for
+// narrow networks, `samples` random vectors otherwise, consuming rng
+// exactly as Vectors would.
+func packedBatch(nw *network.Network, samples int, rng *rand.Rand) *fsim.Batch {
+	names := inputNames(nw)
+	if len(names) <= ExhaustiveLimit {
+		return fsim.Exhaustive(names)
+	}
+	return fsim.Random(names, samples, rng)
+}
+
 // Equivalent checks that the threshold network computes the same outputs
 // as the Boolean network on all vectors (or a random sample for wide
-// networks). It returns a descriptive error on the first mismatch.
+// networks). It returns a descriptive error on the first mismatch. The
+// sweep runs word-parallel when both networks compile for the packed
+// engine, and falls back to EquivalentScalar otherwise (e.g. a gate
+// beyond fsim.PackedFaninLimit).
 func Equivalent(nw *network.Network, tn *core.Network, seed int64) error {
+	bsim, berr := fsim.CompileBool(nw)
+	tsim, terr := fsim.CompileThresh(tn)
+	if berr != nil || terr != nil {
+		return EquivalentScalar(nw, tn, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	batch := packedBatch(nw, DefaultRandomVectors, rng)
+	want, err := bsim.Eval(batch)
+	if err != nil {
+		return err
+	}
+	got, err := tsim.Eval(batch)
+	if err != nil {
+		return err
+	}
+	if vec, out, bad := batch.FirstDiff(want, got); bad {
+		in := batch.Assignment(vec)
+		return fmt.Errorf("sim: output %s mismatches on %v: boolean=%v threshold=%v",
+			nw.Outputs[out].Name, in, fsim.Bit(want[out], vec), fsim.Bit(got[out], vec))
+	}
+	return nil
+}
+
+// EquivalentScalar is the one-vector-at-a-time oracle behind Equivalent.
+func EquivalentScalar(nw *network.Network, tn *core.Network, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	bev, err := nw.NewEvaluator()
 	if err != nil {
@@ -92,16 +148,27 @@ type Perturbation struct {
 // network: each weight receives an independent v·U(−0.5, 0.5) offset, per
 // §VI-C.
 func PerturbFor(ev *core.Evaluator, v float64, rng *rand.Rand) *Perturbation {
-	order := ev.GateOrder()
-	p := &Perturbation{noise: make([][]float64, len(order))}
+	return &Perturbation{noise: drawNoise(ev.GateOrder(), v, rng)}
+}
+
+// Noise exposes the per-gate weight offsets in evaluator gate order (the
+// layout core.Evaluator.EvalPerturbed and fsim.ThreshSim.EvalPerturbed
+// both accept).
+func (p *Perturbation) Noise() [][]float64 { return p.noise }
+
+// drawNoise samples one §VI-C disturbance for gates in evaluation order.
+// Both the scalar and packed paths draw through here, so they consume the
+// RNG identically.
+func drawNoise(order []*core.Gate, v float64, rng *rand.Rand) [][]float64 {
+	noise := make([][]float64, len(order))
 	for gi, g := range order {
 		n := make([]float64, len(g.Weights))
 		for i := range n {
 			n[i] = v * (rng.Float64() - 0.5)
 		}
-		p.noise[gi] = n
+		noise[gi] = n
 	}
-	return p
+	return noise
 }
 
 // Perturb draws a disturbance for the network (convenience wrapper that
@@ -171,6 +238,10 @@ type FailureRateConfig struct {
 	Trials  int   // disturbed instances per circuit (default 10)
 	Samples int   // random vectors for wide circuits (default DefaultRandomVectors)
 	Seed    int64 // RNG seed
+	// Scalar forces the one-vector-at-a-time oracle path instead of the
+	// packed fsim engine (for cross-checks and benchmarks; both paths
+	// produce identical results).
+	Scalar bool
 }
 
 // FailureRate measures the fraction of (circuit, disturbance) trials that
@@ -222,9 +293,21 @@ func FailureRate(pairs []Pair, v float64, cfg FailureRateConfig) (float64, error
 	return float64(failed) / float64(len(pairs)*cfg.Trials), nil
 }
 
-// pairFailures runs the trials for one circuit with a per-pair RNG stream.
+// pairFailures runs the trials for one circuit with a per-pair RNG
+// stream: word-parallel through fsim when both networks compile for the
+// packed engine, through the scalar oracle otherwise. The two paths draw
+// vectors and disturbances in the same RNG order and the packed perturbed
+// evaluator reproduces the scalar float association exactly, so they
+// count the same failures.
 func pairFailures(pair Pair, v float64, cfg FailureRateConfig, idx int64) (int, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed + 1_000_003*idx))
+	if !cfg.Scalar {
+		bsim, berr := fsim.CompileBool(pair.Bool)
+		tsim, terr := fsim.CompileThresh(pair.Threshold)
+		if berr == nil && terr == nil {
+			return packedPairFailures(pair, bsim, tsim, v, cfg, rng)
+		}
+	}
 	vectors := Vectors(pair.Bool, cfg.Samples, rng)
 	bev, err := pair.Bool.NewEvaluator()
 	if err != nil {
@@ -242,6 +325,36 @@ func pairFailures(pair Pair, v float64, cfg FailureRateConfig, idx int64) (int, 
 			return 0, err
 		}
 		if bad {
+			failed++
+		}
+	}
+	return failed, nil
+}
+
+// packedPairFailures is the Fig. 11/12 inner loop on the packed engine:
+// the golden outputs are evaluated once per pair, then each disturbance
+// re-derives the gate fire tables and sweeps all vectors 64 lanes at a
+// time.
+func packedPairFailures(pair Pair, bsim *fsim.BoolSim, tsim *fsim.ThreshSim,
+	v float64, cfg FailureRateConfig, rng *rand.Rand) (int, error) {
+	batch := packedBatch(pair.Bool, cfg.Samples, rng)
+	ref, err := bsim.Eval(batch)
+	if err != nil {
+		return 0, err
+	}
+	golden := make([][]uint64, len(ref))
+	for o := range ref {
+		golden[o] = append([]uint64(nil), ref[o]...)
+	}
+	order := tsim.GateOrder()
+	failed := 0
+	for trial := 0; trial < cfg.Trials; trial++ {
+		noise := drawNoise(order, v, rng)
+		got, err := tsim.EvalPerturbed(batch, noise)
+		if err != nil {
+			return 0, err
+		}
+		if batch.Differs(golden, got) {
 			failed++
 		}
 	}
