@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race benchsmoke cover bench fuzz experiments examples serve ci clean
+.PHONY: all build test race benchsmoke sweepsmoke cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -15,11 +15,17 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/ ./internal/fsim/
+	$(GO) test -race -run 'Sweep|Session|V1' -count=2 ./internal/service/ ./internal/fsim/
 
 # benchsmoke compiles and runs the packed-vs-scalar Fig. 11 benchmark once
 # (correctness smoke, not a measurement).
 benchsmoke:
 	$(GO) test -run=NONE -bench=Fig11Inner -benchtime=1x .
+
+# sweepsmoke fans a tiny 3-point grid through an in-process sweep job
+# (quick Fig. 11 path through the service, correctness smoke).
+sweepsmoke:
+	$(GO) run ./cmd/telsbench -quick sweep
 
 # serve runs the synthesis daemon on :8455 (override with ADDR=...).
 ADDR ?= :8455
@@ -27,7 +33,7 @@ serve:
 	$(GO) run ./cmd/telsd -addr $(ADDR)
 
 # ci is the exact gate GitHub Actions runs.
-ci: build test race benchsmoke
+ci: build test race benchsmoke sweepsmoke
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

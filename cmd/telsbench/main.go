@@ -11,7 +11,9 @@
 //	telsbench unate           §VI-B unate/threshold census
 //	telsbench weights         synthesis under RTD weight-ratio bounds (extension)
 //	telsbench seeds           tie-break-seed robustness (extension)
-//	telsbench all             everything above
+//	telsbench sweep           Fig. 11 grid through the telsd sweep job kind,
+//	                          fanned vs sequential wall-clock comparison
+//	telsbench all             everything above (except sweep)
 //
 // The -quick flag shrinks the Monte-Carlo grids and skips the largest
 // benchmark (i10) for a fast smoke run. The -json flag replaces the
@@ -21,18 +23,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
+	"tels/internal/blif"
 	"tels/internal/cli"
 	"tels/internal/core"
 	"tels/internal/enum"
 	"tels/internal/expt"
 	"tels/internal/mcnc"
+	"tels/internal/service"
 )
 
 func main() {
@@ -112,6 +118,8 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		return weightSweep(o)
 	case "seeds":
 		return seedSweep(o, quick)
+	case "sweep":
+		return serviceSweep(quick, seed)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return table1(o, quick, false, emit) },
@@ -327,5 +335,90 @@ func timing(o core.Options, quick bool) error {
 		return err
 	}
 	fmt.Print(expt.RenderTiming(rows))
+	return nil
+}
+
+// serviceSweep reproduces one Fig. 11 curve (failure rate vs weight
+// variation at δon=2) through the service's sweep job kind and compares
+// its wall-clock against the same six points run as sequential standalone
+// yield jobs. The sweep synthesizes the δon prefix once and fans the
+// points across the worker pool; the sequential loop pays the full
+// parse → synthesize → verify → estimate pipeline per point.
+func serviceSweep(quick bool, seed int64) error {
+	const name = "cm85a"
+	const deltaOn = 2
+	vs := []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	maxTrials := 4000
+	if quick {
+		vs = []float64{1.0, 2.0, 3.0} // 3-point smoke grid
+		maxTrials = 400
+	}
+	src, err := blif.WriteString(mcnc.Build(name))
+	if err != nil {
+		return err
+	}
+	yield := service.YieldSpec{
+		Model:     "weight",
+		MaxTrials: maxTrials,
+		HalfWidth: 0.001, // effectively disable early stop: every point pays MaxTrials
+		Seed:      seed,
+	}
+	base := service.Request{BLIF: src, Yield: yield}
+	base.Options.DeltaOn = deltaOn
+
+	// Sequential baseline: six standalone yield jobs, each awaited before
+	// the next is submitted. A fresh manager per arm keeps the caches
+	// independent.
+	seqMgr := service.New(service.Config{})
+	defer seqMgr.Close()
+	seqStart := time.Now()
+	for _, v := range vs {
+		req := base
+		req.Kind = "yield"
+		req.Yield.V = v
+		job, err := seqMgr.Submit(req)
+		if err != nil {
+			return err
+		}
+		done, err := seqMgr.Wait(context.Background(), job.ID)
+		if err != nil {
+			return err
+		}
+		if done.State != service.StateDone {
+			return fmt.Errorf("sequential point v=%g: %s (%s)", v, done.State, done.Error)
+		}
+	}
+	seq := time.Since(seqStart)
+
+	fanMgr := service.New(service.Config{})
+	defer fanMgr.Close()
+	req := base
+	req.Kind = "sweep"
+	req.Sweep = service.SweepSpec{Vs: vs}
+	fanStart := time.Now()
+	job, err := fanMgr.Submit(req)
+	if err != nil {
+		return err
+	}
+	done, err := fanMgr.Wait(context.Background(), job.ID)
+	if err != nil {
+		return err
+	}
+	fan := time.Since(fanStart)
+	if done.State != service.StateDone {
+		return fmt.Errorf("sweep: %s (%s)", done.State, done.Error)
+	}
+	sr := done.Result.Sweep
+
+	fmt.Printf("Fig. 11 via telsd sweep — %s, δon=%d, %d trials/point, %d workers\n\n",
+		name, deltaOn, maxTrials, fanMgr.Workers())
+	fmt.Printf("%6s | %12s\n", "v", "failure rate")
+	fmt.Println("---------------------")
+	for _, p := range sr.Points {
+		fmt.Printf("%6.2f | %12.4f\n", p.V, p.FailureRate)
+	}
+	fmt.Printf("\nsequential yield jobs: %8.1f ms\n", float64(seq.Microseconds())/1000)
+	fmt.Printf("sweep job (fanned):    %8.1f ms\n", float64(fan.Microseconds())/1000)
+	fmt.Printf("speedup:               %8.2fx\n", float64(seq)/float64(fan))
 	return nil
 }

@@ -6,23 +6,30 @@
 //
 //	telsd -addr :8455 -workers 8 -cache 256
 //
-// Besides plain synthesis jobs, {"kind": "yield"} jobs append a
-// Monte-Carlo yield analysis on the packed fsim engine: the synthesized
-// network is re-simulated under a defect model ({"yield": {"model":
-// "weight"|"drift"|"stuck", ...}}) with CI-based early stopping, and the
-// result carries the failure rate, Wilson interval, and critical-gate
-// ranking. Yield jobs are cached content-addressed like synthesis jobs,
-// with the defect knobs folded into the digest.
+// Submissions are kind-tagged: {"kind": "synth"} runs the flow above;
+// {"kind": "yield"} appends a Monte-Carlo yield analysis on the packed
+// fsim engine ({"model": "weight"|"drift"|"stuck", ...}) with CI-based
+// early stopping, the result carrying the failure rate, Wilson interval,
+// and critical-gate ranking; {"kind": "sweep"} fans a grid of yield
+// points (vs × delta_ons × models) across the worker pool, synthesizing
+// each δon prefix once and caching every point under the digest of the
+// equivalent standalone yield job. Polling a running sweep returns its
+// partial curve and a done_points/total_points counter.
 //
-// Endpoints:
+// Endpoints (v1):
 //
-//	POST   /synth            submit a job ({"blif": "...", "fanin": 3, ...})
-//	GET    /jobs             list retained jobs
-//	GET    /jobs/{id}        job status and result
-//	GET    /jobs/{id}/tln    the synthesized threshold netlist (text)
-//	POST   /jobs/{id}/cancel cancel a queued or running job
-//	GET    /healthz          liveness probe
-//	GET    /metrics          job, cache, and latency counters
+//	POST   /v1/jobs             submit {"kind": ..., "spec": {...}}
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status, result, and sweep progress
+//	GET    /v1/jobs/{id}/tln    the synthesized threshold netlist (text)
+//	POST   /v1/jobs/{id}/cancel cancel a queued or running job
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/metrics          job, cache, sweep, and latency counters
+//
+// Errors are uniformly {"error": {"code", "message"}}. The pre-v1 routes
+// (POST /synth with the flat request body, and the unversioned /jobs,
+// /healthz, /metrics mirrors) remain as deprecated adapters for one
+// release.
 package main
 
 import (

@@ -10,25 +10,37 @@
 //	telsim faults <impl.tln> [-n N] [-seed S]     single stuck-at fault sweep
 //	telsim yield <golden.blif> <impl.tln> [-model weight|drift|stuck]
 //	       [-v V] [-p P] [-maxtrials K] [-eps E]  Monte-Carlo yield estimate
+//	telsim sweep <golden.blif> [-vs 0.4,0.8] [-dons 0,2] [-models weight]
+//	       [-server URL] [-workers N]             yield curve via the service
 //	telsim dot <net.tln>                          Graphviz export
 //
 // faults and yield run on the packed fsim engine: 64 vectors per machine
 // word, exhaustive up to fsim.ExhaustiveInputs inputs, sampled beyond.
+//
+// sweep submits one kind="sweep" job — to a running telsd when -server is
+// given, to an in-process manager otherwise — synthesizing each δon once
+// and fanning the grid points across the worker pool. Progress is polled
+// from GET /v1/jobs/{id} and printed as points land.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"tels/internal/blif"
 	"tels/internal/cli"
 	"tels/internal/core"
 	"tels/internal/fsim"
 	"tels/internal/network"
+	"tels/internal/service"
 	"tels/internal/sim"
 )
 
@@ -42,6 +54,15 @@ type options struct {
 	eps       float64
 	model     string
 	p         float64
+
+	// sweep grid and transport
+	vs       string
+	dons     string
+	models   string
+	inflight int
+	server   string
+	workers  int
+	quiet    bool
 }
 
 func main() {
@@ -54,12 +75,19 @@ func main() {
 	flag.Float64Var(&o.eps, "eps", 0.02, "yield early-stop CI half-width")
 	flag.StringVar(&o.model, "model", "weight", "yield defect model: weight, drift, or stuck")
 	flag.Float64Var(&o.p, "p", 0.01, "per-gate stuck probability for -model stuck")
+	flag.StringVar(&o.vs, "vs", "", "sweep: comma-separated variation multipliers (default -v)")
+	flag.StringVar(&o.dons, "dons", "", "sweep: comma-separated δon margins (default the synthesis default)")
+	flag.StringVar(&o.models, "models", "", "sweep: comma-separated defect models (default -model)")
+	flag.IntVar(&o.inflight, "inflight", 0, "sweep: max concurrently outstanding points (default worker count)")
+	flag.StringVar(&o.server, "server", "", "sweep: telsd base URL (default: in-process manager)")
+	flag.IntVar(&o.workers, "workers", 0, "sweep: in-process worker-pool size (default NumCPU)")
 	quiet := flag.Bool("q", false, "suppress informational diagnostics")
 	flag.Parse()
+	o.quiet = *quiet
 	t := cli.New("telsim")
 	t.Quiet = *quiet
 	if flag.NArg() < 1 {
-		t.Usage("need a command (info, run, compare, perturb, faults, yield, dot)")
+		t.Usage("need a command (info, run, compare, perturb, faults, yield, sweep, dot)")
 	}
 	t.Fail(run(flag.Arg(0), flag.Args()[1:], o))
 }
@@ -122,6 +150,11 @@ func run(cmd string, args []string, o options) error {
 			return fmt.Errorf("yield needs <golden.blif> <impl.tln>")
 		}
 		return yield(args[0], args[1], o)
+	case "sweep":
+		if len(args) != 1 {
+			return fmt.Errorf("sweep needs <golden.blif>")
+		}
+		return sweep(args[0], o)
 	case "dot":
 		if len(args) != 1 {
 			return fmt.Errorf("dot needs one .tln netlist")
@@ -357,4 +390,147 @@ func yield(golden, impl string, o options) error {
 			n+1, s.Gate, s.Blamed, s.Flipped)
 	}
 	return nil
+}
+
+// sweep drives one kind="sweep" job through the service layer and renders
+// the resulting yield curve.
+func sweep(golden string, o options) error {
+	src, err := os.ReadFile(golden)
+	if err != nil {
+		return err
+	}
+	vs, err := parseFloats(o.vs)
+	if err != nil {
+		return fmt.Errorf("-vs: %w", err)
+	}
+	dons, err := parseInts(o.dons)
+	if err != nil {
+		return fmt.Errorf("-dons: %w", err)
+	}
+	var models []string
+	if o.models != "" {
+		models = strings.Split(o.models, ",")
+	}
+	spec := service.SweepJobSpec{
+		SynthSpec: service.SynthSpec{BLIF: string(src), Seed: o.seed},
+		Yield: service.YieldSpec{
+			Model:     o.model,
+			V:         o.v,
+			P:         o.p,
+			MaxTrials: o.maxTrials,
+			HalfWidth: o.eps,
+			Seed:      o.seed,
+		},
+		Sweep: service.SweepSpec{Vs: vs, DeltaOns: dons, Models: models, MaxInFlight: o.inflight},
+	}
+	ctx := context.Background()
+
+	var final service.Job
+	progress := func(j service.Job) {
+		if o.quiet || j.Progress == nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\rsweep %s: %d/%d points", j.ID, j.Progress.DonePoints, j.Progress.TotalPoints)
+	}
+	if o.server != "" {
+		c := &service.Client{BaseURL: o.server, PollInterval: 100 * time.Millisecond}
+		job, err := c.SubmitSweep(ctx, spec)
+		if err != nil {
+			return err
+		}
+		final, err = c.Wait(ctx, job.ID, progress)
+		if err != nil {
+			return err
+		}
+	} else {
+		m := service.New(service.Config{Workers: o.workers})
+		defer m.Close()
+		env, err := specEnvelope(spec)
+		if err != nil {
+			return err
+		}
+		req, err := env.Request()
+		if err != nil {
+			return err
+		}
+		job, err := m.Submit(req)
+		if err != nil {
+			return err
+		}
+		for {
+			snap, ok := m.Get(job.ID)
+			if !ok {
+				return fmt.Errorf("job %s vanished", job.ID)
+			}
+			progress(snap)
+			if snap.State.Terminal() {
+				final = snap
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if !o.quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("sweep %s: %s", final.State, final.Error)
+	}
+	sr := final.Result.Sweep
+	fmt.Printf("# sweep of %s: %d points in %d ms\n", golden, sr.DonePoints, sr.WallMS)
+	fmt.Printf("%-4s %-8s %-6s %-6s %-6s %-10s %-8s %s\n",
+		"don", "model", "v", "gates", "area", "fail_rate", "yield", "cache")
+	for _, p := range sr.Points {
+		if p.Error != "" {
+			fmt.Printf("%-4d %-8s %-6.2f point failed: %s\n", p.DeltaOn, p.Model, p.V, p.Error)
+			continue
+		}
+		cache := "miss"
+		if p.CacheHit {
+			cache = "hit"
+		}
+		fmt.Printf("%-4d %-8s %-6.2f %-6d %-6d %-10.4f %-8.4f %s\n",
+			p.DeltaOn, p.Model, p.V, p.Gates, p.Area, p.FailureRate, p.Yield, cache)
+	}
+	return nil
+}
+
+// specEnvelope wraps a sweep spec in its kind-tagged submission, the same
+// bytes the HTTP path sends.
+func specEnvelope(spec service.SweepJobSpec) (service.SubmitEnvelope, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return service.SubmitEnvelope{}, err
+	}
+	return service.SubmitEnvelope{Kind: "sweep", Spec: raw}, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

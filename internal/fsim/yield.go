@@ -110,16 +110,107 @@ func wilson(fails, n int, z float64) (lo, hi float64) {
 	return lo, hi
 }
 
+// YieldSession is the point-level entry for repeated yield measurements
+// of one (golden, implementation) pair: the input batch is packed and the
+// golden Boolean reference is evaluated once at session build, then every
+// Estimate call reuses them and only re-runs the Monte-Carlo trial loop.
+// A sweep over defect models or variation multipliers amortizes the
+// packing and reference simulation across all its points.
+//
+// The shared state is immutable after NewYieldSession, and each Estimate
+// call compiles its own private threshold evaluator, so Estimate is safe
+// for concurrent use from multiple goroutines.
+type YieldSession struct {
+	tn     *core.Network
+	batch  *Batch
+	golden [][]uint64
+	// random records that the batch was sampled (wide network) rather
+	// than exhaustive, and how many vectors were drawn; Estimate uses it
+	// to keep its defect RNG stream aligned with EstimateYield's.
+	random  bool
+	seed    int64 // the seed that drew a random batch
+	samples int
+}
+
+// NewYieldSession packs the vector batch (exhaustive up to
+// ExhaustiveInputs inputs, cfg.Samples random vectors beyond) and records
+// the golden Boolean outputs. Only cfg.Samples and cfg.Seed are read; the
+// trial knobs are per-Estimate.
+func NewYieldSession(nw *network.Network, tn *core.Network, cfg YieldConfig) (*YieldSession, error) {
+	cfg = cfg.withDefaults()
+	bsim, err := CompileBool(nw)
+	if err != nil {
+		return nil, err
+	}
+	// Probe the threshold side now so a fanin overflow fails at session
+	// build rather than on the first point.
+	if _, err := CompileThresh(tn); err != nil {
+		return nil, err
+	}
+	inputs := make([]string, len(nw.Inputs))
+	for i, in := range nw.Inputs {
+		inputs[i] = in.Name
+	}
+	s := &YieldSession{tn: tn, seed: cfg.Seed, samples: cfg.Samples}
+	if len(inputs) <= ExhaustiveInputs {
+		s.batch = Exhaustive(inputs)
+	} else {
+		// Consume the seed stream exactly as EstimateYield does so the
+		// defect draws that follow in Estimate stay aligned.
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		s.batch = Random(inputs, cfg.Samples, rng)
+		s.random = true
+	}
+	ref, err := bsim.Eval(s.batch)
+	if err != nil {
+		return nil, err
+	}
+	s.golden = make([][]uint64, len(ref))
+	for o := range ref {
+		s.golden[o] = append([]uint64(nil), ref[o]...)
+	}
+	return s, nil
+}
+
+// Vectors reports the packed vector count shared by every point.
+func (s *YieldSession) Vectors() int { return s.batch.Len() }
+
+// Estimate runs one Monte-Carlo yield measurement against the session's
+// shared batch and golden outputs. For exhaustive batches the report is
+// bit-identical to EstimateYield with the same arguments for any
+// cfg.Seed; for randomly sampled batches that equivalence holds when
+// cfg.Seed matches the session's build seed (other seeds still measure
+// the session's fixed vector sample, with defect draws from cfg.Seed).
+func (s *YieldSession) Estimate(model DefectModel, cfg YieldConfig) (*YieldReport, error) {
+	cfg = cfg.withDefaults()
+	tsim, err := CompileThresh(s.tn)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if s.random && cfg.Seed == s.seed {
+		// EstimateYield draws the batch from the same stream before the
+		// first defect; replay that consumption (one Intn(2) per bit,
+		// vector-major) so the defect sequence matches it exactly.
+		for i := 0; i < s.samples*len(s.batch.Inputs()); i++ {
+			rng.Intn(2)
+		}
+	}
+	return s.estimate(tsim, model, cfg, rng)
+}
+
 // EstimateYield measures the fraction of defect instances under which the
 // threshold network computes a wrong output on any vector ("the circuit
 // fails if there exists any input vector with which TELS generates a
 // wrong output value"), stopping early once the failure-rate confidence
 // interval is tighter than cfg.HalfWidth. The Boolean network is the
 // golden reference; failures are attributed to critical gates by first
-// topological flip.
+// topological flip. Callers measuring many points of the same pair
+// should build a YieldSession instead, which packs the batch and golden
+// reference once.
 func EstimateYield(nw *network.Network, tn *core.Network, model DefectModel, cfg YieldConfig) (*YieldReport, error) {
 	cfg = cfg.withDefaults()
-	bsim, err := CompileBool(nw)
+	s, err := NewYieldSession(nw, tn, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -127,27 +218,22 @@ func EstimateYield(nw *network.Network, tn *core.Network, model DefectModel, cfg
 	if err != nil {
 		return nil, err
 	}
+	// Re-derive the RNG the session used for batch sampling so defect
+	// draws continue the same stream (no-op consumption for exhaustive
+	// batches, matching the historical single-call behavior).
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	inputs := make([]string, len(nw.Inputs))
-	for i, in := range nw.Inputs {
-		inputs[i] = in.Name
+	if s.random {
+		for i := 0; i < cfg.Samples*len(s.batch.Inputs()); i++ {
+			rng.Intn(2)
+		}
 	}
-	var batch *Batch
-	if len(inputs) <= ExhaustiveInputs {
-		batch = Exhaustive(inputs)
-	} else {
-		batch = Random(inputs, cfg.Samples, rng)
-	}
+	return s.estimate(tsim, model, cfg, rng)
+}
 
-	ref, err := bsim.Eval(batch)
-	if err != nil {
-		return nil, err
-	}
-	golden := make([][]uint64, len(ref))
-	for o := range ref {
-		golden[o] = append([]uint64(nil), ref[o]...)
-	}
-
+// estimate is the shared trial loop; tsim and rng are private to the
+// call, everything reached through s is read-only.
+func (s *YieldSession) estimate(tsim *ThreshSim, model DefectModel, cfg YieldConfig, rng *rand.Rand) (*YieldReport, error) {
+	batch, golden := s.batch, s.golden
 	gates := tsim.GateOrder()
 	cleanTrace := makeTrace(len(gates), batch.Blocks())
 	if _, err := tsim.EvalDefect(batch, nil, cleanTrace); err != nil {

@@ -11,11 +11,131 @@ import (
 	"tels/internal/core"
 )
 
-// SubmitRequest is the JSON wire form of a synthesis request
-// (POST /synth). It mirrors the cmd/tels flags; absent fields take the
-// same defaults the CLI uses (ψ=3, δon=0, δoff=1, algebraic script, tels
-// mapper, verification on). Kind "yield" appends a Monte-Carlo yield
-// analysis configured by the Yield block.
+// The wire API is versioned under /v1/. A submission is a kind-tagged
+// spec union —
+//
+//	{"kind": "synth", "spec": {"blif": "...", "fanin": 3, ...}}
+//	{"kind": "yield", "spec": {..synth fields.., "yield": {...}}}
+//	{"kind": "sweep", "spec": {..synth fields.., "yield": {...}, "sweep": {"vs": [...]}}}
+//
+// — so each kind owns its own spec shape instead of growing one flat
+// struct. The pre-v1 routes (POST /synth with the flat SubmitRequest,
+// GET /jobs, ...) remain as thin adapters for one release; new clients
+// and service.Client speak v1.
+
+// SynthSpec is the v1 wire form of the synthesis knobs shared by every
+// job kind. It mirrors the cmd/tels flags; absent fields take the same
+// defaults the CLI uses (ψ=3, δon=0, δoff=1, algebraic script, tels
+// mapper, verification on).
+type SynthSpec struct {
+	BLIF      string `json:"blif"`
+	Script    string `json:"script,omitempty"`
+	Mapper    string `json:"mapper,omitempty"`
+	Fanin     int    `json:"fanin,omitempty"`
+	DeltaOn   *int   `json:"delta_on,omitempty"`
+	DeltaOff  *int   `json:"delta_off,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Exact     bool   `json:"exact,omitempty"`
+	MaxWeight int    `json:"max_weight,omitempty"`
+	// SkipVerify disables the equivalence check.
+	SkipVerify bool `json:"skip_verify,omitempty"`
+	// TimeoutMS bounds the job's run time in milliseconds (0 = server
+	// default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// request converts the synthesis knobs to the typed job request.
+func (s SynthSpec) request() Request {
+	o := core.DefaultOptions()
+	if s.Fanin != 0 {
+		o.Fanin = s.Fanin
+	}
+	if s.DeltaOn != nil {
+		o.DeltaOn = *s.DeltaOn
+	}
+	if s.DeltaOff != nil {
+		o.DeltaOff = *s.DeltaOff
+	}
+	o.Seed = s.Seed
+	o.ExactILP = s.Exact
+	o.MaxWeight = s.MaxWeight
+	return Request{
+		BLIF:       s.BLIF,
+		Script:     s.Script,
+		Mapper:     s.Mapper,
+		Options:    o,
+		SkipVerify: s.SkipVerify,
+		Timeout:    time.Duration(s.TimeoutMS) * time.Millisecond,
+	}
+}
+
+// YieldJobSpec is the v1 spec of kind "yield": synthesis knobs plus the
+// Monte-Carlo analysis configuration.
+type YieldJobSpec struct {
+	SynthSpec
+	Yield YieldSpec `json:"yield"`
+}
+
+// SweepJobSpec is the v1 spec of kind "sweep": synthesis knobs, the base
+// yield point, and the grid fanned across the worker pool.
+type SweepJobSpec struct {
+	SynthSpec
+	Yield YieldSpec `json:"yield"`
+	Sweep SweepSpec `json:"sweep"`
+}
+
+// SubmitEnvelope is the kind-tagged v1 submission body.
+type SubmitEnvelope struct {
+	Kind string          `json:"kind"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// Request decodes the envelope's spec according to its kind.
+func (e SubmitEnvelope) Request() (Request, error) {
+	kind := e.Kind
+	if kind == "" {
+		kind = "synth"
+	}
+	if len(e.Spec) == 0 {
+		return Request{}, fmt.Errorf("service: submission has no spec")
+	}
+	switch kind {
+	case "synth":
+		var s SynthSpec
+		if err := json.Unmarshal(e.Spec, &s); err != nil {
+			return Request{}, fmt.Errorf("service: decode synth spec: %w", err)
+		}
+		return s.request(), nil
+	case "yield":
+		var s YieldJobSpec
+		if err := json.Unmarshal(e.Spec, &s); err != nil {
+			return Request{}, fmt.Errorf("service: decode yield spec: %w", err)
+		}
+		req := s.SynthSpec.request()
+		req.Kind = "yield"
+		req.Yield = s.Yield
+		return req, nil
+	case "sweep":
+		var s SweepJobSpec
+		if err := json.Unmarshal(e.Spec, &s); err != nil {
+			return Request{}, fmt.Errorf("service: decode sweep spec: %w", err)
+		}
+		req := s.SynthSpec.request()
+		req.Kind = "sweep"
+		req.Yield = s.Yield
+		req.Sweep = s.Sweep
+		return req, nil
+	}
+	return Request{}, fmt.Errorf("service: unknown job kind %q (want synth, yield, or sweep)", kind)
+}
+
+// SubmitRequest is the pre-v1 flat wire form of a submission
+// (POST /synth): synthesis fields and the optional yield block in one
+// struct.
+//
+// Deprecated: the flat form is kept as a compatibility adapter for one
+// release. New clients submit a kind-tagged SubmitEnvelope to
+// POST /v1/jobs; sweeps exist only there.
 type SubmitRequest struct {
 	BLIF      string `json:"blif"`
 	Kind      string `json:"kind,omitempty"`
@@ -36,34 +156,74 @@ type SubmitRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// Request converts the wire form to the typed job request.
-func (s SubmitRequest) Request() Request {
-	o := core.DefaultOptions()
-	if s.Fanin != 0 {
-		o.Fanin = s.Fanin
-	}
-	if s.DeltaOn != nil {
-		o.DeltaOn = *s.DeltaOn
-	}
-	if s.DeltaOff != nil {
-		o.DeltaOff = *s.DeltaOff
-	}
-	o.Seed = s.Seed
-	o.ExactILP = s.Exact
-	o.MaxWeight = s.MaxWeight
-	req := Request{
+// synthSpec lifts the flat form's synthesis knobs into the v1 shape.
+func (s SubmitRequest) synthSpec() SynthSpec {
+	return SynthSpec{
 		BLIF:       s.BLIF,
-		Kind:       s.Kind,
 		Script:     s.Script,
 		Mapper:     s.Mapper,
-		Options:    o,
+		Fanin:      s.Fanin,
+		DeltaOn:    s.DeltaOn,
+		DeltaOff:   s.DeltaOff,
+		Seed:       s.Seed,
+		Exact:      s.Exact,
+		MaxWeight:  s.MaxWeight,
 		SkipVerify: s.SkipVerify,
-		Timeout:    time.Duration(s.TimeoutMS) * time.Millisecond,
+		TimeoutMS:  s.TimeoutMS,
 	}
+}
+
+// Envelope converts the flat form to its v1 submission.
+func (s SubmitRequest) Envelope() (SubmitEnvelope, error) {
+	kind := s.Kind
+	if kind == "" {
+		kind = "synth"
+	}
+	var spec any
+	switch kind {
+	case "synth":
+		spec = s.synthSpec()
+	case "yield":
+		js := YieldJobSpec{SynthSpec: s.synthSpec()}
+		if s.Yield != nil {
+			js.Yield = *s.Yield
+		}
+		spec = js
+	default:
+		return SubmitEnvelope{}, fmt.Errorf("service: flat submissions support synth and yield, not %q", kind)
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return SubmitEnvelope{}, err
+	}
+	return SubmitEnvelope{Kind: kind, Spec: raw}, nil
+}
+
+// Request converts the flat wire form to the typed job request.
+func (s SubmitRequest) Request() Request {
+	req := s.synthSpec().request()
+	req.Kind = s.Kind
 	if s.Yield != nil {
 		req.Yield = *s.Yield
 	}
 	return req
+}
+
+// Error codes of the uniform JSON error envelope. Every error response
+// has the body {"error": {"code": "...", "message": "..."}}.
+const (
+	CodeInvalidRequest = "invalid_request"   // malformed body or spec (400)
+	CodeNotFound       = "not_found"         // unknown job or route (404)
+	CodeConflict       = "conflict"          // job not in a usable state (409)
+	CodeTooLarge       = "payload_too_large" // body over the size cap (413)
+	CodeOverloaded     = "overloaded"        // queue full or shutting down (503)
+	CodeInternal       = "internal"          // unexpected server failure (500)
+)
+
+// APIError is the wire error payload.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 // maxBodyBytes bounds request bodies; the largest MCNC benchmark is well
@@ -72,83 +232,131 @@ const maxBodyBytes = 8 << 20
 
 // NewHandler exposes the manager as a JSON-over-HTTP API:
 //
-//	POST   /synth            submit a job (SubmitRequest JSON) → Job
-//	GET    /jobs             list retained jobs
-//	GET    /jobs/{id}        job status (includes result when done)
-//	GET    /jobs/{id}/tln    the synthesized .tln as text/plain
-//	POST   /jobs/{id}/cancel cancel a queued or running job
-//	DELETE /jobs/{id}        same as cancel
-//	GET    /healthz          liveness probe
-//	GET    /metrics          expvar-style counters
+//	POST   /v1/jobs             submit a job (kind-tagged SubmitEnvelope) → Job
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status (sweep jobs include progress)
+//	GET    /v1/jobs/{id}/tln    the synthesized .tln as text/plain
+//	POST   /v1/jobs/{id}/cancel cancel a queued or running job
+//	DELETE /v1/jobs/{id}        same as cancel
+//	GET    /v1/healthz          liveness probe
+//	GET    /v1/metrics          expvar-style counters
+//
+// plus the deprecated unversioned adapters (POST /synth with the flat
+// SubmitRequest, and /jobs, /healthz, /metrics mirrors). Errors are
+// always {"error": {"code", "message"}}.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /synth", func(w http.ResponseWriter, r *http.Request) {
+
+	submit := func(w http.ResponseWriter, r *http.Request, decode func([]byte) (Request, error)) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("read body: %w", err))
 			return
 		}
 		if len(body) > maxBodyBytes {
-			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
 			return
 		}
-		var sr SubmitRequest
-		if err := json.Unmarshal(body, &sr); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
-			return
-		}
-		job, err := m.Submit(sr.Request())
+		req, err := decode(body)
 		if err != nil {
-			status := http.StatusBadRequest
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+			return
+		}
+		job, err := m.Submit(req)
+		if err != nil {
 			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
-				status = http.StatusServiceUnavailable
+				writeError(w, http.StatusServiceUnavailable, CodeOverloaded, err)
+				return
 			}
-			writeError(w, status, err)
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job)
-	})
-	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+	}
+	list := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
-	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	}
+	get := func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
 		writeJSON(w, http.StatusOK, job)
-	})
-	mux.HandleFunc("GET /jobs/{id}/tln", func(w http.ResponseWriter, r *http.Request) {
+	}
+	tln := func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
 		if job.State != StateDone || job.Result == nil {
-			writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", job.ID, job.State))
+			writeError(w, http.StatusConflict, CodeConflict, fmt.Errorf("job %s is %s, not done", job.ID, job.State))
+			return
+		}
+		if job.Result.TLN == "" {
+			writeError(w, http.StatusConflict, CodeConflict, fmt.Errorf("job %s (%s) has no single netlist", job.ID, job.Kind))
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, job.Result.TLN)
-	})
+	}
 	cancel := func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if _, ok := m.Get(id); !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", id))
 			return
 		}
 		cancelled := m.Cancel(id)
 		job, _ := m.Get(id)
 		writeJSON(w, http.StatusOK, map[string]any{"cancelled": cancelled, "job": job})
 	}
+	healthz := func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": m.Workers()})
+	}
+	metrics := func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.MetricsSnapshot())
+	}
+
+	// v1 surface.
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		submit(w, r, func(body []byte) (Request, error) {
+			var env SubmitEnvelope
+			if err := json.Unmarshal(body, &env); err != nil {
+				return Request{}, fmt.Errorf("decode submission: %w", err)
+			}
+			return env.Request()
+		})
+	})
+	mux.HandleFunc("GET /v1/jobs", list)
+	mux.HandleFunc("GET /v1/jobs/{id}", get)
+	mux.HandleFunc("GET /v1/jobs/{id}/tln", tln)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", cancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", cancel)
+	mux.HandleFunc("GET /v1/healthz", healthz)
+	mux.HandleFunc("GET /v1/metrics", metrics)
+
+	// Deprecated unversioned adapters (one release).
+	mux.HandleFunc("POST /synth", func(w http.ResponseWriter, r *http.Request) {
+		submit(w, r, func(body []byte) (Request, error) {
+			var sr SubmitRequest
+			if err := json.Unmarshal(body, &sr); err != nil {
+				return Request{}, fmt.Errorf("decode request: %w", err)
+			}
+			return sr.Request(), nil
+		})
+	})
+	mux.HandleFunc("GET /jobs", list)
+	mux.HandleFunc("GET /jobs/{id}", get)
+	mux.HandleFunc("GET /jobs/{id}/tln", tln)
 	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
 	mux.HandleFunc("DELETE /jobs/{id}", cancel)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": m.Workers()})
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.MetricsSnapshot())
+	mux.HandleFunc("GET /healthz", healthz)
+	mux.HandleFunc("GET /metrics", metrics)
+
+	// Unmatched paths get the JSON envelope, not the mux's plain text.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
 	})
 	return mux
 }
@@ -161,6 +369,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]APIError{
+		"error": {Code: code, Message: err.Error()},
+	})
 }

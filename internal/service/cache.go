@@ -32,10 +32,19 @@ func Digest(req Request) (string, error) {
 	// Yield jobs fold the analysis knobs into the address; plain synth
 	// requests keep the original encoding so their digests are stable
 	// across this addition.
-	if req.Kind == "yield" {
+	if req.Kind == "yield" || req.Kind == "sweep" {
 		y := req.Yield
-		fmt.Fprintf(h, "kind=yield\nymodel=%s\nyv=%g\nyp=%g\nymax=%d\nyhw=%g\nyseed=%d\n",
-			y.Model, y.V, y.P, y.MaxTrials, y.HalfWidth, y.Seed)
+		fmt.Fprintf(h, "kind=%s\nymodel=%s\nyv=%g\nyp=%g\nymax=%d\nyhw=%g\nyseed=%d\n",
+			req.Kind, y.Model, y.V, y.P, y.MaxTrials, y.HalfWidth, y.Seed)
+	}
+	// A sweep job's own digest covers its grid. Its results are NOT
+	// cached under this address: every point is cached individually under
+	// the digest of the equivalent standalone yield request (synth knobs +
+	// point key), so a re-run with one new grid point hits the cache on
+	// every old point and shares entries with standalone yield jobs.
+	if req.Kind == "sweep" {
+		s := req.Sweep
+		fmt.Fprintf(h, "svs=%v\nsdons=%v\nsmodels=%v\n", s.Vs, s.DeltaOns, s.Models)
 	}
 	fmt.Fprintf(h, "blif=%s", canon)
 	return hex.EncodeToString(h.Sum(nil)), nil

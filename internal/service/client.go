@@ -12,7 +12,8 @@ import (
 )
 
 // Client is a minimal HTTP client for a telsd daemon, used by the
-// cmd/tels -server round-trip mode and by tests.
+// cmd/tels -server round-trip mode, cmd/telsim sweep, and tests. It
+// speaks the versioned /v1/ API.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://localhost:8455".
 	BaseURL string
@@ -20,6 +21,21 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval paces WaitDone (default 50 ms).
 	PollInterval time.Duration
+}
+
+// StatusError is a decoded API error envelope; errors.As against it
+// gives callers the machine-readable code.
+type StatusError struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *StatusError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("service: server returned %d (%s): %s", e.StatusCode, e.Code, e.Message)
+	}
+	return fmt.Sprintf("service: server returned %d: %s", e.StatusCode, e.Message)
 }
 
 func (c *Client) http() *http.Client {
@@ -33,13 +49,14 @@ func (c *Client) url(path string) string {
 	return strings.TrimRight(c.BaseURL, "/") + path
 }
 
-// Submit posts a synthesis request and returns the accepted job.
-func (c *Client) Submit(ctx context.Context, sr SubmitRequest) (Job, error) {
-	body, err := json.Marshal(sr)
+// SubmitEnvelope posts a kind-tagged v1 submission and returns the
+// accepted job.
+func (c *Client) SubmitEnvelope(ctx context.Context, env SubmitEnvelope) (Job, error) {
+	body, err := json.Marshal(env)
 	if err != nil {
 		return Job{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/synth"), bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs"), bytes.NewReader(body))
 	if err != nil {
 		return Job{}, err
 	}
@@ -51,9 +68,29 @@ func (c *Client) Submit(ctx context.Context, sr SubmitRequest) (Job, error) {
 	return job, nil
 }
 
-// Job fetches the current snapshot of a job.
+// Submit posts a synthesis request in the legacy flat form, converted to
+// its v1 envelope on the way out.
+func (c *Client) Submit(ctx context.Context, sr SubmitRequest) (Job, error) {
+	env, err := sr.Envelope()
+	if err != nil {
+		return Job{}, err
+	}
+	return c.SubmitEnvelope(ctx, env)
+}
+
+// SubmitSweep posts a sweep job.
+func (c *Client) SubmitSweep(ctx context.Context, spec SweepJobSpec) (Job, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return Job{}, err
+	}
+	return c.SubmitEnvelope(ctx, SubmitEnvelope{Kind: "sweep", Spec: raw})
+}
+
+// Job fetches the current snapshot of a job (sweep jobs include their
+// partial progress).
 func (c *Client) Job(ctx context.Context, id string) (Job, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id), nil)
 	if err != nil {
 		return Job{}, err
 	}
@@ -66,6 +103,12 @@ func (c *Client) Job(ctx context.Context, id string) (Job, error) {
 
 // WaitDone polls until the job reaches a terminal state or ctx expires.
 func (c *Client) WaitDone(ctx context.Context, id string) (Job, error) {
+	return c.Wait(ctx, id, nil)
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires,
+// invoking observe (if non-nil) on every snapshot along the way.
+func (c *Client) Wait(ctx context.Context, id string, observe func(Job)) (Job, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
@@ -74,6 +117,9 @@ func (c *Client) WaitDone(ctx context.Context, id string) (Job, error) {
 		job, err := c.Job(ctx, id)
 		if err != nil {
 			return Job{}, err
+		}
+		if observe != nil {
+			observe(job)
 		}
 		if job.State.Terminal() {
 			return job, nil
@@ -88,7 +134,7 @@ func (c *Client) WaitDone(ctx context.Context, id string) (Job, error) {
 
 // TLN fetches the finished job's threshold netlist as text.
 func (c *Client) TLN(ctx context.Context, id string) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/jobs/"+id+"/tln"), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/jobs/"+id+"/tln"), nil)
 	if err != nil {
 		return "", err
 	}
@@ -109,7 +155,7 @@ func (c *Client) TLN(ctx context.Context, id string) (string, error) {
 
 // Cancel requests cancellation of a job.
 func (c *Client) Cancel(ctx context.Context, id string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/jobs/"+id+"/cancel"), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/jobs/"+id+"/cancel"), nil)
 	if err != nil {
 		return err
 	}
@@ -118,7 +164,7 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 
 // Metrics fetches the daemon's counter snapshot.
 func (c *Client) Metrics(ctx context.Context) (map[string]int64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metrics"), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/metrics"), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -146,11 +192,19 @@ func (c *Client) doJSON(req *http.Request, wantStatus int, out any) error {
 }
 
 func apiError(status int, body []byte) error {
-	var e struct {
+	// v1 envelope: {"error": {"code", "message"}}.
+	var v1 struct {
+		Error APIError `json:"error"`
+	}
+	if json.Unmarshal(body, &v1) == nil && v1.Error.Message != "" {
+		return &StatusError{StatusCode: status, Code: v1.Error.Code, Message: v1.Error.Message}
+	}
+	// Pre-v1 flat form: {"error": "message"}.
+	var flat struct {
 		Error string `json:"error"`
 	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("service: server returned %d: %s", status, e.Error)
+	if json.Unmarshal(body, &flat) == nil && flat.Error != "" {
+		return &StatusError{StatusCode: status, Message: flat.Error}
 	}
-	return fmt.Errorf("service: server returned %d: %s", status, strings.TrimSpace(string(body)))
+	return &StatusError{StatusCode: status, Message: strings.TrimSpace(string(body))}
 }

@@ -64,6 +64,101 @@ func (y YieldSpec) DefectModel() (fsim.DefectModel, error) {
 	return nil, fmt.Errorf("service: unknown defect model %q (want weight, drift, or stuck)", y.Model)
 }
 
+// MaxSweepPoints bounds the grid of one sweep job.
+const MaxSweepPoints = 1024
+
+// SweepSpec is the grid of a sweep job. Each listed axis replaces the
+// corresponding base value (Options.DeltaOn for DeltaOns, Yield.Model for
+// Models, Yield.V for Vs); an absent axis contributes the single base
+// value. The grid is the cross product of the axes, ordered δon-major,
+// then model, then v.
+type SweepSpec struct {
+	// Vs sweeps the variation multiplier of the weight/drift models.
+	Vs []float64 `json:"vs,omitempty"`
+	// DeltaOns sweeps the synthesis δon margin; each distinct value is
+	// synthesized once and shared by its points.
+	DeltaOns []int `json:"delta_ons,omitempty"`
+	// Models sweeps the defect model ("weight", "drift", "stuck").
+	Models []string `json:"models,omitempty"`
+	// MaxInFlight bounds the sweep's concurrently outstanding points
+	// (0 = the manager's worker count).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// points expands the grid against the base request; every returned
+// SweepPoint carries only its grid coordinates.
+func (s SweepSpec) points(base Request) []SweepPoint {
+	dons := s.DeltaOns
+	if len(dons) == 0 {
+		dons = []int{base.Options.DeltaOn}
+	}
+	models := s.Models
+	if len(models) == 0 {
+		models = []string{base.Yield.Model}
+	}
+	vs := s.Vs
+	if len(vs) == 0 {
+		vs = []float64{base.Yield.V}
+	}
+	out := make([]SweepPoint, 0, len(dons)*len(models)*len(vs))
+	for _, don := range dons {
+		for _, model := range models {
+			for _, v := range vs {
+				out = append(out, SweepPoint{
+					Index: len(out), DeltaOn: don, Model: model, V: v, P: base.Yield.P,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// SweepPoint is one grid point of a sweep: its coordinates plus, once
+// evaluated, the per-point yield result.
+type SweepPoint struct {
+	// Index is the point's position in the grid expansion order.
+	Index int `json:"index"`
+	// DeltaOn, Model, V, and P locate the point on the grid.
+	DeltaOn int     `json:"delta_on"`
+	Model   string  `json:"model"`
+	V       float64 `json:"v"`
+	P       float64 `json:"p,omitempty"`
+	// FailureRate and Yield summarize the point's Monte-Carlo outcome.
+	FailureRate float64 `json:"failure_rate"`
+	Yield       float64 `json:"yield"`
+	// Gates and Area describe the δon's synthesized network (Eq. 14).
+	Gates int `json:"gates"`
+	Area  int `json:"area"`
+	// CacheHit marks points served from the content-addressed cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Error is set when this point failed; the sweep still completes.
+	Error string `json:"error,omitempty"`
+	// Report is the point's full yield report.
+	Report *fsim.YieldReport `json:"report,omitempty"`
+}
+
+// SweepResult aggregates a finished sweep into an ordered curve.
+type SweepResult struct {
+	TotalPoints  int `json:"total_points"`
+	DonePoints   int `json:"done_points"`
+	FailedPoints int `json:"failed_points,omitempty"`
+	// Points holds the completed points in grid order.
+	Points []SweepPoint `json:"points"`
+	// WallMS is the sweep's wall-clock time, fan-out included.
+	WallMS int64 `json:"wall_ms"`
+}
+
+// Progress reports a sweep job's partial state; clients polling
+// GET /v1/jobs/{id} can stream the curve as points land. DonePoints is
+// monotonically non-decreasing across polls.
+type Progress struct {
+	DonePoints   int `json:"done_points"`
+	TotalPoints  int `json:"total_points"`
+	FailedPoints int `json:"failed_points,omitempty"`
+	// Points holds the points completed so far, in grid order.
+	Points []SweepPoint `json:"points,omitempty"`
+}
+
 // Request describes one synthesis job: the source netlist plus the knobs
 // cmd/tels exposes. The zero value of every field is usable; defaults are
 // normalized by Normalize.
@@ -73,10 +168,14 @@ type Request struct {
 	// Kind selects the pipeline: "synth" (default) runs
 	// parse → optimize → synthesize → verify; "yield" additionally runs a
 	// Monte-Carlo yield analysis of the synthesized network on the packed
-	// fsim engine, with the parsed source as the golden reference.
+	// fsim engine, with the parsed source as the golden reference; "sweep"
+	// fans a grid of yield points across the worker pool.
 	Kind string `json:"kind,omitempty"`
-	// Yield configures the analysis stage of yield jobs.
+	// Yield configures the analysis stage of yield jobs and the base
+	// point of sweep jobs.
 	Yield YieldSpec `json:"yield,omitempty"`
+	// Sweep is the grid of sweep jobs.
+	Sweep SweepSpec `json:"sweep,omitempty"`
 	// Script selects the pre-synthesis optimization: "algebraic"
 	// (default), "boolean", or "none".
 	Script string `json:"script,omitempty"`
@@ -102,7 +201,7 @@ func (r *Request) Normalize() error {
 	}
 	switch r.Kind {
 	case "synth":
-	case "yield":
+	case "yield", "sweep":
 		if r.Yield.Model == "" {
 			r.Yield.Model = "weight"
 		}
@@ -118,8 +217,13 @@ func (r *Request) Normalize() error {
 		if r.Yield.MaxTrials < 0 || r.Yield.HalfWidth < 0 {
 			return fmt.Errorf("service: negative yield bounds")
 		}
+		if r.Kind == "sweep" {
+			if err := r.normalizeSweep(); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("service: unknown job kind %q (want synth or yield)", r.Kind)
+		return fmt.Errorf("service: unknown job kind %q (want synth, yield, or sweep)", r.Kind)
 	}
 	if r.Script == "" {
 		r.Script = "algebraic"
@@ -153,6 +257,35 @@ func (r *Request) Normalize() error {
 	return nil
 }
 
+// normalizeSweep validates the grid axes of a sweep request; the base
+// yield knobs are already normalized by the caller.
+func (r *Request) normalizeSweep() error {
+	s := r.Sweep
+	if s.MaxInFlight < 0 {
+		return fmt.Errorf("service: negative sweep in-flight budget")
+	}
+	for _, v := range s.Vs {
+		if v < 0 {
+			return fmt.Errorf("service: negative sweep v %g", v)
+		}
+	}
+	for _, don := range s.DeltaOns {
+		if don < 0 {
+			return fmt.Errorf("service: negative sweep delta_on %d", don)
+		}
+	}
+	for _, model := range s.Models {
+		if _, err := (YieldSpec{Model: model, V: r.Yield.V, P: r.Yield.P}).DefectModel(); err != nil {
+			return err
+		}
+	}
+	total := max(1, len(s.Vs)) * max(1, len(s.DeltaOns)) * max(1, len(s.Models))
+	if total > MaxSweepPoints {
+		return fmt.Errorf("service: sweep grid has %d points (max %d)", total, MaxSweepPoints)
+	}
+	return nil
+}
+
 // StageTimes records the per-stage wall-clock latency of one run.
 type StageTimes struct {
 	Parse      time.Duration `json:"parse"`
@@ -173,8 +306,11 @@ type Result struct {
 	SynthStats core.SynthStats `json:"synth_stats"`
 	// Verified is "proved", "simulated", or "skipped".
 	Verified string `json:"verified"`
-	// Yield is the Monte-Carlo yield analysis (yield jobs only).
+	// Yield is the Monte-Carlo yield analysis (yield jobs and sweep
+	// points only).
 	Yield *fsim.YieldReport `json:"yield,omitempty"`
+	// Sweep is the aggregated curve of a sweep job.
+	Sweep *SweepResult `json:"sweep,omitempty"`
 	// CacheHit marks results served from the content-addressed cache.
 	CacheHit bool `json:"cache_hit"`
 	// Stages holds the per-stage latencies of the run that produced the
@@ -187,11 +323,14 @@ type Result struct {
 // without further synchronization.
 type Job struct {
 	ID       string    `json:"id"`
+	Kind     string    `json:"kind,omitempty"`
 	State    State     `json:"state"`
 	Digest   string    `json:"digest"`
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started,omitempty"`
 	Finished time.Time `json:"finished,omitempty"`
 	Error    string    `json:"error,omitempty"`
+	// Progress streams a sweep job's partial curve while it runs.
+	Progress *Progress `json:"progress,omitempty"`
 	Result   *Result   `json:"result,omitempty"`
 }

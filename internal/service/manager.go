@@ -64,6 +64,21 @@ type jobRecord struct {
 	result    *Result
 	cancelled bool // Cancel was requested (distinguishes cancel from timeout)
 
+	// internal marks sub-tasks spawned by a sweep coordinator: they are
+	// absent from the public job table and excluded from the job-outcome
+	// counters (cache traffic still counts).
+	internal bool
+	// run, when set, replaces the manager's pipeline for this job (sweep
+	// points run a point estimator against a shared session).
+	run func(context.Context, Request) (Result, error)
+
+	// Sweep progress (kind "sweep" only), guarded by the manager's mutex.
+	// sweepPoints is indexed by grid position; nil slots are pending.
+	sweepTotal  int
+	sweepDone   int
+	sweepFailed int
+	sweepPoints []*SweepPoint
+
 	ctx    context.Context // cancelled by Cancel or manager shutdown
 	cancel context.CancelFunc
 	done   chan struct{} // closed when the job reaches a terminal state
@@ -92,12 +107,16 @@ type Manager struct {
 
 	queue      chan *jobRecord
 	wg         sync.WaitGroup
+	coordWg    sync.WaitGroup // sweep coordinators; drained before the queue closes
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
 	// exec runs one pipeline; tests replace it to model slow or stuck
 	// jobs deterministically. Set before any Submit.
 	exec func(context.Context, Request) (Result, error)
+	// sweepPointStart, when set, is invoked with the grid index at the
+	// start of every executed sweep point; tests use it to pace points.
+	sweepPointStart func(index int)
 }
 
 // New starts a manager with its worker pool.
@@ -126,7 +145,8 @@ func New(cfg Config) *Manager {
 func (m *Manager) Workers() int { return m.cfg.Workers }
 
 // Close stops accepting jobs, cancels everything in flight, and waits for
-// the workers to drain.
+// the workers to drain. Sweep coordinators observe the cancellation and
+// stop feeding the queue before it closes.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -134,9 +154,10 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
-	close(m.queue)
 	m.mu.Unlock()
 	m.baseCancel()
+	m.coordWg.Wait()
+	close(m.queue)
 	m.wg.Wait()
 }
 
@@ -169,11 +190,19 @@ func (m *Manager) Submit(req Request) (Job, error) {
 		cancel:  cancel,
 		done:    make(chan struct{}),
 	}
-	select {
-	case m.queue <- j:
-	default:
-		cancel()
-		return Job{}, ErrQueueFull
+	if req.Kind == "sweep" {
+		// Sweep jobs don't occupy a queue slot or a worker: a dedicated
+		// coordinator fans their points into the queue, so even a
+		// single-worker pool can't be deadlocked by its own sweep.
+		m.coordWg.Add(1)
+		go m.runSweep(j)
+	} else {
+		select {
+		case m.queue <- j:
+		default:
+			cancel()
+			return Job{}, ErrQueueFull
+		}
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -278,6 +307,7 @@ func (m *Manager) pruneLocked() {
 func (j *jobRecord) snapshotLocked() Job {
 	job := Job{
 		ID:       j.id,
+		Kind:     j.req.Kind,
 		State:    j.state,
 		Digest:   j.digest,
 		Created:  j.created,
@@ -287,6 +317,19 @@ func (j *jobRecord) snapshotLocked() Job {
 	}
 	if j.err != nil {
 		job.Error = j.err.Error()
+	}
+	if j.req.Kind == "sweep" && j.sweepTotal > 0 {
+		pr := &Progress{
+			DonePoints:   j.sweepDone,
+			TotalPoints:  j.sweepTotal,
+			FailedPoints: j.sweepFailed,
+		}
+		for _, sp := range j.sweepPoints {
+			if sp != nil {
+				pr.Points = append(pr.Points, *sp)
+			}
+		}
+		job.Progress = pr
 	}
 	return job
 }
@@ -354,7 +397,16 @@ func (m *Manager) runJob(j *jobRecord) {
 		m.metrics.jobsExecuted.Add(1)
 		m.mu.Unlock()
 
-		res, err := m.exec(ctx, j.req)
+		exec := m.exec
+		if j.run != nil {
+			// Custom runners (sweep points) get the same detachment the
+			// pipeline has: a cancelled job frees its worker immediately.
+			inner := j.run
+			exec = func(c context.Context, r Request) (Result, error) {
+				return runDetached(c, r, inner)
+			}
+		}
+		res, err := exec(ctx, j.req)
 
 		m.mu.Lock()
 		delete(m.flights, j.digest)
@@ -393,19 +445,27 @@ func (m *Manager) finishLocked(j *jobRecord, res *Result, err error) {
 	switch {
 	case err == nil:
 		j.state = StateDone
-		m.metrics.jobsDone.Add(1)
+		if !j.internal {
+			m.metrics.jobsDone.Add(1)
+		}
 	case j.cancelled || errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.err = context.Canceled
-		m.metrics.jobsCancelled.Add(1)
+		if !j.internal {
+			m.metrics.jobsCancelled.Add(1)
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		j.state = StateFailed
 		j.err = fmt.Errorf("service: job timed out: %w", err)
-		m.metrics.jobsFailed.Add(1)
+		if !j.internal {
+			m.metrics.jobsFailed.Add(1)
+		}
 	default:
 		j.state = StateFailed
 		j.err = err
-		m.metrics.jobsFailed.Add(1)
+		if !j.internal {
+			m.metrics.jobsFailed.Add(1)
+		}
 	}
 	j.cancel() // release the context's resources
 	close(j.done)

@@ -19,6 +19,9 @@ type Metrics struct {
 	cacheMisses    atomic.Int64
 	cacheEvictions atomic.Int64
 
+	sweepPointsPlanned atomic.Int64
+	sweepPointsDone    atomic.Int64
+
 	parseNS      atomic.Int64
 	optimizeNS   atomic.Int64
 	synthesizeNS atomic.Int64
@@ -48,6 +51,8 @@ func (m *Metrics) Snapshot(perState map[State]int, cacheLen int) map[string]int6
 		"cache_misses":            m.cacheMisses.Load(),
 		"cache_evictions":         m.cacheEvictions.Load(),
 		"cache_entries":           int64(cacheLen),
+		"sweep_points_planned":    m.sweepPointsPlanned.Load(),
+		"sweep_points_done":       m.sweepPointsDone.Load(),
 		"stage_parse_ns_sum":      m.parseNS.Load(),
 		"stage_optimize_ns_sum":   m.optimizeNS.Load(),
 		"stage_synthesize_ns_sum": m.synthesizeNS.Load(),

@@ -13,19 +13,20 @@ import (
 	"tels/internal/sim"
 )
 
-// runBounded executes the pipeline under the job's context. The synthesis
-// core is not preemptible, so the pipeline runs in its own goroutine and
-// is abandoned when the context fires: the worker slot is released
-// immediately and the orphaned run's result is discarded (its flight is
-// already resolved with the context error, so coalesced jobs retry).
-func runBounded(ctx context.Context, req Request) (Result, error) {
+// runDetached executes fn under the job's context. The synthesis core and
+// the packed yield estimator are not preemptible, so the work runs in its
+// own goroutine and is abandoned when the context fires: the worker slot
+// is released immediately and the orphaned run's result is discarded (its
+// flight is already resolved with the context error, so coalesced jobs
+// retry).
+func runDetached(ctx context.Context, req Request, fn func(context.Context, Request) (Result, error)) (Result, error) {
 	type outcome struct {
 		res Result
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := runPipeline(ctx, req)
+		res, err := fn(ctx, req)
 		ch <- outcome{res, err}
 	}()
 	select {
@@ -34,6 +35,11 @@ func runBounded(ctx context.Context, req Request) (Result, error) {
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
 	}
+}
+
+// runBounded is the default manager exec: the full pipeline, detached.
+func runBounded(ctx context.Context, req Request) (Result, error) {
+	return runDetached(ctx, req, runPipeline)
 }
 
 // runPipeline is the full batch flow of cmd/tels: parse → optimize →
