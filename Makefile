@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race benchsmoke sweepsmoke cover bench fuzz experiments examples serve ci clean
+.PHONY: all build test race benchsmoke sweepsmoke resynsmoke cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -14,8 +14,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/ ./internal/fsim/
-	$(GO) test -race -run 'Sweep|Session|V1' -count=2 ./internal/service/ ./internal/fsim/
+	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/ ./internal/fsim/ ./internal/resyn/
+	$(GO) test -race -run 'Sweep|Session|V1|Resyn|Run' -count=2 ./internal/service/ ./internal/fsim/ ./internal/resyn/
 
 # benchsmoke compiles and runs the packed-vs-scalar Fig. 11 benchmark once
 # (correctness smoke, not a measurement).
@@ -27,13 +27,20 @@ benchsmoke:
 sweepsmoke:
 	$(GO) run ./cmd/telsbench -quick sweep
 
+# resynsmoke drives two selective re-synthesis iterations on a tiny MCNC
+# benchmark through the resyn job kind (correctness smoke).
+resynsmoke:
+	@f=$$(mktemp); $(GO) run ./cmd/benchgen -q mux4 > $$f \
+		&& $(GO) run ./cmd/telsim -don 1 -v 1.2 -trials 300 -target 0.999 -maxiters 2 resyn $$f; \
+		s=$$?; rm -f $$f; exit $$s
+
 # serve runs the synthesis daemon on :8455 (override with ADDR=...).
 ADDR ?= :8455
 serve:
 	$(GO) run ./cmd/telsd -addr $(ADDR)
 
 # ci is the exact gate GitHub Actions runs.
-ci: build test race benchsmoke sweepsmoke
+ci: build test race benchsmoke sweepsmoke resynsmoke
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

@@ -169,7 +169,7 @@ func runRemote(t *cli.Tool, cfg config, in io.Reader, srcName string) error {
 	c := &service.Client{BaseURL: cfg.server}
 	ctx := context.Background()
 	don, doff := cfg.deltaOn, cfg.deltaOff
-	job, err := c.Submit(ctx, service.SubmitRequest{
+	job, err := c.SubmitSynth(ctx, service.SynthSpec{
 		BLIF:       string(text),
 		Script:     cfg.script,
 		Mapper:     cfg.mapper,

@@ -13,13 +13,16 @@
 //	telsbench seeds           tie-break-seed robustness (extension)
 //	telsbench sweep           Fig. 11 grid through the telsd sweep job kind,
 //	                          fanned vs sequential wall-clock comparison
-//	telsbench all             everything above (except sweep)
+//	telsbench resyn           selective re-synthesis (internal/resyn) vs the
+//	                          paper's global-δon hardening: area at equal yield
+//	telsbench all             everything above (except sweep and resyn)
 //
 // The -quick flag shrinks the Monte-Carlo grids and skips the largest
 // benchmark (i10) for a fast smoke run. The -json flag replaces the
-// rendered tables of table1, fig10, fig11, and fig12 with a machine-
-// readable JSON document on stdout (BENCH_fig11.json in the repo root is
-// such a baseline, regenerated with `telsbench -quick -json fig11`).
+// rendered tables of table1, fig10, fig11, fig12, and resyn with a
+// machine-readable JSON document on stdout (BENCH_fig11.json and
+// BENCH_resyn.json in the repo root are such baselines, regenerated with
+// `telsbench -quick -json fig11` and `telsbench -quick -json resyn`).
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 	"tels/internal/enum"
 	"tels/internal/expt"
 	"tels/internal/mcnc"
+	"tels/internal/resyn"
 	"tels/internal/service"
 )
 
@@ -91,10 +95,10 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 	}
 	_ = emit
 	switch cmd {
-	case "table1", "fig10", "fig11", "fig12":
+	case "table1", "fig10", "fig11", "fig12", "resyn":
 	default:
 		if jsonOut {
-			return fmt.Errorf("-json supports table1, fig10, fig11, and fig12, not %q", cmd)
+			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, and resyn, not %q", cmd)
 		}
 	}
 	switch cmd {
@@ -120,6 +124,8 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		return seedSweep(o, quick)
 	case "sweep":
 		return serviceSweep(quick, seed)
+	case "resyn":
+		return resynBench(quick, jsonOut, seed, emit)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return table1(o, quick, false, emit) },
@@ -140,7 +146,7 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, or all)", cmd)
+		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, sweep, resyn, or all)", cmd)
 	}
 }
 
@@ -421,4 +427,149 @@ func serviceSweep(quick bool, seed int64) error {
 	fmt.Printf("sweep job (fanned):    %8.1f ms\n", float64(fan.Microseconds())/1000)
 	fmt.Printf("speedup:               %8.2fx\n", float64(seq)/float64(fan))
 	return nil
+}
+
+// resynRow is one benchmark's selective-vs-global hardening comparison.
+type resynRow struct {
+	Benchmark     string  `json:"benchmark"`
+	BaseYield     float64 `json:"base_yield"`
+	BaseArea      int     `json:"base_area"`
+	GlobalYield   float64 `json:"global_yield"`
+	GlobalArea    int     `json:"global_area"`
+	SelectiveYld  float64 `json:"selective_yield"`
+	SelectiveArea int     `json:"selective_area"`
+	Iterations    int     `json:"iterations"`
+	Hardened      int     `json:"hardened_gates"`
+	Stop          string  `json:"stop"`
+	AreaSaved     int     `json:"area_saved"`
+	Win           bool    `json:"win"`
+}
+
+// resynBench compares defect-aware selective re-synthesis against the
+// paper's Fig. 12 recipe of hardening every gate by raising the global
+// δon. Per benchmark: measure yield of the δon=1 network and of the
+// globally hardened δon=2 network under weight variation v=1.2, then run
+// the resyn loop from the δon=1 network with the global network's yield
+// (its lower confidence bound — equal yield up to the Monte-Carlo
+// resolution) as the target, capping per-gate hardening at the global
+// arm's δon=2 so the loop spreads margin to blamed gates rather than
+// over-hardening a few. A win is reaching that target with strictly
+// smaller total area; it happens when logical masking concentrates
+// first-flip blame in a subset of the gates. All three arms run as jobs
+// through one service manager, so the resyn arm's baseline synthesis
+// and fragment memo exercise the shared content-addressed cache.
+// (δon=0 is no use as a baseline here: a minimal-area vector holds some
+// on-set minterm at exactly Σwx = T, so any negative weight perturbation
+// flips it and the base yield is pinned near zero at every v.)
+func resynBench(quick, jsonOut bool, seed int64, emit emitFn) error {
+	names := []string{"cm152a", "z4ml", "mux4", "dec4", "misex1", "cm85a"}
+	maxTrials := 2000
+	maxIters := 12
+	if quick {
+		maxTrials = 600
+	}
+	const v = 1.2
+	m := service.New(service.Config{})
+	defer m.Close()
+	runJob := func(req service.Request) (*service.Result, error) {
+		job, err := m.Submit(req)
+		if err != nil {
+			return nil, err
+		}
+		done, err := m.Wait(context.Background(), job.ID)
+		if err != nil {
+			return nil, err
+		}
+		if done.State != service.StateDone {
+			return nil, fmt.Errorf("%s job on %s: %s (%s)", req.Kind, req.BLIF[:20], done.State, done.Error)
+		}
+		return done.Result, nil
+	}
+	yield := service.YieldSpec{
+		Model:     "weight",
+		V:         v,
+		MaxTrials: maxTrials,
+		HalfWidth: 0.001, // effectively disable early stop
+		Seed:      seed,
+	}
+	rows := make([]resynRow, 0, len(names))
+	for _, name := range names {
+		src, err := blif.WriteString(mcnc.Build(name))
+		if err != nil {
+			return err
+		}
+		base := service.Request{BLIF: src, Kind: "yield", Yield: yield}
+		base.Options.DeltaOn = 1
+		r0, err := runJob(base)
+		if err != nil {
+			return err
+		}
+		global := base
+		global.Options.DeltaOn = 2
+		r1, err := runJob(global)
+		if err != nil {
+			return err
+		}
+		sel := service.Request{BLIF: src, Kind: "resyn", Yield: yield,
+			Resyn: service.ResynSpec{TargetYield: 1 - r1.Yield.Hi, MaxIters: maxIters, TopK: 3, MaxDeltaOn: 2}}
+		sel.Options.DeltaOn = 1
+		rs, err := runJob(sel)
+		if err != nil {
+			return err
+		}
+		rep := rs.Resyn
+		row := resynRow{
+			Benchmark:     name,
+			BaseYield:     r0.Yield.Yield,
+			BaseArea:      r0.Stats.Area,
+			GlobalYield:   r1.Yield.Yield,
+			GlobalArea:    r1.Stats.Area,
+			SelectiveYld:  rep.FinalYield,
+			SelectiveArea: rep.FinalArea,
+			Iterations:    len(rep.Iterations),
+			Hardened:      rep.HardenedGates,
+			Stop:          rep.Stop,
+			AreaSaved:     r1.Stats.Area - rep.FinalArea,
+		}
+		row.Win = row.Stop == resyn.StopTargetYield && row.SelectiveArea < row.GlobalArea
+		rows = append(rows, row)
+	}
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "resyn", "model": "weight-variation", "v": v,
+			"max_trials": maxTrials, "seed": seed, "rows": rows,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("Selective re-synthesis vs global δon hardening — weight variation v=%.1f, %d trials\n\n", v, maxTrials)
+		fmt.Printf("%-8s | %7s %6s | %7s %6s | %7s %6s %5s | %6s %s\n",
+			"bench", "y(δ1)", "area", "y(δ2)", "area", "y(sel)", "area", "saved", "iters", "stop")
+		fmt.Println("--------------------------------------------------------------------------------")
+		wins := 0
+		for _, r := range rows {
+			mark := " "
+			if r.Win {
+				mark = "*"
+				wins++
+			}
+			fmt.Printf("%-8s | %7.4f %6d | %7.4f %6d | %7.4f %6d %4d%s | %6d %s\n",
+				r.Benchmark, r.BaseYield, r.BaseArea, r.GlobalYield, r.GlobalArea,
+				r.SelectiveYld, r.SelectiveArea, r.AreaSaved, mark, r.Iterations, r.Stop)
+		}
+		fmt.Printf("\n%d/%d benchmarks reach the global-δon yield at strictly smaller area (*)\n", wins, len(rows))
+	}
+	return emit("resyn.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "benchmark,base_yield,base_area,global_yield,global_area,selective_yield,selective_area,iterations,hardened,stop,win"); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := fmt.Fprintf(w, "%s,%g,%d,%g,%d,%g,%d,%d,%d,%s,%t\n",
+				r.Benchmark, r.BaseYield, r.BaseArea, r.GlobalYield, r.GlobalArea,
+				r.SelectiveYld, r.SelectiveArea, r.Iterations, r.Hardened, r.Stop, r.Win); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }

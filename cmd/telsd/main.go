@@ -14,22 +14,26 @@
 // points (vs × delta_ons × models) across the worker pool, synthesizing
 // each δon prefix once and caching every point under the digest of the
 // equivalent standalone yield job. Polling a running sweep returns its
-// partial curve and a done_points/total_points counter.
+// partial curve and a done_points/total_points counter. {"kind": "resyn"}
+// runs the defect-aware selective re-synthesis loop (estimate yield,
+// blame gates by first flip, re-derive the top offenders at a raised
+// per-gate δon); polling a running resyn job returns the per-iteration
+// trajectory, and the final result carries the hardening report plus the
+// hardened netlist.
 //
 // Endpoints (v1):
 //
 //	POST   /v1/jobs             submit {"kind": ..., "spec": {...}}
 //	GET    /v1/jobs             list retained jobs
-//	GET    /v1/jobs/{id}        job status, result, and sweep progress
+//	GET    /v1/jobs/{id}        job status, result, and sweep/resyn progress
 //	GET    /v1/jobs/{id}/tln    the synthesized threshold netlist (text)
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET    /v1/healthz          liveness probe
-//	GET    /v1/metrics          job, cache, sweep, and latency counters
+//	GET    /v1/metrics          job, cache, sweep, resyn, and latency counters
 //
-// Errors are uniformly {"error": {"code", "message"}}. The pre-v1 routes
-// (POST /synth with the flat request body, and the unversioned /jobs,
-// /healthz, /metrics mirrors) remain as deprecated adapters for one
-// release.
+// Errors are uniformly {"error": {"code", "message"}}. The pre-v1 flat
+// routes (POST /synth, and the unversioned /jobs, /healthz, /metrics
+// mirrors) have been removed; only the /v1/ surface is served.
 package main
 
 import (

@@ -12,6 +12,8 @@
 //	       [-v V] [-p P] [-maxtrials K] [-eps E]  Monte-Carlo yield estimate
 //	telsim sweep <golden.blif> [-vs 0.4,0.8] [-dons 0,2] [-models weight]
 //	       [-server URL] [-workers N]             yield curve via the service
+//	telsim resyn <golden.blif> [-target Y] [-topk K] [-maxiters N]
+//	       [-budget A] [-server URL]              selective re-synthesis loop
 //	telsim dot <net.tln>                          Graphviz export
 //
 // faults and yield run on the packed fsim engine: 64 vectors per machine
@@ -21,6 +23,13 @@
 // given, to an in-process manager otherwise — synthesizing each δon once
 // and fanning the grid points across the worker pool. Progress is polled
 // from GET /v1/jobs/{id} and printed as points land.
+//
+// resyn submits one kind="resyn" job the same way: the service
+// synthesizes the baseline, then iterates yield estimation → first-flip
+// blame ranking → per-gate δon hardening until the target yield, the
+// area budget, or convergence. Iterations are polled from
+// GET /v1/jobs/{id} and printed as they land; the hardened .tln goes to
+// stdout with -o.
 package main
 
 import (
@@ -63,6 +72,16 @@ type options struct {
 	server   string
 	workers  int
 	quiet    bool
+
+	// resyn loop
+	don      int
+	target   float64
+	topk     int
+	dstep    int
+	maxdon   int
+	maxiters int
+	budget   int
+	output   string
 }
 
 func main() {
@@ -80,14 +99,22 @@ func main() {
 	flag.StringVar(&o.models, "models", "", "sweep: comma-separated defect models (default -model)")
 	flag.IntVar(&o.inflight, "inflight", 0, "sweep: max concurrently outstanding points (default worker count)")
 	flag.StringVar(&o.server, "server", "", "sweep: telsd base URL (default: in-process manager)")
-	flag.IntVar(&o.workers, "workers", 0, "sweep: in-process worker-pool size (default NumCPU)")
+	flag.IntVar(&o.workers, "workers", 0, "sweep/resyn: in-process worker-pool size (default NumCPU)")
+	flag.IntVar(&o.don, "don", 0, "resyn: baseline synthesis δon margin")
+	flag.Float64Var(&o.target, "target", 0, "resyn: target yield (0 = run to convergence)")
+	flag.IntVar(&o.topk, "topk", 0, "resyn: blamed gates hardened per iteration (default 3)")
+	flag.IntVar(&o.dstep, "dstep", 0, "resyn: per-iteration δon increment (default 1)")
+	flag.IntVar(&o.maxdon, "maxdon", 0, "resyn: per-gate δon cap (default base+8)")
+	flag.IntVar(&o.maxiters, "maxiters", 0, "resyn: iteration cap (default 10)")
+	flag.IntVar(&o.budget, "budget", 0, "resyn: area budget (0 = unbounded)")
+	flag.StringVar(&o.output, "o", "", "resyn: write the hardened .tln here")
 	quiet := flag.Bool("q", false, "suppress informational diagnostics")
 	flag.Parse()
 	o.quiet = *quiet
 	t := cli.New("telsim")
 	t.Quiet = *quiet
 	if flag.NArg() < 1 {
-		t.Usage("need a command (info, run, compare, perturb, faults, yield, sweep, dot)")
+		t.Usage("need a command (info, run, compare, perturb, faults, yield, sweep, resyn, dot)")
 	}
 	t.Fail(run(flag.Arg(0), flag.Args()[1:], o))
 }
@@ -155,6 +182,11 @@ func run(cmd string, args []string, o options) error {
 			return fmt.Errorf("sweep needs <golden.blif>")
 		}
 		return sweep(args[0], o)
+	case "resyn":
+		if len(args) != 1 {
+			return fmt.Errorf("resyn needs <golden.blif>")
+		}
+		return resynCmd(args[0], o)
 	case "dot":
 		if len(args) != 1 {
 			return fmt.Errorf("dot needs one .tln netlist")
@@ -423,52 +455,19 @@ func sweep(golden string, o options) error {
 		},
 		Sweep: service.SweepSpec{Vs: vs, DeltaOns: dons, Models: models, MaxInFlight: o.inflight},
 	}
-	ctx := context.Background()
-
-	var final service.Job
 	progress := func(j service.Job) {
 		if o.quiet || j.Progress == nil {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "\rsweep %s: %d/%d points", j.ID, j.Progress.DonePoints, j.Progress.TotalPoints)
 	}
-	if o.server != "" {
-		c := &service.Client{BaseURL: o.server, PollInterval: 100 * time.Millisecond}
-		job, err := c.SubmitSweep(ctx, spec)
-		if err != nil {
-			return err
-		}
-		final, err = c.Wait(ctx, job.ID, progress)
-		if err != nil {
-			return err
-		}
-	} else {
-		m := service.New(service.Config{Workers: o.workers})
-		defer m.Close()
-		env, err := specEnvelope(spec)
-		if err != nil {
-			return err
-		}
-		req, err := env.Request()
-		if err != nil {
-			return err
-		}
-		job, err := m.Submit(req)
-		if err != nil {
-			return err
-		}
-		for {
-			snap, ok := m.Get(job.ID)
-			if !ok {
-				return fmt.Errorf("job %s vanished", job.ID)
-			}
-			progress(snap)
-			if snap.State.Terminal() {
-				final = snap
-				break
-			}
-			time.Sleep(100 * time.Millisecond)
-		}
+	env, err := specEnvelope("sweep", spec)
+	if err != nil {
+		return err
+	}
+	final, err := runServiceJob(env, o, progress)
+	if err != nil {
+		return err
 	}
 	if !o.quiet {
 		fmt.Fprintln(os.Stderr)
@@ -495,14 +494,131 @@ func sweep(golden string, o options) error {
 	return nil
 }
 
-// specEnvelope wraps a sweep spec in its kind-tagged submission, the same
+// specEnvelope wraps a job spec in its kind-tagged submission, the same
 // bytes the HTTP path sends.
-func specEnvelope(spec service.SweepJobSpec) (service.SubmitEnvelope, error) {
+func specEnvelope(kind string, spec any) (service.SubmitEnvelope, error) {
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		return service.SubmitEnvelope{}, err
 	}
-	return service.SubmitEnvelope{Kind: "sweep", Spec: raw}, nil
+	return service.SubmitEnvelope{Kind: kind, Spec: raw}, nil
+}
+
+// runServiceJob submits the envelope — to a running telsd when -server
+// is set, to an in-process manager otherwise — and polls the job to a
+// terminal state, invoking progress on every snapshot.
+func runServiceJob(env service.SubmitEnvelope, o options, progress func(service.Job)) (service.Job, error) {
+	ctx := context.Background()
+	if o.server != "" {
+		c := &service.Client{BaseURL: o.server, PollInterval: 100 * time.Millisecond}
+		job, err := c.SubmitEnvelope(ctx, env)
+		if err != nil {
+			return service.Job{}, err
+		}
+		return c.Wait(ctx, job.ID, progress)
+	}
+	m := service.New(service.Config{Workers: o.workers})
+	defer m.Close()
+	req, err := env.Request()
+	if err != nil {
+		return service.Job{}, err
+	}
+	job, err := m.Submit(req)
+	if err != nil {
+		return service.Job{}, err
+	}
+	for {
+		snap, ok := m.Get(job.ID)
+		if !ok {
+			return service.Job{}, fmt.Errorf("job %s vanished", job.ID)
+		}
+		progress(snap)
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// resynCmd drives one kind="resyn" job through the service layer and
+// renders the hardening trajectory.
+func resynCmd(golden string, o options) error {
+	src, err := os.ReadFile(golden)
+	if err != nil {
+		return err
+	}
+	don := o.don
+	spec := service.ResynJobSpec{
+		SynthSpec: service.SynthSpec{BLIF: string(src), Seed: o.seed, DeltaOn: &don},
+		Yield: service.YieldSpec{
+			Model:     o.model,
+			V:         o.v,
+			P:         o.p,
+			MaxTrials: o.maxTrials,
+			HalfWidth: o.eps,
+			Seed:      o.seed,
+		},
+		Resyn: service.ResynSpec{
+			TopK:        o.topk,
+			DeltaStep:   o.dstep,
+			MaxDeltaOn:  o.maxdon,
+			MaxIters:    o.maxiters,
+			TargetYield: o.target,
+			AreaBudget:  o.budget,
+		},
+	}
+	progress := func(j service.Job) {
+		if o.quiet || j.Progress == nil {
+			return
+		}
+		n := len(j.Progress.Iterations)
+		if n == 0 {
+			return
+		}
+		it := j.Progress.Iterations[n-1]
+		fmt.Fprintf(os.Stderr, "\rresyn %s: iter %d, yield %.4f, area %d, %d hardened",
+			j.ID, it.Iter, it.Yield, it.Area, len(it.Hardened))
+	}
+	env, err := specEnvelope("resyn", spec)
+	if err != nil {
+		return err
+	}
+	final, err := runServiceJob(env, o, progress)
+	if err != nil {
+		return err
+	}
+	if !o.quiet {
+		fmt.Fprintln(os.Stderr)
+	}
+	if final.State != service.StateDone {
+		return fmt.Errorf("resyn %s: %s", final.State, final.Error)
+	}
+	rep := final.Result.Resyn
+	fmt.Printf("# resyn of %s under %s: %s after %d iterations\n",
+		golden, rep.Model, rep.Stop, len(rep.Iterations))
+	fmt.Printf("%-5s %-8s %-8s %-6s %-6s %s\n", "iter", "yield", "ci", "gates", "area", "hardened")
+	for _, it := range rep.Iterations {
+		var hardened []string
+		for _, h := range it.Hardened {
+			tag := fmt.Sprintf("%s→δ%d", h.Gate, h.DeltaOn)
+			if h.Decomposed {
+				tag += fmt.Sprintf("(+%d gates)", h.AddedGates)
+			}
+			hardened = append(hardened, tag)
+		}
+		fmt.Printf("%-5d %-8.4f ±%-7.3f %-6d %-6d %s\n",
+			it.Iter, it.Yield, (it.Hi-it.Lo)/2, it.Gates, it.Area, strings.Join(hardened, " "))
+	}
+	fmt.Printf("yield %.4f → %.4f, area %d → %d (+%d), %d gate hardenings (%d memoised)\n",
+		rep.InitialYield, rep.FinalYield, rep.InitialArea, rep.FinalArea,
+		rep.FinalArea-rep.InitialArea, rep.HardenedGates, rep.CacheHits)
+	if o.output != "" {
+		if err := os.WriteFile(o.output, []byte(final.Result.TLN), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("hardened network written to %s\n", o.output)
+	}
+	return nil
 }
 
 func parseFloats(s string) ([]float64, error) {

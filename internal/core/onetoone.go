@@ -35,6 +35,7 @@ func OneToOne(src *network.Network, o Options) (*Network, error) {
 		if n.Kind != network.Internal {
 			continue
 		}
+		don := o.DeltaOnFor(n.Name)
 		tt := truth.FromCover(n.Cover)
 		if isConst, v := tt.IsConst(); isConst {
 			t := o.DeltaOff
@@ -42,14 +43,14 @@ func OneToOne(src *network.Network, o Options) (*Network, error) {
 				t = 1
 			}
 			if v {
-				t = -o.DeltaOn
+				t = -don
 			}
 			if err := out.AddGate(&Gate{Name: n.Name, T: t}); err != nil {
 				return nil, err
 			}
 			continue
 		}
-		vec, ok := CheckThresholdBounded(tt, o.DeltaOn, o.DeltaOff, o.MaxWeight, &solver)
+		vec, ok := CheckThresholdBounded(tt, don, o.DeltaOff, o.MaxWeight, &solver)
 		if !ok {
 			return nil, fmt.Errorf("core: one-to-one gate %s is not threshold (cover %v)", n.Name, n.Cover)
 		}

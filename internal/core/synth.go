@@ -18,6 +18,13 @@ type Options struct {
 	// defaults are δon = 0 and δoff = 1.
 	DeltaOn  int
 	DeltaOff int
+	// DeltaOnOverrides raises (or lowers) the ON-set separation margin for
+	// individual source nodes: when the node named by a key is synthesized,
+	// every gate emitted for it — including split parts — uses the mapped
+	// δon instead of the global DeltaOn. Nodes collapsed into a consumer
+	// take the consumer's margin. This is the selective-hardening hook of
+	// internal/resyn: only the blamed gates pay the Fig. 12 area cost.
+	DeltaOnOverrides map[string]int
 	// Seed drives the random tie-break between equally frequent split
 	// variables (§V-C condition 4).
 	Seed int64
@@ -78,6 +85,11 @@ func DefaultOptions() Options {
 	return Options{Fanin: 3, DeltaOn: 0, DeltaOff: 1}
 }
 
+// Validate reports whether the options are self-consistent; Synthesize
+// and OneToOne run the same check, this export is for callers (e.g. the
+// re-synthesis loop) that use the knobs without going through them.
+func (o *Options) Validate() error { return o.validate() }
+
 func (o *Options) validate() error {
 	if o.Fanin < 2 {
 		return fmt.Errorf("core: fanin restriction %d < 2", o.Fanin)
@@ -89,11 +101,29 @@ func (o *Options) validate() error {
 	if o.DeltaOn < 0 || o.DeltaOff < 0 {
 		return fmt.Errorf("core: negative defect tolerance (δon=%d, δoff=%d)", o.DeltaOn, o.DeltaOff)
 	}
-	if o.MaxWeight != 0 && o.MaxWeight < o.DeltaOn+o.DeltaOff {
+	maxDon := o.DeltaOn
+	for name, don := range o.DeltaOnOverrides {
+		if don < 0 {
+			return fmt.Errorf("core: negative δon override %d for node %s", don, name)
+		}
+		if don > maxDon {
+			maxDon = don
+		}
+	}
+	if o.MaxWeight != 0 && o.MaxWeight < maxDon+o.DeltaOff {
 		return fmt.Errorf("core: max weight %d below δon+δoff = %d (even OR gates need that much)",
-			o.MaxWeight, o.DeltaOn+o.DeltaOff)
+			o.MaxWeight, maxDon+o.DeltaOff)
 	}
 	return nil
+}
+
+// DeltaOnFor returns the margin in effect for the named source node: its
+// override when present, the global DeltaOn otherwise.
+func (o *Options) DeltaOnFor(name string) int {
+	if don, ok := o.DeltaOnOverrides[name]; ok {
+		return don
+	}
+	return o.DeltaOn
 }
 
 // SynthStats reports what the synthesizer did.
@@ -171,6 +201,10 @@ type synthesizer struct {
 	solver ilp.Solver
 	stats  SynthStats
 	serial int
+	// don is the margin of the source node currently being synthesized;
+	// processNode sets it from the per-node overrides before any gate of
+	// that node (split parts included) is emitted.
+	don int
 }
 
 func (s *synthesizer) freshName(base string) string {
@@ -197,6 +231,7 @@ func (s *synthesizer) processNode(n *network.Node) error {
 		return nil
 	}
 	s.done[n.Name] = true
+	s.don = s.o.DeltaOnFor(n.Name)
 	support := append([]*network.Node(nil), n.Fanins...)
 	support = dedupeNodes(support)
 	tt, err := s.src.LocalFunction(n, support)
@@ -242,7 +277,7 @@ func (s *synthesizer) synthFunction(name string, tt *truth.Table, support []*net
 	// Threshold check, only meaningful within the fanin restriction.
 	if tt.N() <= s.o.Fanin {
 		s.stats.ILPCalls++
-		if v, ok := CheckThresholdBounded(tt, s.o.DeltaOn, s.o.DeltaOff, s.o.MaxWeight, &s.solver); ok {
+		if v, ok := CheckThresholdBounded(tt, s.don, s.o.DeltaOff, s.o.MaxWeight, &s.solver); ok {
 			s.stats.ILPFeasible++
 			return s.emitGate(name, v, support)
 		}
@@ -258,7 +293,7 @@ func (s *synthesizer) emitConstGate(name string, value bool) error {
 		t = 1
 	}
 	if value {
-		t = -s.o.DeltaOn
+		t = -s.don
 	}
 	return s.out.AddGate(&Gate{Name: name, T: t})
 }

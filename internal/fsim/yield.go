@@ -175,6 +175,35 @@ func NewYieldSession(nw *network.Network, tn *core.Network, cfg YieldConfig) (*Y
 // Vectors reports the packed vector count shared by every point.
 func (s *YieldSession) Vectors() int { return s.batch.Len() }
 
+// VerifyClean checks that tn computes the session's golden outputs on
+// every batch vector under exact weights (no defects). The re-synthesis
+// loop runs this after splicing hardened gates as a cheap functional
+// safety net: a replacement that changed the logic would otherwise
+// surface only as a collapsed yield estimate.
+func (s *YieldSession) VerifyClean(tn *core.Network) error {
+	if len(tn.Outputs) != len(s.golden) {
+		return fmt.Errorf("fsim: network has %d outputs, session golden has %d",
+			len(tn.Outputs), len(s.golden))
+	}
+	tsim, err := CompileThresh(tn)
+	if err != nil {
+		return err
+	}
+	out, err := tsim.Eval(s.batch)
+	if err != nil {
+		return err
+	}
+	for o := range out {
+		for blk := 0; blk < s.batch.Blocks(); blk++ {
+			if diff := (out[o][blk] ^ s.golden[o][blk]) & s.batch.mask[blk]; diff != 0 {
+				return fmt.Errorf("fsim: clean mismatch on output %s (block %d)",
+					tn.Outputs[o], blk)
+			}
+		}
+	}
+	return nil
+}
+
 // Estimate runs one Monte-Carlo yield measurement against the session's
 // shared batch and golden outputs. For exhaustive batches the report is
 // bit-identical to EstimateYield with the same arguments for any
@@ -182,8 +211,21 @@ func (s *YieldSession) Vectors() int { return s.batch.Len() }
 // cfg.Seed matches the session's build seed (other seeds still measure
 // the session's fixed vector sample, with defect draws from cfg.Seed).
 func (s *YieldSession) Estimate(model DefectModel, cfg YieldConfig) (*YieldReport, error) {
+	return s.EstimateFor(s.tn, model, cfg)
+}
+
+// EstimateFor measures tn — any threshold implementation of the session's
+// golden network, not just the one the session was built with — against
+// the shared batch and golden outputs. The selective re-synthesis loop
+// (internal/resyn) uses this to re-estimate each hardened revision of the
+// network without re-packing the batch or re-simulating the reference.
+func (s *YieldSession) EstimateFor(tn *core.Network, model DefectModel, cfg YieldConfig) (*YieldReport, error) {
 	cfg = cfg.withDefaults()
-	tsim, err := CompileThresh(s.tn)
+	if len(tn.Outputs) != len(s.golden) {
+		return nil, fmt.Errorf("fsim: network has %d outputs, session golden has %d",
+			len(tn.Outputs), len(s.golden))
+	}
+	tsim, err := CompileThresh(tn)
 	if err != nil {
 		return nil, err
 	}
@@ -297,6 +339,10 @@ func (s *YieldSession) estimate(tsim *ThreshSim, model DefectModel, cfg YieldCon
 		}
 		rep.Critical = append(rep.Critical, GateImpact{Gate: g.Name, Blamed: blamed[gi], Flipped: flipped[gi]})
 	}
+	// The ranking must be a total order — blame, then flips, then the
+	// (unique) gate name — so reports are byte-stable across runs at equal
+	// blame and the selective re-synthesis loop picks the same gates every
+	// time.
 	sort.Slice(rep.Critical, func(i, j int) bool {
 		a, b := rep.Critical[i], rep.Critical[j]
 		if a.Blamed != b.Blamed {

@@ -17,11 +17,12 @@ import (
 //	{"kind": "synth", "spec": {"blif": "...", "fanin": 3, ...}}
 //	{"kind": "yield", "spec": {..synth fields.., "yield": {...}}}
 //	{"kind": "sweep", "spec": {..synth fields.., "yield": {...}, "sweep": {"vs": [...]}}}
+//	{"kind": "resyn", "spec": {..synth fields.., "yield": {...}, "resyn": {"target_yield": 0.99, ...}}}
 //
 // — so each kind owns its own spec shape instead of growing one flat
-// struct. The pre-v1 routes (POST /synth with the flat SubmitRequest,
-// GET /jobs, ...) remain as thin adapters for one release; new clients
-// and service.Client speak v1.
+// struct. The pre-v1 flat routes (POST /synth, unversioned /jobs
+// mirrors) are gone: every path outside /v1/ answers with the 404 error
+// envelope.
 
 // SynthSpec is the v1 wire form of the synthesis knobs shared by every
 // job kind. It mirrors the cmd/tels flags; absent fields take the same
@@ -84,6 +85,14 @@ type SweepJobSpec struct {
 	Sweep SweepSpec `json:"sweep"`
 }
 
+// ResynJobSpec is the v1 spec of kind "resyn": synthesis knobs, the
+// estimator configuration, and the selective re-synthesis loop knobs.
+type ResynJobSpec struct {
+	SynthSpec
+	Yield YieldSpec `json:"yield"`
+	Resyn ResynSpec `json:"resyn"`
+}
+
 // SubmitEnvelope is the kind-tagged v1 submission body.
 type SubmitEnvelope struct {
 	Kind string          `json:"kind"`
@@ -125,88 +134,18 @@ func (e SubmitEnvelope) Request() (Request, error) {
 		req.Yield = s.Yield
 		req.Sweep = s.Sweep
 		return req, nil
-	}
-	return Request{}, fmt.Errorf("service: unknown job kind %q (want synth, yield, or sweep)", kind)
-}
-
-// SubmitRequest is the pre-v1 flat wire form of a submission
-// (POST /synth): synthesis fields and the optional yield block in one
-// struct.
-//
-// Deprecated: the flat form is kept as a compatibility adapter for one
-// release. New clients submit a kind-tagged SubmitEnvelope to
-// POST /v1/jobs; sweeps exist only there.
-type SubmitRequest struct {
-	BLIF      string `json:"blif"`
-	Kind      string `json:"kind,omitempty"`
-	Script    string `json:"script,omitempty"`
-	Mapper    string `json:"mapper,omitempty"`
-	Fanin     int    `json:"fanin,omitempty"`
-	DeltaOn   *int   `json:"delta_on,omitempty"`
-	DeltaOff  *int   `json:"delta_off,omitempty"`
-	Seed      int64  `json:"seed,omitempty"`
-	Exact     bool   `json:"exact,omitempty"`
-	MaxWeight int    `json:"max_weight,omitempty"`
-	// Yield configures the analysis stage of kind "yield" jobs.
-	Yield *YieldSpec `json:"yield,omitempty"`
-	// SkipVerify disables the equivalence check.
-	SkipVerify bool `json:"skip_verify,omitempty"`
-	// TimeoutMS bounds the job's run time in milliseconds (0 = server
-	// default).
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
-
-// synthSpec lifts the flat form's synthesis knobs into the v1 shape.
-func (s SubmitRequest) synthSpec() SynthSpec {
-	return SynthSpec{
-		BLIF:       s.BLIF,
-		Script:     s.Script,
-		Mapper:     s.Mapper,
-		Fanin:      s.Fanin,
-		DeltaOn:    s.DeltaOn,
-		DeltaOff:   s.DeltaOff,
-		Seed:       s.Seed,
-		Exact:      s.Exact,
-		MaxWeight:  s.MaxWeight,
-		SkipVerify: s.SkipVerify,
-		TimeoutMS:  s.TimeoutMS,
-	}
-}
-
-// Envelope converts the flat form to its v1 submission.
-func (s SubmitRequest) Envelope() (SubmitEnvelope, error) {
-	kind := s.Kind
-	if kind == "" {
-		kind = "synth"
-	}
-	var spec any
-	switch kind {
-	case "synth":
-		spec = s.synthSpec()
-	case "yield":
-		js := YieldJobSpec{SynthSpec: s.synthSpec()}
-		if s.Yield != nil {
-			js.Yield = *s.Yield
+	case "resyn":
+		var s ResynJobSpec
+		if err := json.Unmarshal(e.Spec, &s); err != nil {
+			return Request{}, fmt.Errorf("service: decode resyn spec: %w", err)
 		}
-		spec = js
-	default:
-		return SubmitEnvelope{}, fmt.Errorf("service: flat submissions support synth and yield, not %q", kind)
+		req := s.SynthSpec.request()
+		req.Kind = "resyn"
+		req.Yield = s.Yield
+		req.Resyn = s.Resyn
+		return req, nil
 	}
-	raw, err := json.Marshal(spec)
-	if err != nil {
-		return SubmitEnvelope{}, err
-	}
-	return SubmitEnvelope{Kind: kind, Spec: raw}, nil
-}
-
-// Request converts the flat wire form to the typed job request.
-func (s SubmitRequest) Request() Request {
-	req := s.synthSpec().request()
-	req.Kind = s.Kind
-	if s.Yield != nil {
-		req.Yield = *s.Yield
-	}
-	return req
+	return Request{}, fmt.Errorf("service: unknown job kind %q (want synth, yield, sweep, or resyn)", kind)
 }
 
 // Error codes of the uniform JSON error envelope. Every error response
@@ -241,8 +180,8 @@ const maxBodyBytes = 8 << 20
 //	GET    /v1/healthz          liveness probe
 //	GET    /v1/metrics          expvar-style counters
 //
-// plus the deprecated unversioned adapters (POST /synth with the flat
-// SubmitRequest, and /jobs, /healthz, /metrics mirrors). Errors are
+// Everything else — including the removed pre-v1 routes (POST /synth,
+// unversioned /jobs, /healthz, /metrics) — gets a 404. Errors are
 // always {"error": {"code", "message"}}.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
@@ -336,25 +275,8 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/healthz", healthz)
 	mux.HandleFunc("GET /v1/metrics", metrics)
 
-	// Deprecated unversioned adapters (one release).
-	mux.HandleFunc("POST /synth", func(w http.ResponseWriter, r *http.Request) {
-		submit(w, r, func(body []byte) (Request, error) {
-			var sr SubmitRequest
-			if err := json.Unmarshal(body, &sr); err != nil {
-				return Request{}, fmt.Errorf("decode request: %w", err)
-			}
-			return sr.Request(), nil
-		})
-	})
-	mux.HandleFunc("GET /jobs", list)
-	mux.HandleFunc("GET /jobs/{id}", get)
-	mux.HandleFunc("GET /jobs/{id}/tln", tln)
-	mux.HandleFunc("POST /jobs/{id}/cancel", cancel)
-	mux.HandleFunc("DELETE /jobs/{id}", cancel)
-	mux.HandleFunc("GET /healthz", healthz)
-	mux.HandleFunc("GET /metrics", metrics)
-
-	// Unmatched paths get the JSON envelope, not the mux's plain text.
+	// Unmatched paths — the removed pre-v1 routes included — get the
+	// JSON envelope, not the mux's plain text.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
 	})

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 
 	"tels/internal/blif"
@@ -29,13 +30,30 @@ func Digest(req Request) (string, error) {
 	fmt.Fprintf(h, "tels/v1\nscript=%s\nmapper=%s\nverify=%t\n", req.Script, req.Mapper, !req.SkipVerify)
 	fmt.Fprintf(h, "fanin=%d\ndon=%d\ndoff=%d\nseed=%d\nmaxilp=%d\nexact=%t\nmaxw=%d\nnocollapse=%t\nnotheorem2=%t\nsplit=%d\n",
 		o.Fanin, o.DeltaOn, o.DeltaOff, o.Seed, o.MaxILPNodes, o.ExactILP, o.MaxWeight, o.NoCollapse, o.NoTheorem2, o.Split)
-	// Yield jobs fold the analysis knobs into the address; plain synth
+	// Per-node margin overrides, in sorted order. Only written when
+	// present so pre-override digests stay stable.
+	if len(o.DeltaOnOverrides) > 0 {
+		names := make([]string, 0, len(o.DeltaOnOverrides))
+		for name := range o.DeltaOnOverrides {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(h, "donover.%s=%d\n", name, o.DeltaOnOverrides[name])
+		}
+	}
+	// Analysis jobs fold their knobs into the address; plain synth
 	// requests keep the original encoding so their digests are stable
-	// across this addition.
-	if req.Kind == "yield" || req.Kind == "sweep" {
+	// across these additions.
+	if req.Kind == "yield" || req.Kind == "sweep" || req.Kind == "resyn" {
 		y := req.Yield
 		fmt.Fprintf(h, "kind=%s\nymodel=%s\nyv=%g\nyp=%g\nymax=%d\nyhw=%g\nyseed=%d\n",
 			req.Kind, y.Model, y.V, y.P, y.MaxTrials, y.HalfWidth, y.Seed)
+	}
+	if req.Kind == "resyn" {
+		rs := req.Resyn
+		fmt.Fprintf(h, "rtopk=%d\nrstep=%d\nrmaxdon=%d\nriters=%d\nrtarget=%g\nrbudget=%d\n",
+			rs.TopK, rs.DeltaStep, rs.MaxDeltaOn, rs.MaxIters, rs.TargetYield, rs.AreaBudget)
 	}
 	// A sweep job's own digest covers its grid. Its results are NOT
 	// cached under this address: every point is cached individually under

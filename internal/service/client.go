@@ -68,23 +68,32 @@ func (c *Client) SubmitEnvelope(ctx context.Context, env SubmitEnvelope) (Job, e
 	return job, nil
 }
 
-// Submit posts a synthesis request in the legacy flat form, converted to
-// its v1 envelope on the way out.
-func (c *Client) Submit(ctx context.Context, sr SubmitRequest) (Job, error) {
-	env, err := sr.Envelope()
-	if err != nil {
-		return Job{}, err
-	}
-	return c.SubmitEnvelope(ctx, env)
+// SubmitSynth posts a plain synthesis job.
+func (c *Client) SubmitSynth(ctx context.Context, spec SynthSpec) (Job, error) {
+	return c.submitSpec(ctx, "synth", spec)
+}
+
+// SubmitYield posts a yield-analysis job.
+func (c *Client) SubmitYield(ctx context.Context, spec YieldJobSpec) (Job, error) {
+	return c.submitSpec(ctx, "yield", spec)
 }
 
 // SubmitSweep posts a sweep job.
 func (c *Client) SubmitSweep(ctx context.Context, spec SweepJobSpec) (Job, error) {
+	return c.submitSpec(ctx, "sweep", spec)
+}
+
+// SubmitResyn posts a selective re-synthesis job.
+func (c *Client) SubmitResyn(ctx context.Context, spec ResynJobSpec) (Job, error) {
+	return c.submitSpec(ctx, "resyn", spec)
+}
+
+func (c *Client) submitSpec(ctx context.Context, kind string, spec any) (Job, error) {
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		return Job{}, err
 	}
-	return c.SubmitEnvelope(ctx, SubmitEnvelope{Kind: "sweep", Spec: raw})
+	return c.SubmitEnvelope(ctx, SubmitEnvelope{Kind: kind, Spec: raw})
 }
 
 // Job fetches the current snapshot of a job (sweep jobs include their
@@ -198,13 +207,6 @@ func apiError(status int, body []byte) error {
 	}
 	if json.Unmarshal(body, &v1) == nil && v1.Error.Message != "" {
 		return &StatusError{StatusCode: status, Code: v1.Error.Code, Message: v1.Error.Message}
-	}
-	// Pre-v1 flat form: {"error": "message"}.
-	var flat struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(body, &flat) == nil && flat.Error != "" {
-		return &StatusError{StatusCode: status, Message: flat.Error}
 	}
 	return &StatusError{StatusCode: status, Message: strings.TrimSpace(string(body))}
 }

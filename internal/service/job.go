@@ -12,6 +12,7 @@ import (
 
 	"tels/internal/core"
 	"tels/internal/fsim"
+	"tels/internal/resyn"
 )
 
 // State is the lifecycle phase of a job.
@@ -62,6 +63,25 @@ func (y YieldSpec) DefectModel() (fsim.DefectModel, error) {
 		return fsim.StuckAt{P: y.P}, nil
 	}
 	return nil, fmt.Errorf("service: unknown defect model %q (want weight, drift, or stuck)", y.Model)
+}
+
+// ResynSpec configures the defect-aware selective re-synthesis loop of a
+// "resyn" job. Zero values take the loop's defaults; Normalize makes
+// them explicit so equal effective configs share one digest.
+type ResynSpec struct {
+	// TopK bounds the blamed gates hardened per iteration (default 3).
+	TopK int `json:"top_k,omitempty"`
+	// DeltaStep is the per-iteration δon increment (default 1).
+	DeltaStep int `json:"delta_step,omitempty"`
+	// MaxDeltaOn caps any single gate's margin (default base δon+8).
+	MaxDeltaOn int `json:"max_delta_on,omitempty"`
+	// MaxIters caps hardening iterations (default 10).
+	MaxIters int `json:"max_iters,omitempty"`
+	// TargetYield stops the loop once an estimate reaches it (0 = run to
+	// convergence or the iteration cap).
+	TargetYield float64 `json:"target_yield,omitempty"`
+	// AreaBudget rejects hardenings that would exceed it (0 = unbounded).
+	AreaBudget int `json:"area_budget,omitempty"`
 }
 
 // MaxSweepPoints bounds the grid of one sweep job.
@@ -148,15 +168,19 @@ type SweepResult struct {
 	WallMS int64 `json:"wall_ms"`
 }
 
-// Progress reports a sweep job's partial state; clients polling
-// GET /v1/jobs/{id} can stream the curve as points land. DonePoints is
-// monotonically non-decreasing across polls.
+// Progress reports a running job's partial state; clients polling
+// GET /v1/jobs/{id} can stream it. For sweep jobs the curve fills in as
+// points land (DonePoints is monotonically non-decreasing across polls);
+// for resyn jobs Iterations grows as the loop measures and hardens.
 type Progress struct {
-	DonePoints   int `json:"done_points"`
-	TotalPoints  int `json:"total_points"`
+	DonePoints   int `json:"done_points,omitempty"`
+	TotalPoints  int `json:"total_points,omitempty"`
 	FailedPoints int `json:"failed_points,omitempty"`
 	// Points holds the points completed so far, in grid order.
 	Points []SweepPoint `json:"points,omitempty"`
+	// Iterations holds the resyn iterations completed so far, in order:
+	// each carries that round's yield, area, and hardened-gate list.
+	Iterations []resyn.Iteration `json:"iterations,omitempty"`
 }
 
 // Request describes one synthesis job: the source netlist plus the knobs
@@ -169,13 +193,17 @@ type Request struct {
 	// parse → optimize → synthesize → verify; "yield" additionally runs a
 	// Monte-Carlo yield analysis of the synthesized network on the packed
 	// fsim engine, with the parsed source as the golden reference; "sweep"
-	// fans a grid of yield points across the worker pool.
+	// fans a grid of yield points across the worker pool; "resyn" runs
+	// the defect-aware selective re-synthesis loop on the synthesized
+	// network, streaming per-iteration progress.
 	Kind string `json:"kind,omitempty"`
-	// Yield configures the analysis stage of yield jobs and the base
-	// point of sweep jobs.
+	// Yield configures the analysis stage of yield jobs, the base point
+	// of sweep jobs, and the estimator of resyn jobs.
 	Yield YieldSpec `json:"yield,omitempty"`
 	// Sweep is the grid of sweep jobs.
 	Sweep SweepSpec `json:"sweep,omitempty"`
+	// Resyn configures the re-synthesis loop of resyn jobs.
+	Resyn ResynSpec `json:"resyn,omitempty"`
 	// Script selects the pre-synthesis optimization: "algebraic"
 	// (default), "boolean", or "none".
 	Script string `json:"script,omitempty"`
@@ -201,7 +229,7 @@ func (r *Request) Normalize() error {
 	}
 	switch r.Kind {
 	case "synth":
-	case "yield", "sweep":
+	case "yield", "sweep", "resyn":
 		if r.Yield.Model == "" {
 			r.Yield.Model = "weight"
 		}
@@ -222,8 +250,13 @@ func (r *Request) Normalize() error {
 				return err
 			}
 		}
+		if r.Kind == "resyn" {
+			if err := r.normalizeResyn(); err != nil {
+				return err
+			}
+		}
 	default:
-		return fmt.Errorf("service: unknown job kind %q (want synth, yield, or sweep)", r.Kind)
+		return fmt.Errorf("service: unknown job kind %q (want synth, yield, sweep, or resyn)", r.Kind)
 	}
 	if r.Script == "" {
 		r.Script = "algebraic"
@@ -286,6 +319,34 @@ func (r *Request) normalizeSweep() error {
 	return nil
 }
 
+// normalizeResyn validates the loop knobs and makes the defaults
+// explicit, so requests that mean the same loop share one digest.
+func (r *Request) normalizeResyn() error {
+	s := &r.Resyn
+	if s.TopK < 0 || s.DeltaStep < 0 || s.MaxDeltaOn < 0 || s.MaxIters < 0 || s.AreaBudget < 0 {
+		return fmt.Errorf("service: negative resyn knob")
+	}
+	if s.TargetYield < 0 || s.TargetYield > 1 {
+		return fmt.Errorf("service: resyn target yield %g outside [0, 1]", s.TargetYield)
+	}
+	if s.TopK == 0 {
+		s.TopK = 3
+	}
+	if s.DeltaStep == 0 {
+		s.DeltaStep = 1
+	}
+	if s.MaxDeltaOn == 0 {
+		s.MaxDeltaOn = r.Options.DeltaOn + 8
+	}
+	if s.MaxDeltaOn < r.Options.DeltaOn {
+		return fmt.Errorf("service: resyn max δon %d below base δon %d", s.MaxDeltaOn, r.Options.DeltaOn)
+	}
+	if s.MaxIters == 0 {
+		s.MaxIters = 10
+	}
+	return nil
+}
+
 // StageTimes records the per-stage wall-clock latency of one run.
 type StageTimes struct {
 	Parse      time.Duration `json:"parse"`
@@ -311,6 +372,9 @@ type Result struct {
 	Yield *fsim.YieldReport `json:"yield,omitempty"`
 	// Sweep is the aggregated curve of a sweep job.
 	Sweep *SweepResult `json:"sweep,omitempty"`
+	// Resyn is the re-synthesis report of a resyn job; its TLN sibling
+	// holds the hardened network.
+	Resyn *resyn.Report `json:"resyn,omitempty"`
 	// CacheHit marks results served from the content-addressed cache.
 	CacheHit bool `json:"cache_hit"`
 	// Stages holds the per-stage latencies of the run that produced the

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"tels/internal/resyn"
 )
 
 // Config sizes the manager.
@@ -78,6 +80,10 @@ type jobRecord struct {
 	sweepDone   int
 	sweepFailed int
 	sweepPoints []*SweepPoint
+
+	// Resyn progress (kind "resyn" only), guarded by the manager's
+	// mutex: iterations appended as the loop completes them.
+	resynIters []resyn.Iteration
 
 	ctx    context.Context // cancelled by Cancel or manager shutdown
 	cancel context.CancelFunc
@@ -189,6 +195,12 @@ func (m *Manager) Submit(req Request) (Job, error) {
 		ctx:     ctx,
 		cancel:  cancel,
 		done:    make(chan struct{}),
+	}
+	if req.Kind == "resyn" {
+		// Resyn jobs run the selective re-synthesis loop in place of the
+		// pipeline; the runner streams per-iteration progress into the
+		// record.
+		j.run = m.resynRunner(j)
 	}
 	if req.Kind == "sweep" {
 		// Sweep jobs don't occupy a queue slot or a worker: a dedicated
@@ -330,6 +342,11 @@ func (j *jobRecord) snapshotLocked() Job {
 			}
 		}
 		job.Progress = pr
+	}
+	if j.req.Kind == "resyn" && len(j.resynIters) > 0 {
+		job.Progress = &Progress{
+			Iterations: append([]resyn.Iteration(nil), j.resynIters...),
+		}
 	}
 	return job
 }

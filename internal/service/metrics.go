@@ -22,6 +22,10 @@ type Metrics struct {
 	sweepPointsPlanned atomic.Int64
 	sweepPointsDone    atomic.Int64
 
+	resynIterations    atomic.Int64
+	resynGatesHardened atomic.Int64
+	resynMemoHits      atomic.Int64
+
 	parseNS      atomic.Int64
 	optimizeNS   atomic.Int64
 	synthesizeNS atomic.Int64
@@ -53,6 +57,9 @@ func (m *Metrics) Snapshot(perState map[State]int, cacheLen int) map[string]int6
 		"cache_entries":           int64(cacheLen),
 		"sweep_points_planned":    m.sweepPointsPlanned.Load(),
 		"sweep_points_done":       m.sweepPointsDone.Load(),
+		"resyn_iterations":        m.resynIterations.Load(),
+		"resyn_gates_hardened":    m.resynGatesHardened.Load(),
+		"resyn_memo_hits":         m.resynMemoHits.Load(),
 		"stage_parse_ns_sum":      m.parseNS.Load(),
 		"stage_optimize_ns_sum":   m.optimizeNS.Load(),
 		"stage_synthesize_ns_sum": m.synthesizeNS.Load(),

@@ -297,7 +297,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	c := &Client{BaseURL: srv.URL, PollInterval: 5 * time.Millisecond}
 	ctx := context.Background()
 
-	job, err := c.Submit(ctx, SubmitRequest{BLIF: testBlif})
+	job, err := c.SubmitSynth(ctx, SynthSpec{BLIF: testBlif})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +316,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("tln:\n%s", tln)
 	}
 
-	again, err := c.Submit(ctx, SubmitRequest{BLIF: testBlif})
+	again, err := c.SubmitSynth(ctx, SynthSpec{BLIF: testBlif})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestHTTPErrors(t *testing.T) {
 	c := &Client{BaseURL: srv.URL}
 	ctx := context.Background()
 
-	if _, err := c.Submit(ctx, SubmitRequest{}); err == nil {
+	if _, err := c.SubmitSynth(ctx, SynthSpec{}); err == nil {
 		t.Error("empty submission accepted")
 	}
 	if _, err := c.Job(ctx, "job-999999"); err == nil {
@@ -367,7 +367,7 @@ func TestHTTPErrors(t *testing.T) {
 		<-ctx.Done()
 		return Result{}, ctx.Err()
 	}
-	job, err := c.Submit(ctx, SubmitRequest{BLIF: testBlif})
+	job, err := c.SubmitSynth(ctx, SynthSpec{BLIF: testBlif})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -479,9 +479,16 @@ func TestYieldRequestValidation(t *testing.T) {
 		t.Fatal("yield seed must change the digest")
 	}
 
-	// The wire form carries the yield block through to the typed request.
-	sr := SubmitRequest{BLIF: testBlif, Kind: "yield", Yield: &YieldSpec{Model: "drift", V: 1.5}}
-	req := sr.Request()
+	// The v1 wire form carries the yield block through to the typed
+	// request.
+	env := SubmitEnvelope{Kind: "yield", Spec: mustJSON(YieldJobSpec{
+		SynthSpec: SynthSpec{BLIF: testBlif},
+		Yield:     YieldSpec{Model: "drift", V: 1.5},
+	})}
+	req, err := env.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if req.Kind != "yield" || req.Yield.Model != "drift" || req.Yield.V != 1.5 {
 		t.Fatalf("wire conversion dropped yield spec: %+v", req)
 	}

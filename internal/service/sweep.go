@@ -27,13 +27,14 @@ import (
 // progress table as it completes, and is individually abandoned when the
 // sweep is cancelled.
 
-// synthRequest strips a sweep request down to the synthesis prefix of
-// one δon value.
+// synthRequest strips an analysis request (sweep or resyn) down to the
+// synthesis prefix of one δon value.
 func synthRequest(base Request, deltaOn int) Request {
 	req := base
 	req.Kind = "synth"
 	req.Yield = YieldSpec{}
 	req.Sweep = SweepSpec{}
+	req.Resyn = ResynSpec{}
 	req.Options.DeltaOn = deltaOn
 	return req
 }

@@ -398,9 +398,9 @@ func TestV1ErrorEnvelope(t *testing.T) {
 	}
 }
 
-// TestLegacyFlatSubmission keeps the pre-v1 adapter honest: POST /synth
-// with the flat body still runs a job, and the unversioned mirrors serve
-// it.
+// TestLegacyFlatSubmission keeps the pre-v1 removal honest: the retired
+// flat routes (POST /synth, unversioned /jobs mirrors) must answer 404
+// with the v1 error envelope, never silently run a job.
 func TestLegacyFlatSubmission(t *testing.T) {
 	m := newTestManager(t, Config{Workers: 1})
 	srv := httptest.NewServer(NewHandler(m))
@@ -412,24 +412,30 @@ func TestLegacyFlatSubmission(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("status = %d, want 202", resp.StatusCode)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /synth status = %d, want 404", resp.StatusCode)
 	}
-	var job Job
-	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
-		t.Fatal(err)
+	var env struct {
+		Error APIError `json:"error"`
 	}
-	if _, err := m.Wait(context.Background(), job.ID); err != nil {
-		t.Fatal(err)
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("POST /synth body is not the error envelope: %v", err)
 	}
-	for _, path := range []string{"/jobs/" + job.ID, "/v1/jobs/" + job.ID} {
+	if env.Error.Code != CodeNotFound || env.Error.Message == "" {
+		t.Fatalf("POST /synth envelope = %+v, want code %s", env.Error, CodeNotFound)
+	}
+	if jobs := m.List(); len(jobs) != 0 {
+		t.Fatalf("retired route created a job: %+v", jobs)
+	}
+
+	for _, path := range []string{"/jobs", "/jobs/job-000001", "/healthz", "/metrics"} {
 		r, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		r.Body.Close()
-		if r.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s = %d, want 200", path, r.StatusCode)
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404", path, r.StatusCode)
 		}
 	}
 }
