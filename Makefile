@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race benchsmoke sweepsmoke resynsmoke cover bench fuzz experiments examples serve ci clean
+.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -34,13 +34,21 @@ resynsmoke:
 		&& $(GO) run ./cmd/telsim -don 1 -v 1.2 -trials 300 -target 0.999 -maxiters 2 resyn $$f; \
 		s=$$?; rm -f $$f; exit $$s
 
+# widthsmoke proves the lane-width refactor under the vectorizing build:
+# GOAMD64=v3 build plus the cross-width bit-identity suites, then one
+# quick W=1 vs 4 vs 8 timing sweep of the Fig. 11 inner loop.
+widthsmoke:
+	GOAMD64=v3 $(GO) build ./...
+	GOAMD64=v3 $(GO) test ./internal/fsim/ ./internal/sim/
+	GOAMD64=v3 $(GO) run ./cmd/telsbench -quick fsimwidth
+
 # serve runs the synthesis daemon on :8455 (override with ADDR=...).
 ADDR ?= :8455
 serve:
 	$(GO) run ./cmd/telsd -addr $(ADDR)
 
 # ci is the exact gate GitHub Actions runs.
-ci: build test race benchsmoke sweepsmoke resynsmoke
+ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

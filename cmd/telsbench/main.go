@@ -15,14 +15,17 @@
 //	                          fanned vs sequential wall-clock comparison
 //	telsbench resyn           selective re-synthesis (internal/resyn) vs the
 //	                          paper's global-δon hardening: area at equal yield
-//	telsbench all             everything above (except sweep and resyn)
+//	telsbench fsimwidth       packed-engine lane-width sweep: the Fig. 11 inner
+//	                          loop timed at W=1 vs 4 vs 8 ×64-bit blocks
+//	telsbench all             everything above (except sweep, resyn, fsimwidth)
 //
 // The -quick flag shrinks the Monte-Carlo grids and skips the largest
 // benchmark (i10) for a fast smoke run. The -json flag replaces the
-// rendered tables of table1, fig10, fig11, fig12, and resyn with a
-// machine-readable JSON document on stdout (BENCH_fig11.json and
-// BENCH_resyn.json in the repo root are such baselines, regenerated with
-// `telsbench -quick -json fig11` and `telsbench -quick -json resyn`).
+// rendered tables of table1, fig10, fig11, fig12, resyn, and fsimwidth
+// with a machine-readable JSON document on stdout (BENCH_fig11.json,
+// BENCH_resyn.json, and BENCH_fsim_width.json in the repo root are such
+// baselines, regenerated with `telsbench -quick -json fig11` and
+// friends).
 package main
 
 import (
@@ -95,10 +98,10 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 	}
 	_ = emit
 	switch cmd {
-	case "table1", "fig10", "fig11", "fig12", "resyn":
+	case "table1", "fig10", "fig11", "fig12", "resyn", "fsimwidth":
 	default:
 		if jsonOut {
-			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, and resyn, not %q", cmd)
+			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, resyn, and fsimwidth, not %q", cmd)
 		}
 	}
 	switch cmd {
@@ -126,6 +129,8 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		return serviceSweep(quick, seed)
 	case "resyn":
 		return resynBench(quick, jsonOut, seed, emit)
+	case "fsimwidth":
+		return fsimWidth(quick, jsonOut, seed, emit)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return table1(o, quick, false, emit) },
@@ -146,7 +151,7 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, sweep, resyn, or all)", cmd)
+		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, sweep, resyn, fsimwidth, or all)", cmd)
 	}
 }
 
@@ -427,6 +432,42 @@ func serviceSweep(quick bool, seed int64) error {
 	fmt.Printf("sweep job (fanned):    %8.1f ms\n", float64(fan.Microseconds())/1000)
 	fmt.Printf("speedup:               %8.2fx\n", float64(seq)/float64(fan))
 	return nil
+}
+
+// fsimWidth benchmarks the packed engine's lane-width abstraction: the
+// Fig. 11 inner loop (one perturbed threshold evaluation plus golden
+// comparison per Monte-Carlo trial) timed at W = 1, 4, and 8 ×64-bit
+// blocks on benchmarks spanning small exhaustive batches to wide sampled
+// ones. Every width replays the identical seeded RNG stream, and
+// expt.WidthBench fails if the per-width failure counts diverge, so the
+// timing table doubles as an end-to-end bit-identity check. The sweep
+// uses its own trial count (the -trials flag sizes the fig11/fig12
+// grids, not this loop).
+func fsimWidth(quick, jsonOut bool, seed int64, emit emitFn) error {
+	const v = 1.6
+	names := []string{"parity8", "rd53", "cm85a", "comp", "term1"}
+	samples := 1 << 14
+	trials := 60
+	if quick {
+		names = []string{"parity8", "cm85a", "comp"}
+		samples = 1 << 12
+		trials = 24
+	}
+	rows, err := expt.WidthBench(names, v, trials, samples, seed)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "fsimwidth", "v": v, "trials": trials,
+			"samples": samples, "seed": seed, "rows": rows,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(expt.RenderWidthBench(v, rows))
+	}
+	return emit("fsimwidth.csv", func(w io.Writer) error { return expt.WriteWidthBenchCSV(w, rows) })
 }
 
 // resynRow is one benchmark's selective-vs-global hardening comparison.

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"tels/internal/cli"
+	"tels/internal/fsim"
 	"tels/internal/service"
 )
 
@@ -58,6 +59,7 @@ func main() {
 		cache   = flag.Int("cache", service.DefaultCacheEntries, "result-cache capacity in entries")
 		timeout = flag.Duration("timeout", 2*time.Minute, "default per-job timeout")
 		maxjobs = flag.Int("maxjobs", 1024, "retained job records")
+		width   = flag.String("width", "1", "fsim lane-block width in 64-bit words (1, 4, or 8); results and job digests are identical at every width")
 		quiet   = flag.Bool("q", false, "suppress startup and shutdown messages")
 	)
 	flag.Parse()
@@ -66,18 +68,23 @@ func main() {
 	if flag.NArg() > 0 {
 		t.Usage("unexpected arguments %v", flag.Args())
 	}
-	if err := run(t, *addr, *workers, *queue, *cache, *timeout, *maxjobs); err != nil {
+	w, err := fsim.ParseWidth(*width)
+	if err != nil {
+		t.Usage("%v", err)
+	}
+	if err := run(t, *addr, *workers, *queue, *cache, *timeout, *maxjobs, w); err != nil {
 		t.Fail(err)
 	}
 }
 
-func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Duration, maxjobs int) error {
+func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Duration, maxjobs int, width fsim.Width) error {
 	m := service.New(service.Config{
 		Workers:        workers,
 		QueueDepth:     queue,
 		CacheEntries:   cache,
 		DefaultTimeout: timeout,
 		MaxJobs:        maxjobs,
+		FsimWidth:      width,
 	})
 	defer m.Close()
 
@@ -94,7 +101,7 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	t.Infof("serving on %s (%d workers, cache %d entries)", addr, m.Workers(), cache)
+	t.Infof("serving on %s (%d workers, cache %d entries, fsim width %s)", addr, m.Workers(), cache, width)
 
 	select {
 	case err := <-errCh:

@@ -16,8 +16,12 @@
 //	       [-budget A] [-server URL]              selective re-synthesis loop
 //	telsim dot <net.tln>                          Graphviz export
 //
-// faults and yield run on the packed fsim engine: 64 vectors per machine
-// word, exhaustive up to fsim.ExhaustiveInputs inputs, sampled beyond.
+// faults, yield, and perturb run on the packed fsim engine: 64 vectors
+// per machine word, exhaustive up to fsim.ExhaustiveInputs inputs,
+// sampled beyond. -width selects the engine's lane-block width (1, 4, or
+// 8 ×64-bit words; results are bit-identical at every width, wider
+// blocks auto-vectorize under GOAMD64=v3). In -server mode the daemon's
+// own -width applies instead.
 //
 // sweep submits one kind="sweep" job — to a running telsd when -server is
 // given, to an in-process manager otherwise — synthesizing each δon once
@@ -57,6 +61,7 @@ import (
 type options struct {
 	n         int
 	seed      int64
+	width     fsim.Width
 	v         float64
 	trials    int
 	maxTrials int
@@ -108,11 +113,17 @@ func main() {
 	flag.IntVar(&o.maxiters, "maxiters", 0, "resyn: iteration cap (default 10)")
 	flag.IntVar(&o.budget, "budget", 0, "resyn: area budget (0 = unbounded)")
 	flag.StringVar(&o.output, "o", "", "resyn: write the hardened .tln here")
+	width := flag.String("width", "1", "fsim lane-block width in 64-bit words (1, 4, or 8); results are bit-identical at every width")
 	quiet := flag.Bool("q", false, "suppress informational diagnostics")
 	flag.Parse()
 	o.quiet = *quiet
 	t := cli.New("telsim")
 	t.Quiet = *quiet
+	w, err := fsim.ParseWidth(*width)
+	if err != nil {
+		t.Usage("%v", err)
+	}
+	o.width = w
 	if flag.NArg() < 1 {
 		t.Usage("need a command (info, run, compare, perturb, faults, yield, sweep, resyn, dot)")
 	}
@@ -166,7 +177,7 @@ func run(cmd string, args []string, o options) error {
 		if len(args) != 2 {
 			return fmt.Errorf("perturb needs <golden.blif> <impl.tln>")
 		}
-		return perturb(args[0], args[1], o.v, o.trials, o.seed)
+		return perturb(args[0], args[1], o)
 	case "faults":
 		if len(args) != 1 {
 			return fmt.Errorf("faults needs one .tln netlist")
@@ -324,7 +335,7 @@ func compare(golden, impl string, seed int64) error {
 	return nil
 }
 
-func perturb(golden, impl string, v float64, trials int, seed int64) error {
+func perturb(golden, impl string, o options) error {
 	g, err := load(golden)
 	if err != nil {
 		return err
@@ -338,24 +349,24 @@ func perturb(golden, impl string, v float64, trials int, seed int64) error {
 	}
 	rate, err := sim.FailureRate(
 		[]sim.Pair{{Name: impl, Bool: g.boolean, Threshold: i.threshold}},
-		v, sim.FailureRateConfig{Trials: trials, Seed: seed})
+		o.v, sim.FailureRateConfig{Trials: o.trials, Seed: o.seed, Width: o.width})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("v=%.2f: %d trials, failure rate %.1f%%\n", v, trials, 100*rate)
+	fmt.Printf("v=%.2f: %d trials, failure rate %.1f%%\n", o.v, o.trials, 100*rate)
 	return nil
 }
 
 // batchFor builds the fault/yield vector batch: exhaustive when the input
 // count permits, n random vectors otherwise.
-func batchFor(inputs []string, n int, seed int64) *fsim.Batch {
+func batchFor(inputs []string, n int, seed int64, w fsim.Width) (*fsim.Batch, error) {
 	if len(inputs) <= fsim.ExhaustiveInputs {
-		return fsim.Exhaustive(inputs)
+		return fsim.ExhaustiveW(inputs, w)
 	}
 	if n < fsim.DefaultSamples {
 		n = fsim.DefaultSamples
 	}
-	return fsim.Random(inputs, n, rand.New(rand.NewSource(seed)))
+	return fsim.RandomW(inputs, n, rand.New(rand.NewSource(seed)), w), nil
 }
 
 func faults(impl string, o options) error {
@@ -366,7 +377,11 @@ func faults(impl string, o options) error {
 	if l.threshold == nil {
 		return fmt.Errorf("faults supports threshold (.tln) netlists")
 	}
-	rep, err := fsim.FaultSweep(l.threshold, batchFor(l.threshold.Inputs, o.n, o.seed))
+	batch, err := batchFor(l.threshold.Inputs, o.n, o.seed, o.width)
+	if err != nil {
+		return err
+	}
+	rep, err := fsim.FaultSweep(l.threshold, batch)
 	if err != nil {
 		return err
 	}
@@ -409,6 +424,7 @@ func yield(golden, impl string, o options) error {
 		HalfWidth: o.eps,
 		Samples:   o.n,
 		Seed:      o.seed,
+		Width:     o.width,
 	})
 	if err != nil {
 		return err
@@ -517,7 +533,7 @@ func runServiceJob(env service.SubmitEnvelope, o options, progress func(service.
 		}
 		return c.Wait(ctx, job.ID, progress)
 	}
-	m := service.New(service.Config{Workers: o.workers})
+	m := service.New(service.Config{Workers: o.workers, FsimWidth: o.width})
 	defer m.Close()
 	req, err := env.Request()
 	if err != nil {

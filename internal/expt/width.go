@@ -1,0 +1,158 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"tels/internal/fsim"
+	"tels/internal/sim"
+)
+
+// WidthRow is one benchmark × lane-width timing sample of the Fig. 11
+// inner loop: a perturbed packed evaluation plus golden comparison per
+// Monte-Carlo trial. Failures is the number of trials whose disturbed
+// network differed from the golden reference — identical at every width
+// by the engine's bit-identity guarantee, and re-checked here.
+type WidthRow struct {
+	Benchmark string  `json:"benchmark"`
+	Width     int     `json:"width"`
+	Vectors   int     `json:"vectors"`
+	Gates     int     `json:"gates"`
+	Trials    int     `json:"trials"`
+	Failures  int     `json:"failures"`
+	MS        float64 `json:"ms"`
+	Speedup   float64 `json:"speedup_vs_w1"`
+}
+
+// widthBatch packs the vectors the Fig. 11 inner loop would sweep:
+// exhaustive for narrow networks, `samples` random vectors otherwise.
+func widthBatch(pair sim.Pair, samples int, rng *rand.Rand, w fsim.Width) (*fsim.Batch, error) {
+	names := make([]string, len(pair.Bool.Inputs))
+	for i, in := range pair.Bool.Inputs {
+		names[i] = in.Name
+	}
+	if len(names) <= sim.ExhaustiveLimit {
+		return fsim.ExhaustiveW(names, w)
+	}
+	return fsim.RandomW(names, samples, rng, w), nil
+}
+
+// WidthBench times the packed engine's Fig. 11 inner loop
+// (ThreshSim.EvalPerturbed + Batch.Differs) at every supported lane-block
+// width on the named benchmarks, synthesized once at δon=1. Each width
+// replays the identical RNG stream — same vectors, same disturbances — so
+// the per-width failure counts double as a built-in bit-identity check;
+// a mismatch is returned as an error. Timing covers only the per-trial
+// evaluate-and-compare step, not synthesis, compilation, or noise
+// drawing.
+func WidthBench(names []string, v float64, trials, samples int, seed int64) ([]WidthRow, error) {
+	pairs, err := synthPairs(names, 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]WidthRow, 0, len(pairs)*len(fsim.Widths()))
+	for _, pair := range pairs {
+		bsim, err := fsim.CompileBool(pair.Bool)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s: %w", pair.Name, err)
+		}
+		tsim, err := fsim.CompileThresh(pair.Threshold)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s: %w", pair.Name, err)
+		}
+		ev, err := pair.Threshold.NewEvaluator()
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s: %w", pair.Name, err)
+		}
+		baseFailures := -1
+		var baseTime time.Duration
+		for _, w := range fsim.Widths() {
+			// One seed for every width: identical vectors and noise, so
+			// failure counts must agree bit for bit.
+			rng := rand.New(rand.NewSource(seed))
+			batch, err := widthBatch(pair, samples, rng, w)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %s: %w", pair.Name, err)
+			}
+			ref, err := bsim.Eval(batch)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %s: %w", pair.Name, err)
+			}
+			golden := make([][]uint64, len(ref))
+			for o := range ref {
+				golden[o] = append([]uint64(nil), ref[o]...)
+			}
+			failures := 0
+			var elapsed time.Duration
+			for trial := 0; trial < trials; trial++ {
+				noise := sim.PerturbFor(ev, v, rng).Noise()
+				t0 := time.Now()
+				got, err := tsim.EvalPerturbed(batch, noise)
+				if err != nil {
+					return nil, fmt.Errorf("expt: %s: %w", pair.Name, err)
+				}
+				bad := batch.Differs(golden, got)
+				elapsed += time.Since(t0)
+				if bad {
+					failures++
+				}
+			}
+			row := WidthRow{
+				Benchmark: pair.Name,
+				Width:     w.Words(),
+				Vectors:   batch.Len(),
+				Gates:     len(pair.Threshold.Gates),
+				Trials:    trials,
+				Failures:  failures,
+				MS:        float64(elapsed.Microseconds()) / 1000,
+			}
+			if w == fsim.W1 {
+				baseFailures = failures
+				baseTime = elapsed
+				row.Speedup = 1
+			} else {
+				if failures != baseFailures {
+					return nil, fmt.Errorf("expt: %s: width %s counted %d failures, width 1 counted %d (bit-identity violated)",
+						pair.Name, w, failures, baseFailures)
+				}
+				if elapsed > 0 {
+					row.Speedup = float64(baseTime) / float64(elapsed)
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderWidthBench formats the lane-width sweep as a per-benchmark table.
+func RenderWidthBench(v float64, rows []WidthRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsim lane-width sweep — Fig. 11 inner loop (EvalPerturbed + Differs), v=%.1f\n\n", v)
+	fmt.Fprintf(&b, "%-8s | %7s %5s %6s | %5s | %9s | %7s\n",
+		"bench", "vectors", "gates", "trials", "width", "ms", "vs W=1")
+	fmt.Fprintln(&b, "----------------------------------------------------------------")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s | %7d %5d %6d | %5d | %9.3f | %6.2fx\n",
+			r.Benchmark, r.Vectors, r.Gates, r.Trials, r.Width, r.MS, r.Speedup)
+	}
+	b.WriteString("\n(failure counts are verified identical across widths before timing is reported)\n")
+	return b.String()
+}
+
+// WriteWidthBenchCSV emits the sweep in plottable form.
+func WriteWidthBenchCSV(w io.Writer, rows []WidthRow) error {
+	if _, err := fmt.Fprintln(w, "benchmark,width,vectors,gates,trials,failures,ms,speedup_vs_w1"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%g,%g\n",
+			r.Benchmark, r.Width, r.Vectors, r.Gates, r.Trials, r.Failures, r.MS, r.Speedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}

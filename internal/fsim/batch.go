@@ -2,65 +2,86 @@
 // engine: it packs 64 input vectors into each uint64 word and evaluates
 // Boolean networks (internal/network) and threshold networks
 // (internal/core) in topological order over preallocated flat buffers —
-// no per-vector maps, no per-gate allocation in the hot loop. On top of
-// the packed evaluators it provides defect models (weight variation,
-// threshold drift, stuck-at gate faults), a Monte-Carlo yield estimator
-// with sequential early stopping, and a critical-gate ranking that
-// attributes observed output failures to the first flipped gate on each
-// failing lane. The scalar evaluators in internal/sim, internal/network
-// and internal/core remain the correctness oracle; property tests pin the
-// packed paths to them bit for bit.
+// no per-vector maps, no per-gate allocation in the hot loop. The inner
+// evaluator kernels are generic over the lane-block width (Width: 1, 4,
+// or 8 words per step), so the same flat layout runs through portable
+// 64-bit code or compiler-vectorized 256/512-bit blocks with bit-identical
+// results. On top of the packed evaluators it provides defect models
+// (weight variation, threshold drift, stuck-at gate faults), a Monte-Carlo
+// yield estimator with sequential early stopping, and a critical-gate
+// ranking that attributes observed output failures to the first flipped
+// gate on each failing lane. The scalar evaluators in internal/sim,
+// internal/network and internal/core remain the correctness oracle;
+// property tests pin the packed paths to them bit for bit.
 package fsim
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"math/rand"
 )
 
-// lanes is the SIMD width of the engine: vectors per machine word. The
-// packing layout (vector index = block*lanes + lane) is the only place the
-// width is assumed; a future wider backend swaps this constant and the
-// word type.
+// lanes is the number of vectors per 64-bit word. The packing layout
+// (vector index v lives in bit v%64 of word v/64 of a flat row) is
+// fixed and width-independent; Width only sets how many words the
+// evaluator kernels advance per step.
 const lanes = 64
 
 // MaxExhaustiveInputs bounds Exhaustive batches (2^20 vectors ≈ 16 K words
 // per input); callers with wider networks sample with Random instead.
 const MaxExhaustiveInputs = 20
 
-// Batch is a set of packed input assignments: for every input, one uint64
-// word per block of 64 vectors, with vector index v living in bit v%64 of
-// block v/64. The final block's unused lanes are masked out of every
-// comparison helper.
+// ErrTooManyInputs is returned by Exhaustive when the input count exceeds
+// MaxExhaustiveInputs. Service runners classify it (via InvalidInput) as a
+// caller error rather than an internal failure.
+var ErrTooManyInputs = errors.New("fsim: too many inputs for exhaustive batch")
+
+// Batch is a set of packed input assignments: for every input, a flat row
+// of uint64 words with vector index v living in bit v%64 of word v/64.
+// Rows are padded to a whole number of lane blocks (Width.Words() words
+// each); the mask zeroes the final partial word and every pad word out of
+// all comparisons and counts, so batches of different widths carry the
+// same valid bits at the same flat positions.
 type Batch struct {
 	inputs []string
 	pos    map[string]int
 	n      int
-	blocks int
-	words  [][]uint64 // [input][block]
-	mask   []uint64   // [block] valid-lane mask
+	width  Width
+	blocks int        // lane blocks per row
+	words  [][]uint64 // [input][word], blocks*width.Words() words per row
+	mask   []uint64   // [word] valid-lane mask (zero on pad words)
 }
 
-// newBatch allocates an empty batch for the inputs and vector count.
-func newBatch(inputs []string, n int) *Batch {
-	blocks := (n + lanes - 1) / lanes
+// newBatch allocates an empty batch for the inputs and vector count at
+// lane width w.
+func newBatch(inputs []string, n int, w Width) *Batch {
+	w = w.or0()
+	wpb := w.Words()
+	blocks := (n + w.Lanes() - 1) / w.Lanes()
+	if n == 0 {
+		blocks = 0
+	}
+	row := blocks * wpb
 	b := &Batch{
 		inputs: append([]string(nil), inputs...),
 		pos:    make(map[string]int, len(inputs)),
 		n:      n,
+		width:  w,
 		blocks: blocks,
 		words:  make([][]uint64, len(inputs)),
-		mask:   make([]uint64, blocks),
+		mask:   make([]uint64, row),
 	}
 	for i, name := range b.inputs {
 		b.pos[name] = i
-		b.words[i] = make([]uint64, blocks)
+		b.words[i] = make([]uint64, row)
 	}
-	for blk := range b.mask {
-		b.mask[blk] = ^uint64(0)
+	valid := (n + lanes - 1) / lanes
+	for wi := 0; wi < valid; wi++ {
+		b.mask[wi] = ^uint64(0)
 	}
-	if rem := n % lanes; rem != 0 && blocks > 0 {
-		b.mask[blocks-1] = (uint64(1) << uint(rem)) - 1
+	if rem := n % lanes; rem != 0 && valid > 0 {
+		b.mask[valid-1] = (uint64(1) << uint(rem)) - 1
 	}
 	return b
 }
@@ -68,75 +89,101 @@ func newBatch(inputs []string, n int) *Batch {
 // Len returns the number of vectors in the batch.
 func (b *Batch) Len() int { return b.n }
 
-// Blocks returns the number of 64-lane blocks.
+// Blocks returns the number of lane blocks per row (each Width.Words()
+// words wide).
 func (b *Batch) Blocks() int { return b.blocks }
+
+// Words returns the padded row length in 64-bit words
+// (Blocks()·Width().Words()). Packed output and trace rows share it.
+func (b *Batch) Words() int { return len(b.mask) }
+
+// Width returns the lane-block width the batch was built for.
+func (b *Batch) Width() Width { return b.width }
 
 // Inputs returns the input names, in column order.
 func (b *Batch) Inputs() []string { return b.inputs }
 
-// Exhaustive packs all 2^n assignments of the inputs: vector m assigns
-// input i the value of bit i of m, matching the enumeration order of
-// sim.Vectors. It panics if len(inputs) exceeds MaxExhaustiveInputs.
-func Exhaustive(inputs []string) *Batch {
+// Exhaustive packs all 2^n assignments of the inputs at the default
+// width: vector m assigns input i the value of bit i of m, matching the
+// enumeration order of sim.Vectors. It returns ErrTooManyInputs if
+// len(inputs) exceeds MaxExhaustiveInputs.
+func Exhaustive(inputs []string) (*Batch, error) {
+	return ExhaustiveW(inputs, DefaultWidth)
+}
+
+// ExhaustiveW is Exhaustive at an explicit lane width. The valid bits are
+// identical at every width; only the row padding differs.
+func ExhaustiveW(inputs []string, w Width) (*Batch, error) {
 	n := len(inputs)
 	if n > MaxExhaustiveInputs {
-		panic(fmt.Sprintf("fsim: exhaustive batch over %d inputs (max %d)", n, MaxExhaustiveInputs))
+		return nil, fmt.Errorf("%w: %d inputs (max %d)", ErrTooManyInputs, n, MaxExhaustiveInputs)
 	}
-	b := newBatch(inputs, 1<<uint(n))
-	// Inside a 64-lane block, inputs 0..5 follow fixed alternation
-	// patterns; inputs 6+ are constant per block, selected by the block
-	// index bits.
+	b := newBatch(inputs, 1<<uint(n), w)
+	// Inside a 64-lane word, inputs 0..5 follow fixed alternation
+	// patterns; inputs 6+ are constant per word, selected by the word
+	// index bits. Pad words get the same fill; the mask hides them.
 	var low = [6]uint64{
 		0xAAAAAAAAAAAAAAAA, 0xCCCCCCCCCCCCCCCC, 0xF0F0F0F0F0F0F0F0,
 		0xFF00FF00FF00FF00, 0xFFFF0000FFFF0000, 0xFFFFFFFF00000000,
 	}
 	for i := 0; i < n; i++ {
-		w := b.words[i]
+		row := b.words[i]
 		if i < 6 {
-			for blk := range w {
-				w[blk] = low[i]
+			for wi := range row {
+				row[wi] = low[i]
 			}
 			continue
 		}
-		for blk := range w {
-			if blk>>(uint(i)-6)&1 == 1 {
-				w[blk] = ^uint64(0)
+		for wi := range row {
+			if wi>>(uint(i)-6)&1 == 1 {
+				row[wi] = ^uint64(0)
 			}
 		}
 	}
-	return b
+	return b, nil
 }
 
-// Random packs n uniformly random assignments. The RNG consumption order
-// (vector-major, input-minor, one Intn(2) per bit) is identical to
-// sim.Vectors, so a packed caller sampling from the same seeded stream
-// sees exactly the vectors the scalar path would.
+// Random packs n uniformly random assignments at the default width. The
+// RNG consumption order (vector-major, input-minor, one Intn(2) per bit)
+// is identical to sim.Vectors, so a packed caller sampling from the same
+// seeded stream sees exactly the vectors the scalar path would.
 func Random(inputs []string, n int, rng *rand.Rand) *Batch {
-	b := newBatch(inputs, n)
+	return RandomW(inputs, n, rng, DefaultWidth)
+}
+
+// RandomW is Random at an explicit lane width; the RNG stream and the
+// valid bits are identical at every width.
+func RandomW(inputs []string, n int, rng *rand.Rand, w Width) *Batch {
+	b := newBatch(inputs, n, w)
 	for v := 0; v < n; v++ {
-		blk, bit := v/lanes, uint(v%lanes)
+		wi, bit := v/lanes, uint(v%lanes)
 		for i := range inputs {
 			if rng.Intn(2) == 1 {
-				b.words[i][blk] |= uint64(1) << bit
+				b.words[i][wi] |= uint64(1) << bit
 			}
 		}
 	}
 	return b
 }
 
-// Pack converts explicit assignments (e.g. from sim.Vectors) into a batch.
-// Every assignment must cover every input by name.
+// Pack converts explicit assignments (e.g. from sim.Vectors) into a batch
+// at the default width. Every assignment must cover every input by name.
 func Pack(inputs []string, vecs []map[string]bool) (*Batch, error) {
-	b := newBatch(inputs, len(vecs))
+	return PackW(inputs, vecs, DefaultWidth)
+}
+
+// PackW is Pack at an explicit lane width.
+func PackW(inputs []string, vecs []map[string]bool, w Width) (*Batch, error) {
+	b := newBatch(inputs, len(vecs), w)
 	for v, vec := range vecs {
-		blk, bit := v/lanes, uint(v%lanes)
+		wi, bit := v/lanes, uint(v%lanes)
 		for i, name := range inputs {
 			val, ok := vec[name]
 			if !ok {
 				return nil, fmt.Errorf("fsim: vector %d has no value for input %s", v, name)
 			}
 			if val {
-				b.words[i][blk] |= uint64(1) << bit
+				b.words[i][wi] |= uint64(1) << bit
 			}
 		}
 	}
@@ -147,9 +194,9 @@ func Pack(inputs []string, vecs []map[string]bool) (*Batch, error) {
 // messages; never used in hot loops).
 func (b *Batch) Assignment(v int) map[string]bool {
 	out := make(map[string]bool, len(b.inputs))
-	blk, bit := v/lanes, uint(v%lanes)
+	wi, bit := v/lanes, uint(v%lanes)
 	for i, name := range b.inputs {
-		out[name] = b.words[i][blk]>>bit&1 == 1
+		out[name] = b.words[i][wi]>>bit&1 == 1
 	}
 	return out
 }
@@ -168,13 +215,13 @@ func (b *Batch) columns(names []string) ([]int, error) {
 	return cols, nil
 }
 
-// Differs reports whether two packed output sets (shaped [output][block])
+// Differs reports whether two packed output sets (shaped [output][word])
 // disagree on any valid lane, with early exit on the first differing word.
 func (b *Batch) Differs(a, c [][]uint64) bool {
 	for o := range a {
 		ao, co := a[o], c[o]
-		for blk := 0; blk < b.blocks; blk++ {
-			if (ao[blk]^co[blk])&b.mask[blk] != 0 {
+		for wi := range b.mask {
+			if (ao[wi]^co[wi])&b.mask[wi] != 0 {
 				return true
 			}
 		}
@@ -188,16 +235,16 @@ func (b *Batch) FirstDiff(a, c [][]uint64) (vec, out int, found bool) {
 	bestVec, bestOut := -1, -1
 	for o := range a {
 		ao, co := a[o], c[o]
-		for blk := 0; blk < b.blocks; blk++ {
-			d := (ao[blk] ^ co[blk]) & b.mask[blk]
+		for wi := range b.mask {
+			d := (ao[wi] ^ co[wi]) & b.mask[wi]
 			if d == 0 {
 				continue
 			}
-			v := blk*lanes + bits.TrailingZeros64(d)
+			v := wi*lanes + bits.TrailingZeros64(d)
 			if bestVec < 0 || v < bestVec {
 				bestVec, bestOut = v, o
 			}
-			break // later blocks of this output can only be higher vectors
+			break // later words of this output can only be higher vectors
 		}
 	}
 	if bestVec < 0 {
@@ -206,7 +253,7 @@ func (b *Batch) FirstDiff(a, c [][]uint64) (vec, out int, found bool) {
 	return bestVec, bestOut, true
 }
 
-// Bit extracts output word bit v for packed rows shaped [block].
+// Bit extracts output word bit v for packed rows shaped [word].
 func Bit(row []uint64, v int) bool {
 	return row[v/lanes]>>uint(v%lanes)&1 == 1
 }

@@ -22,15 +22,27 @@ type boolNode struct {
 	slot  int
 }
 
-// BoolSim evaluates a Boolean network 64 vectors at a time. Compile once,
-// evaluate many batches; not safe for concurrent use (buffers are reused).
+// boolKern holds the per-width value buffer of a BoolSim: one lane block
+// per signal, rewritten per step.
+type boolKern[B lword[B]] struct {
+	vals []B
+}
+
+// BoolSim evaluates a Boolean network one lane block (the batch's width ×
+// 64 vectors) at a time. Compile once, evaluate many batches; not safe
+// for concurrent use (buffers are reused).
 type BoolSim struct {
 	inputs   []string
 	inSlots  []int
 	nodes    []boolNode
 	outSlots []int
-	vals     []uint64   // one word per signal, rewritten per block
-	out      [][]uint64 // [output][block], reused across Eval calls
+	nslots   int
+	out      [][]uint64 // [output][word], reused across Eval calls
+
+	// per-width kernels, allocated on first use
+	k1 *boolKern[b1]
+	k4 *boolKern[b4]
+	k8 *boolKern[b8]
 }
 
 // CompileBool flattens the network into slot-addressed packed-cover form.
@@ -44,7 +56,7 @@ func CompileBool(nw *network.Network) (*BoolSim, error) {
 	for _, n := range order {
 		slot[n] = len(slot)
 	}
-	s.vals = make([]uint64, len(slot))
+	s.nslots = len(slot)
 	for _, in := range nw.Inputs {
 		s.inputs = append(s.inputs, in.Name)
 		s.inSlots = append(s.inSlots, slot[in])
@@ -75,47 +87,77 @@ func CompileBool(nw *network.Network) (*BoolSim, error) {
 	return s, nil
 }
 
-// Eval computes the packed outputs ([output][block]) for the batch. The
-// returned slices are reused by the next Eval call.
+// Eval computes the packed outputs ([output][word]) for the batch at the
+// batch's lane width. The returned slices are reused by the next Eval
+// call. Results are bit-identical on valid lanes at every width.
 func (s *BoolSim) Eval(b *Batch) ([][]uint64, error) {
 	cols, err := b.columns(s.inputs)
 	if err != nil {
 		return nil, err
 	}
+	row := b.Words()
 	for o := range s.out {
-		if cap(s.out[o]) < b.blocks {
-			s.out[o] = make([]uint64, b.blocks)
+		if cap(s.out[o]) < row {
+			s.out[o] = make([]uint64, row)
 		}
-		s.out[o] = s.out[o][:b.blocks]
+		s.out[o] = s.out[o][:row]
 	}
+	switch b.width {
+	case W4:
+		if s.k4 == nil {
+			s.k4 = &boolKern[b4]{vals: make([]b4, s.nslots)}
+		}
+		runBool(s, s.k4, b, cols)
+	case W8:
+		if s.k8 == nil {
+			s.k8 = &boolKern[b8]{vals: make([]b8, s.nslots)}
+		}
+		runBool(s, s.k8, b, cols)
+	default:
+		if s.k1 == nil {
+			s.k1 = &boolKern[b1]{vals: make([]b1, s.nslots)}
+		}
+		runBool(s, s.k1, b, cols)
+	}
+	return s.out, nil
+}
+
+// runBool is the generic inner loop: per lane block, load the input
+// blocks, OR each node's cubes of ANDed literals, and store the outputs
+// back to the flat rows. The early exits (dead cube, saturated node) are
+// pure optimizations — they never change the stored words — so taking
+// them per block rather than per word keeps all widths bit-identical.
+func runBool[B lword[B]](s *BoolSim, k *boolKern[B], b *Batch, cols []int) {
+	var zero B
+	wpb := zero.words()
 	for blk := 0; blk < b.blocks; blk++ {
+		base := blk * wpb
 		for i, slot := range s.inSlots {
-			s.vals[slot] = b.words[cols[i]][blk]
+			k.vals[slot] = zero.load(b.words[cols[i]][base:])
 		}
 		for _, n := range s.nodes {
-			var acc uint64
+			var acc B
 			for _, cube := range n.cubes {
-				t := ^uint64(0)
+				t := zero.ones()
 				for _, l := range cube {
-					w := s.vals[l.slot]
+					w := k.vals[l.slot]
 					if l.neg {
-						w = ^w
+						w = w.not()
 					}
-					t &= w
-					if t == 0 {
+					t = t.and(w)
+					if t.isZero() {
 						break
 					}
 				}
-				acc |= t
-				if acc == ^uint64(0) {
+				acc = acc.or(t)
+				if acc.isOnes() {
 					break
 				}
 			}
-			s.vals[n.slot] = acc
+			k.vals[n.slot] = acc
 		}
 		for o, slot := range s.outSlots {
-			s.out[o][blk] = s.vals[slot]
+			k.vals[slot].store(s.out[o][base:])
 		}
 	}
-	return s.out, nil
 }

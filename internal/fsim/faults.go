@@ -66,12 +66,12 @@ func FaultSweep(tn *core.Network, batch *Batch) (*FaultReport, error) {
 				return nil, err
 			}
 			detected := 0
-			for blk := 0; blk < batch.Blocks(); blk++ {
+			for wi := range batch.mask {
 				var fail uint64
 				for o := range out {
-					fail |= out[o][blk] ^ golden[o][blk]
+					fail |= out[o][wi] ^ golden[o][wi]
 				}
-				detected += bits.OnesCount64(fail & batch.mask[blk])
+				detected += bits.OnesCount64(fail & batch.mask[wi])
 			}
 			rep.Faults++
 			if detected > 0 {

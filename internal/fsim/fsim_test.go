@@ -88,11 +88,22 @@ func randomThreshNet(rng *rand.Rand, n int) *core.Network {
 	return tn
 }
 
+// exhaustive is the test shorthand for Exhaustive over inputs known to be
+// within MaxExhaustiveInputs.
+func exhaustive(t *testing.T, inputs []string) *Batch {
+	t.Helper()
+	b, err := Exhaustive(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 // TestExhaustiveBatchLayout pins the packing convention: vector m assigns
 // input i the value of bit i of m.
 func TestExhaustiveBatchLayout(t *testing.T) {
 	inputs := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
-	b := Exhaustive(inputs)
+	b := exhaustive(t, inputs)
 	if b.Len() != 256 || b.Blocks() != 4 {
 		t.Fatalf("len=%d blocks=%d", b.Len(), b.Blocks())
 	}
@@ -140,7 +151,7 @@ func TestPackedBoolMatchesScalar(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		batch := Exhaustive(inputNames(nw))
+		batch := exhaustive(t, inputNames(nw))
 		got, err := sim.Eval(batch)
 		if err != nil {
 			t.Fatal(err)
@@ -184,7 +195,7 @@ func TestPackedThreshMatchesScalar(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		batch := Exhaustive(tn.Inputs)
+		batch := exhaustive(t, tn.Inputs)
 		got, err := sim.Eval(batch)
 		if err != nil {
 			t.Fatal(err)
@@ -229,7 +240,7 @@ func TestPackedPerturbedMatchesScalar(t *testing.T) {
 			}
 			noise[gi] = ns
 		}
-		batch := Exhaustive(tn.Inputs)
+		batch := exhaustive(t, tn.Inputs)
 		got, err := sim.EvalPerturbed(batch, noise)
 		if err != nil {
 			t.Fatal(err)
@@ -286,7 +297,7 @@ func TestStuckAtDefect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch := Exhaustive(tn.Inputs)
+	batch := exhaustive(t, tn.Inputs)
 	for _, v := range []int8{0, 1} {
 		out, err := sim.EvalDefect(batch, &Defect{Stuck: []int8{v}}, nil)
 		if err != nil {
@@ -321,7 +332,7 @@ func TestFaninLimit(t *testing.T) {
 
 // TestFirstDiff checks mismatch localization across blocks.
 func TestFirstDiff(t *testing.T) {
-	b := newBatch([]string{"x"}, 130)
+	b := newBatch([]string{"x"}, 130, W1)
 	a := [][]uint64{{0, 0, 0}}
 	c := [][]uint64{{0, 1 << 5, 1 << 1}}
 	vec, out, found := b.FirstDiff(a, c)

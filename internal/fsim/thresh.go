@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
@@ -9,16 +10,23 @@ import (
 
 // PackedFaninLimit bounds the gate fanin the packed threshold evaluator
 // accepts: each gate is evaluated through a 2^k-entry fire table, so the
-// limit caps the per-gate scratch at 4096 words (32 KiB). Networks
+// limit caps the per-gate scratch at 4096 minterm blocks. Networks
 // synthesized under the paper's fanin restriction (ψ ≤ 8) are far below
 // it; CompileThresh fails beyond it and callers fall back to the scalar
 // evaluator.
 const PackedFaninLimit = 12
 
+// ErrFaninLimit is returned by CompileThresh when a gate's fanin exceeds
+// PackedFaninLimit. Service runners classify it (via InvalidInput) as a
+// caller error rather than an internal failure.
+var ErrFaninLimit = errors.New("fsim: gate fanin exceeds packed limit")
+
 // fireTable is the packed truth table of one gate under one weight
 // assignment: bit m is the gate output on input minterm m (bit i of m is
-// the value of gate input i). ones counts the set bits so evaluation can
-// OR whichever of the ON or OFF minterm sets is smaller.
+// the value of gate input i). The table is indexed by minterm, not by
+// vector, so it stays a plain uint64 bitset at every lane width. ones
+// counts the set bits so evaluation can OR whichever of the ON or OFF
+// minterm sets is smaller.
 type fireTable struct {
 	bits []uint64
 	ones int
@@ -48,10 +56,17 @@ type pGate struct {
 	size int   // 1 << fanin
 }
 
-// ThreshSim evaluates a threshold network 64 vectors at a time, under
-// exact weights (Eval), Monte-Carlo weight noise (EvalPerturbed), or a
-// general Defect (EvalDefect). Compile once, evaluate many batches; not
-// safe for concurrent use.
+// threshKern holds the per-width buffers of a ThreshSim: one lane block
+// per signal plus the 2^maxFanin minterm-mask array.
+type threshKern[B lword[B]] struct {
+	vals []B
+	mts  []B
+}
+
+// ThreshSim evaluates a threshold network one lane block (the batch's
+// width × 64 vectors) at a time, under exact weights (Eval), Monte-Carlo
+// weight noise (EvalPerturbed), or a general Defect (EvalDefect). Compile
+// once, evaluate many batches; not safe for concurrent use.
 type ThreshSim struct {
 	tn       *core.Network
 	order    []*core.Gate
@@ -59,12 +74,17 @@ type ThreshSim struct {
 	inSlots  []int
 	gates    []pGate
 	outSlots []int
+	nslots   int
+	maxFanin int
 
-	vals    []uint64    // one word per signal, rewritten per block
-	out     [][]uint64  // [output][block], reused across calls
-	scratch []uint64    // minterm masks, 2^maxFanin words
-	base    []fireTable // exact-weight tables, built at compile time
-	work    []fireTable // rebuilt per perturbed/defect evaluation
+	out  [][]uint64  // [output][word], reused across calls
+	base []fireTable // exact-weight tables, built at compile time
+	work []fireTable // rebuilt per perturbed/defect evaluation
+
+	// per-width kernels, allocated on first use
+	k1 *threshKern[b1]
+	k4 *threshKern[b4]
+	k8 *threshKern[b8]
 }
 
 // CompileThresh prepares the packed evaluator. The gate order is
@@ -85,16 +105,16 @@ func CompileThresh(tn *core.Network) (*ThreshSim, error) {
 	maxFanin := 0
 	for _, g := range order {
 		if len(g.Inputs) > PackedFaninLimit {
-			return nil, fmt.Errorf("fsim: gate %s fanin %d exceeds packed limit %d",
-				g.Name, len(g.Inputs), PackedFaninLimit)
+			return nil, fmt.Errorf("%w: gate %s fanin %d (max %d)",
+				ErrFaninLimit, g.Name, len(g.Inputs), PackedFaninLimit)
 		}
 		if len(g.Inputs) > maxFanin {
 			maxFanin = len(g.Inputs)
 		}
 		slot[g.Name] = len(slot)
 	}
-	s.vals = make([]uint64, len(slot))
-	s.scratch = make([]uint64, 1<<uint(maxFanin))
+	s.nslots = len(slot)
+	s.maxFanin = maxFanin
 	s.base = make([]fireTable, len(order))
 	s.work = make([]fireTable, len(order))
 	for gi, g := range order {
@@ -183,7 +203,8 @@ func (s *ThreshSim) EvalPerturbed(b *Batch, noise [][]float64) ([][]uint64, erro
 }
 
 // EvalDefect computes the packed outputs under a defect instance, writing
-// per-gate output words into trace ([gate][block]) when trace is non-nil.
+// per-gate output words into trace ([gate][word], rows at least
+// b.Words() long) when trace is non-nil.
 func (s *ThreshSim) EvalDefect(b *Batch, d *Defect, trace [][]uint64) ([][]uint64, error) {
 	tabs := s.base
 	if d != nil && (d.WeightNoise != nil || d.ThresholdNoise != nil) {
@@ -207,59 +228,87 @@ func (s *ThreshSim) EvalDefect(b *Batch, d *Defect, trace [][]uint64) ([][]uint6
 	return s.evalWith(b, tabs, stuck, trace)
 }
 
-// evalWith is the shared packed inner loop: per block, load the input
-// words, evaluate every gate through its fire table over an incrementally
-// doubled minterm-mask array, and collect the outputs.
+// evalWith sizes the output rows and dispatches the generic inner loop at
+// the batch's lane width.
 func (s *ThreshSim) evalWith(b *Batch, tabs []fireTable, stuck []int8, trace [][]uint64) ([][]uint64, error) {
 	cols, err := b.columns(s.inputs)
 	if err != nil {
 		return nil, err
 	}
+	row := b.Words()
 	for o := range s.out {
-		if cap(s.out[o]) < b.blocks {
-			s.out[o] = make([]uint64, b.blocks)
+		if cap(s.out[o]) < row {
+			s.out[o] = make([]uint64, row)
 		}
-		s.out[o] = s.out[o][:b.blocks]
+		s.out[o] = s.out[o][:row]
 	}
-	mts := s.scratch
+	switch b.width {
+	case W4:
+		if s.k4 == nil {
+			s.k4 = &threshKern[b4]{vals: make([]b4, s.nslots), mts: make([]b4, 1<<uint(s.maxFanin))}
+		}
+		runThresh(s, s.k4, b, cols, tabs, stuck, trace)
+	case W8:
+		if s.k8 == nil {
+			s.k8 = &threshKern[b8]{vals: make([]b8, s.nslots), mts: make([]b8, 1<<uint(s.maxFanin))}
+		}
+		runThresh(s, s.k8, b, cols, tabs, stuck, trace)
+	default:
+		if s.k1 == nil {
+			s.k1 = &threshKern[b1]{vals: make([]b1, s.nslots), mts: make([]b1, 1<<uint(s.maxFanin))}
+		}
+		runThresh(s, s.k1, b, cols, tabs, stuck, trace)
+	}
+	return s.out, nil
+}
+
+// runThresh is the generic packed inner loop: per lane block, load the
+// input blocks, evaluate every gate through its fire table over an
+// incrementally doubled minterm-mask array, and collect the outputs.
+func runThresh[B lword[B]](s *ThreshSim, k *threshKern[B], b *Batch, cols []int, tabs []fireTable, stuck []int8, trace [][]uint64) {
+	var zero B
+	wpb := zero.words()
+	mts := k.mts
 	for blk := 0; blk < b.blocks; blk++ {
+		base := blk * wpb
 		for i, slot := range s.inSlots {
-			s.vals[slot] = b.words[cols[i]][blk]
+			k.vals[slot] = zero.load(b.words[cols[i]][base:])
 		}
 		for gi := range s.gates {
 			pg := &s.gates[gi]
 			if stuck != nil && stuck[gi] >= 0 {
-				var word uint64
+				var word B
 				if stuck[gi] == 1 {
-					word = ^uint64(0)
+					word = zero.ones()
 				}
-				s.vals[pg.slot] = word
+				k.vals[pg.slot] = word
 				if trace != nil {
-					trace[gi][blk] = word
+					word.store(trace[gi][base:])
 				}
 				continue
 			}
 			// Build the 2^k minterm masks by recursive doubling,
 			// processing fanins in reverse so input i lands at index
 			// bit i: each pass splits every existing mask on one input
-			// word, costing ~2·2^k word-ops total.
-			mts[0] = ^uint64(0)
+			// block, costing ~2·2^k block-ops total.
+			mts[0] = zero.ones()
 			size := 1
 			for i := len(pg.ins) - 1; i >= 0; i-- {
-				w := s.vals[pg.ins[i]]
+				w := k.vals[pg.ins[i]]
 				for j := size - 1; j >= 0; j-- {
 					t := mts[j]
-					mts[2*j+1] = t & w
-					mts[2*j] = t &^ w
+					mts[2*j+1] = t.and(w)
+					mts[2*j] = t.andNot(w)
 				}
 				size <<= 1
 			}
 			// OR the smaller of the ON/OFF minterm sets; the minterm
 			// masks partition the lanes, so the OFF union is the exact
-			// complement of the ON union.
+			// complement of the ON union. The fire words stay 64-bit —
+			// they index minterms, not vectors.
 			ft := &tabs[gi]
 			invert := 2*ft.ones > size
-			var acc uint64
+			var acc B
 			words := (size + lanes - 1) / lanes
 			for wi := 0; wi < words; wi++ {
 				fw := ft.bits[wi]
@@ -270,21 +319,20 @@ func (s *ThreshSim) evalWith(b *Batch, tabs []fireTable, stuck []int8, trace [][
 					fw &= uint64(1)<<uint(rem) - 1
 				}
 				for fw != 0 {
-					acc |= mts[wi*lanes+bits.TrailingZeros64(fw)]
+					acc = acc.or(mts[wi*lanes+bits.TrailingZeros64(fw)])
 					fw &= fw - 1
 				}
 			}
 			if invert {
-				acc = ^acc
+				acc = acc.not()
 			}
-			s.vals[pg.slot] = acc
+			k.vals[pg.slot] = acc
 			if trace != nil {
-				trace[gi][blk] = acc
+				acc.store(trace[gi][base:])
 			}
 		}
 		for o, slot := range s.outSlots {
-			s.out[o][blk] = s.vals[slot]
+			k.vals[slot].store(s.out[o][base:])
 		}
 	}
-	return s.out, nil
 }

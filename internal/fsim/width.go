@@ -1,0 +1,204 @@
+package fsim
+
+import "fmt"
+
+// Width selects the lane-block width of the packed engine: the number of
+// 64-bit words a kernel advances per step, i.e. one W×64-lane block. The
+// packed memory layout is width-independent — every batch, output row,
+// trace row, and mask is a flat []uint64 with vector v living in bit v%64
+// of word v/64 — so all widths produce bit-identical results; wider
+// blocks only change how many words the inner loops touch per iteration,
+// which the compiler turns into 256/512-bit vector ops on fixed-size
+// arrays under GOAMD64=v3.
+type Width int
+
+// Supported widths. W1 is the portable default; W4 and W8 map to 256-
+// and 512-bit blocks respectively.
+const (
+	W1 Width = 1
+	W4 Width = 4
+	W8 Width = 8
+)
+
+// DefaultWidth is the width used when none is requested (the portable
+// single-word path).
+const DefaultWidth = W1
+
+// Widths lists the supported lane widths, narrowest first.
+func Widths() []Width { return []Width{W1, W4, W8} }
+
+// Valid reports whether w is a supported width.
+func (w Width) Valid() bool { return w == W1 || w == W4 || w == W8 }
+
+// Words is the number of 64-bit words per lane block.
+func (w Width) Words() int { return int(w) }
+
+// Lanes is the number of vectors per lane block.
+func (w Width) Lanes() int { return int(w) * 64 }
+
+// String renders the width as its word count ("1", "4", "8").
+func (w Width) String() string { return fmt.Sprintf("%d", int(w)) }
+
+// ParseWidth parses a -width style flag value ("1", "4", or "8").
+func ParseWidth(s string) (Width, error) {
+	switch s {
+	case "1":
+		return W1, nil
+	case "4":
+		return W4, nil
+	case "8":
+		return W8, nil
+	}
+	return 0, fmt.Errorf("fsim: unsupported lane width %q (want 1, 4, or 8)", s)
+}
+
+// or0 returns w, substituting the default for the zero value so config
+// structs can leave the width unset.
+func (w Width) or0() Width {
+	if w == 0 {
+		return DefaultWidth
+	}
+	return w
+}
+
+// The lane-block types: fixed-size arrays of 64-bit words with value-
+// receiver bitwise ops. Every method is a short fixed-trip-count loop or
+// a word-wise expression, so the compiler inlines and — for b4/b8 under
+// GOAMD64=v3 — auto-vectorizes them. The lword constraint below is the
+// only seam the generic kernels in bool.go and thresh.go need.
+type (
+	b1 [1]uint64
+	b4 [4]uint64
+	b8 [8]uint64
+)
+
+// lword is the lane-word constraint: the bitwise algebra plus flat
+// load/store against the width-independent []uint64 layout. load and
+// ones ignore their receiver (Go has no static methods); call them on
+// the zero value.
+type lword[B any] interface {
+	and(B) B
+	or(B) B
+	xor(B) B
+	andNot(B) B
+	not() B
+	isZero() bool
+	isOnes() bool
+	words() int
+	ones() B
+	load(src []uint64) B
+	store(dst []uint64)
+}
+
+func (a b1) and(b b1) b1    { return b1{a[0] & b[0]} }
+func (a b1) or(b b1) b1     { return b1{a[0] | b[0]} }
+func (a b1) xor(b b1) b1    { return b1{a[0] ^ b[0]} }
+func (a b1) andNot(b b1) b1 { return b1{a[0] &^ b[0]} }
+func (a b1) not() b1        { return b1{^a[0]} }
+func (a b1) isZero() bool   { return a[0] == 0 }
+func (a b1) isOnes() bool   { return a[0] == ^uint64(0) }
+func (b1) words() int       { return 1 }
+func (b1) ones() b1         { return b1{^uint64(0)} }
+func (b1) load(src []uint64) b1 {
+	return b1{src[0]}
+}
+func (a b1) store(dst []uint64) {
+	dst[0] = a[0]
+}
+
+func (a b4) and(b b4) b4 {
+	for i := range a {
+		a[i] &= b[i]
+	}
+	return a
+}
+func (a b4) or(b b4) b4 {
+	for i := range a {
+		a[i] |= b[i]
+	}
+	return a
+}
+func (a b4) xor(b b4) b4 {
+	for i := range a {
+		a[i] ^= b[i]
+	}
+	return a
+}
+func (a b4) andNot(b b4) b4 {
+	for i := range a {
+		a[i] &^= b[i]
+	}
+	return a
+}
+func (a b4) not() b4 {
+	for i := range a {
+		a[i] = ^a[i]
+	}
+	return a
+}
+func (a b4) isZero() bool { return a[0]|a[1]|a[2]|a[3] == 0 }
+func (a b4) isOnes() bool { return a[0]&a[1]&a[2]&a[3] == ^uint64(0) }
+func (b4) words() int     { return 4 }
+func (b4) ones() b4 {
+	return b4{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+}
+func (b4) load(src []uint64) b4 {
+	var a b4
+	copy(a[:], src[:4])
+	return a
+}
+func (a b4) store(dst []uint64) {
+	copy(dst[:4], a[:])
+}
+
+func (a b8) and(b b8) b8 {
+	for i := range a {
+		a[i] &= b[i]
+	}
+	return a
+}
+func (a b8) or(b b8) b8 {
+	for i := range a {
+		a[i] |= b[i]
+	}
+	return a
+}
+func (a b8) xor(b b8) b8 {
+	for i := range a {
+		a[i] ^= b[i]
+	}
+	return a
+}
+func (a b8) andNot(b b8) b8 {
+	for i := range a {
+		a[i] &^= b[i]
+	}
+	return a
+}
+func (a b8) not() b8 {
+	for i := range a {
+		a[i] = ^a[i]
+	}
+	return a
+}
+func (a b8) isZero() bool {
+	return a[0]|a[1]|a[2]|a[3]|a[4]|a[5]|a[6]|a[7] == 0
+}
+func (a b8) isOnes() bool {
+	return a[0]&a[1]&a[2]&a[3]&a[4]&a[5]&a[6]&a[7] == ^uint64(0)
+}
+func (b8) words() int { return 8 }
+func (b8) ones() b8 {
+	return b8{
+		^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0),
+		^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0),
+	}
+}
+func (b8) load(src []uint64) b8 {
+	var a b8
+	copy(a[:], src[:8])
+	return a
+}
+func (a b8) store(dst []uint64) {
+	copy(dst[:8], a[:])
+}

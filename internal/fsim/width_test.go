@@ -1,0 +1,391 @@
+package fsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// validWords is the number of 64-bit words carrying valid lanes; rows of
+// any width agree on exactly these (pad words differ only in count).
+func validWords(n int) int { return (n + 63) / 64 }
+
+// sameValid fails unless packed rows a (width wa) and b agree on every
+// valid word under the n-vector mask.
+func sameValid(t *testing.T, label string, n int, a, b [][]uint64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: output counts differ: %d vs %d", label, len(a), len(b))
+	}
+	valid := validWords(n)
+	var tail uint64 = ^uint64(0)
+	if rem := n % 64; rem != 0 {
+		tail = uint64(1)<<uint(rem) - 1
+	}
+	for o := range a {
+		for wi := 0; wi < valid; wi++ {
+			mask := ^uint64(0)
+			if wi == valid-1 {
+				mask = tail
+			}
+			if a[o][wi]&mask != b[o][wi]&mask {
+				t.Fatalf("%s: output %d word %d: %016x vs %016x",
+					label, o, wi, a[o][wi]&mask, b[o][wi]&mask)
+			}
+		}
+	}
+}
+
+func cloneRows(rows [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(rows))
+	for i := range rows {
+		out[i] = append([]uint64(nil), rows[i]...)
+	}
+	return out
+}
+
+// TestWidthBasics pins the Width type's arithmetic and parsing.
+func TestWidthBasics(t *testing.T) {
+	for _, w := range Widths() {
+		if !w.Valid() {
+			t.Fatalf("width %d invalid", w)
+		}
+		if w.Lanes() != 64*w.Words() {
+			t.Fatalf("width %d: lanes %d != 64×%d", w, w.Lanes(), w.Words())
+		}
+		got, err := ParseWidth(w.String())
+		if err != nil || got != w {
+			t.Fatalf("ParseWidth(%q) = %d, %v", w.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "0", "2", "16", "w4"} {
+		if _, err := ParseWidth(bad); err == nil {
+			t.Fatalf("ParseWidth(%q) accepted", bad)
+		}
+	}
+	if Width(0).or0() != DefaultWidth {
+		t.Fatal("zero width does not default")
+	}
+}
+
+// TestBatchLayoutAcrossWidths: batches of every width carry identical
+// valid bits at identical flat positions, for exhaustive and random
+// fills, including masked tails (n not a multiple of 64·W).
+func TestBatchLayoutAcrossWidths(t *testing.T) {
+	inputs := []string{"a", "b", "c", "d", "e", "f", "g"}
+	base, err := ExhaustiveW(inputs, W1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []Width{W4, W8} {
+		b, err := ExhaustiveW(inputs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != base.Len() || b.Width() != w {
+			t.Fatalf("width %d: len=%d width=%d", w, b.Len(), b.Width())
+		}
+		if b.Words() != b.Blocks()*w.Words() {
+			t.Fatalf("width %d: words %d != blocks %d × %d", w, b.Words(), b.Blocks(), w.Words())
+		}
+		sameValid(t, fmt.Sprintf("exhaustive W%d", w), b.Len(), base.words, b.words)
+	}
+	// 130 vectors: a partial word at every width, plus pad words at W4/W8.
+	for _, n := range []int{100, 130, 300} {
+		base := RandomW(inputs, n, rand.New(rand.NewSource(5)), W1)
+		for _, w := range []Width{W4, W8} {
+			b := RandomW(inputs, n, rand.New(rand.NewSource(5)), w)
+			sameValid(t, fmt.Sprintf("random n=%d W%d", n, w), n, base.words, b.words)
+			for wi := validWords(n); wi < b.Words(); wi++ {
+				if b.mask[wi] != 0 {
+					t.Fatalf("n=%d W%d: pad word %d has mask bits", n, w, wi)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedEvalAcrossWidths: Boolean, exact-threshold, perturbed, and
+// defect evaluation produce identical valid words at W=1, 4, and 8 on
+// random networks (the W=1 path is itself pinned to the scalar oracle by
+// the fsim_test.go property tests, so transitively all widths match it).
+func TestPackedEvalAcrossWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		nw := randomBoolNet(rng, n)
+		tn := randomThreshNet(rng, n)
+		bsim, err := CompileBool(nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tsim, err := CompileThresh(tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noise := make([][]float64, len(tsim.GateOrder()))
+		stuck := make([]int8, len(tsim.GateOrder()))
+		for gi, g := range tsim.GateOrder() {
+			ns := make([]float64, len(g.Weights))
+			for i := range ns {
+				ns[i] = 2 * (rng.Float64() - 0.5)
+			}
+			noise[gi] = ns
+			stuck[gi] = int8(rng.Intn(3) - 1) // -1, 0, or 1
+		}
+		defect := &Defect{WeightNoise: noise, Stuck: stuck}
+
+		type ref struct {
+			boolOut, threshOut, pertOut, defOut, trace [][]uint64
+			vectors                                    int
+		}
+		var base *ref
+		for _, w := range Widths() {
+			bb, err := ExhaustiveW(inputNames(nw), w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bt, err := ExhaustiveW(tn.Inputs, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bo, err := bsim.Eval(bb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur := &ref{boolOut: cloneRows(bo), vectors: bt.Len()}
+			to, err := tsim.Eval(bt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur.threshOut = cloneRows(to)
+			po, err := tsim.EvalPerturbed(bt, noise)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur.pertOut = cloneRows(po)
+			trace := makeTrace(len(tsim.GateOrder()), bt.Words())
+			do, err := tsim.EvalDefect(bt, defect, trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cur.defOut = cloneRows(do)
+			cur.trace = trace
+			if base == nil {
+				base = cur
+				continue
+			}
+			label := fmt.Sprintf("trial %d W%d", trial, w)
+			sameValid(t, label+" bool", 1<<uint(n), base.boolOut, cur.boolOut)
+			sameValid(t, label+" thresh", cur.vectors, base.threshOut, cur.threshOut)
+			sameValid(t, label+" perturbed", cur.vectors, base.pertOut, cur.pertOut)
+			sameValid(t, label+" defect", cur.vectors, base.defOut, cur.defOut)
+			sameValid(t, label+" trace", cur.vectors, base.trace, cur.trace)
+		}
+	}
+}
+
+// TestDiffersAcrossWidths: Differs and FirstDiff agree at every width,
+// including on a masked tail where only invalid lanes differ.
+func TestDiffersAcrossWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tn := randomThreshNet(rng, 6)
+	tsim, err := CompileThresh(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := make([][]float64, len(tsim.GateOrder()))
+	for gi, g := range tsim.GateOrder() {
+		ns := make([]float64, len(g.Weights))
+		for i := range ns {
+			ns[i] = 3 * (rng.Float64() - 0.5)
+		}
+		noise[gi] = ns
+	}
+	type result struct {
+		differs  bool
+		vec, out int
+		found    bool
+	}
+	var base *result
+	for _, w := range Widths() {
+		b, err := ExhaustiveW(tn.Inputs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean, err := tsim.Eval(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		golden := cloneRows(clean)
+		pert, err := tsim.EvalPerturbed(b, noise)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := &result{differs: b.Differs(golden, pert)}
+		cur.vec, cur.out, cur.found = b.FirstDiff(golden, pert)
+		if base == nil {
+			base = cur
+			continue
+		}
+		if *base != *cur {
+			t.Fatalf("W%d: %+v, want %+v", w, cur, base)
+		}
+	}
+
+	// Masked tail: differences confined to invalid lanes are invisible at
+	// every width.
+	for _, w := range Widths() {
+		b := RandomW([]string{"x"}, 70, rand.New(rand.NewSource(1)), w)
+		a := make([][]uint64, 1)
+		c := make([][]uint64, 1)
+		a[0] = make([]uint64, b.Words())
+		c[0] = make([]uint64, b.Words())
+		ones := ^uint64(0)
+		c[0][1] = ones << 6 // lanes 70.. of word 1 are masked
+		if w != W1 && b.Words() > 2 {
+			c[0][2] = ^uint64(0) // a pure pad word
+		}
+		if b.Differs(a, c) {
+			t.Fatalf("W%d: masked-lane difference detected", w)
+		}
+		c[0][1] |= 1 << 5 // lane 69: valid
+		vec, out, found := b.FirstDiff(a, c)
+		if !b.Differs(a, c) || !found || vec != 69 || out != 0 {
+			t.Fatalf("W%d: FirstDiff = (%d, %d, %v), want (69, 0, true)", w, vec, out, found)
+		}
+	}
+}
+
+// TestYieldAcrossWidths: EstimateYield reports — failure counts, CI
+// bounds, early stopping, and the Critical ranking — are byte-identical
+// at W=1, 4, and 8, on both exhaustive and randomly sampled batches.
+func TestYieldAcrossWidths(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+	}{
+		{"exhaustive", 6},
+		{"sampled", ExhaustiveInputs + 2}, // random batch with a masked tail (300 % 64 != 0)
+	}
+	models := []DefectModel{
+		WeightVariation{V: 2.0}, ThresholdDrift{V: 1.2}, StuckAt{P: 0.2},
+	}
+	for _, tc := range cases {
+		nw, tn := wideAndPair(t, tc.n)
+		for _, model := range models {
+			var baseJSON []byte
+			for _, w := range Widths() {
+				cfg := YieldConfig{MaxTrials: 200, MinTrials: 16, Seed: 3, Samples: 300, Width: w}
+				rep, err := EstimateYield(nw, tn, model, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				js, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if baseJSON == nil {
+					baseJSON = js
+					continue
+				}
+				if string(js) != string(baseJSON) {
+					t.Fatalf("%s/%s W%d:\n%s\nwant\n%s", tc.name, model.Name(), w, js, baseJSON)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionAcrossWidths: a YieldSession built at one width reproduces
+// EstimateYield at another width bit for bit — sessions and one-shot
+// estimates interoperate freely across lane widths.
+func TestSessionAcrossWidths(t *testing.T) {
+	nw, tn := wideAndPair(t, 8)
+	want, err := EstimateYield(nw, tn, WeightVariation{V: 2.0},
+		YieldConfig{MaxTrials: 150, MinTrials: 16, Seed: 9, Width: W1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []Width{W4, W8} {
+		sess, err := NewYieldSession(nw, tn, YieldConfig{Seed: 9, Width: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sess.Estimate(WeightVariation{V: 2.0},
+			YieldConfig{MaxTrials: 150, MinTrials: 16, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reportsEqual(want, got) {
+			t.Fatalf("W%d session report diverges:\n%+v\nwant\n%+v", w, got, want)
+		}
+	}
+}
+
+// TestFaultSweepAcrossWidths: the deterministic stuck-at sweep report is
+// byte-identical at every width, on a batch with a masked tail.
+func TestFaultSweepAcrossWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tn := randomThreshNet(rng, 7) // 128 vectors: partial block at W4/W8
+	var baseJSON []byte
+	for _, w := range Widths() {
+		b, err := ExhaustiveW(tn.Inputs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := FaultSweep(tn, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseJSON == nil {
+			baseJSON = js
+			continue
+		}
+		if string(js) != string(baseJSON) {
+			t.Fatalf("W%d fault report diverges:\n%s\nwant\n%s", w, js, baseJSON)
+		}
+	}
+}
+
+// TestExhaustiveTooManyInputs: the hardened constructor reports the
+// sentinel instead of panicking, at every width, and InvalidInput
+// classifies it.
+func TestExhaustiveTooManyInputs(t *testing.T) {
+	inputs := make([]string, MaxExhaustiveInputs+1)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("x%d", i)
+	}
+	for _, w := range Widths() {
+		_, err := ExhaustiveW(inputs, w)
+		if !errors.Is(err, ErrTooManyInputs) {
+			t.Fatalf("W%d: err = %v, want ErrTooManyInputs", w, err)
+		}
+		if !InvalidInput(err) {
+			t.Fatalf("W%d: InvalidInput(%v) = false", w, err)
+		}
+	}
+	if _, err := Exhaustive(inputs[:MaxExhaustiveInputs]); err != nil {
+		t.Fatalf("at the limit: %v", err)
+	}
+}
+
+// TestInvalidInputClassifier: fanin overflows classify as invalid input;
+// unrelated errors do not.
+func TestInvalidInputClassifier(t *testing.T) {
+	if !InvalidInput(fmt.Errorf("wrapped: %w", ErrFaninLimit)) {
+		t.Fatal("wrapped ErrFaninLimit not classified")
+	}
+	if InvalidInput(errors.New("disk on fire")) {
+		t.Fatal("unrelated error classified as invalid input")
+	}
+	if InvalidInput(nil) {
+		t.Fatal("nil error classified as invalid input")
+	}
+}

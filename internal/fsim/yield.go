@@ -1,6 +1,7 @@
 package fsim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
@@ -37,6 +38,11 @@ type YieldConfig struct {
 	Samples int
 	// Seed drives both vector sampling and defect drawing.
 	Seed int64
+	// Width is the lane-block width of the packed engine (default
+	// DefaultWidth). It is a pure throughput knob: reports are
+	// bit-identical at every width, so it never participates in result
+	// digests or report comparisons.
+	Width Width
 }
 
 func (c YieldConfig) withDefaults() YieldConfig {
@@ -58,7 +64,16 @@ func (c YieldConfig) withDefaults() YieldConfig {
 	if c.Samples <= 0 {
 		c.Samples = DefaultSamples
 	}
+	c.Width = c.Width.or0()
 	return c
+}
+
+// InvalidInput reports whether err stems from a request the packed engine
+// rejects by design — too many inputs for an exhaustive batch, or a gate
+// fanin beyond the packed limit — rather than an internal failure.
+// Service runners map it to the invalid_request error code.
+func InvalidInput(err error) bool {
+	return errors.Is(err, ErrTooManyInputs) || errors.Is(err, ErrFaninLimit)
 }
 
 // GateImpact ranks one gate's contribution to observed failures.
@@ -153,12 +168,15 @@ func NewYieldSession(nw *network.Network, tn *core.Network, cfg YieldConfig) (*Y
 	}
 	s := &YieldSession{tn: tn, seed: cfg.Seed, samples: cfg.Samples}
 	if len(inputs) <= ExhaustiveInputs {
-		s.batch = Exhaustive(inputs)
+		s.batch, err = ExhaustiveW(inputs, cfg.Width)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		// Consume the seed stream exactly as EstimateYield does so the
 		// defect draws that follow in Estimate stay aligned.
 		rng := rand.New(rand.NewSource(cfg.Seed))
-		s.batch = Random(inputs, cfg.Samples, rng)
+		s.batch = RandomW(inputs, cfg.Samples, rng, cfg.Width)
 		s.random = true
 	}
 	ref, err := bsim.Eval(s.batch)
@@ -194,10 +212,10 @@ func (s *YieldSession) VerifyClean(tn *core.Network) error {
 		return err
 	}
 	for o := range out {
-		for blk := 0; blk < s.batch.Blocks(); blk++ {
-			if diff := (out[o][blk] ^ s.golden[o][blk]) & s.batch.mask[blk]; diff != 0 {
-				return fmt.Errorf("fsim: clean mismatch on output %s (block %d)",
-					tn.Outputs[o], blk)
+		for wi := range s.batch.mask {
+			if diff := (out[o][wi] ^ s.golden[o][wi]) & s.batch.mask[wi]; diff != 0 {
+				return fmt.Errorf("fsim: clean mismatch on output %s (word %d)",
+					tn.Outputs[o], wi)
 			}
 		}
 	}
@@ -277,11 +295,11 @@ func EstimateYield(nw *network.Network, tn *core.Network, model DefectModel, cfg
 func (s *YieldSession) estimate(tsim *ThreshSim, model DefectModel, cfg YieldConfig, rng *rand.Rand) (*YieldReport, error) {
 	batch, golden := s.batch, s.golden
 	gates := tsim.GateOrder()
-	cleanTrace := makeTrace(len(gates), batch.Blocks())
+	cleanTrace := makeTrace(len(gates), batch.Words())
 	if _, err := tsim.EvalDefect(batch, nil, cleanTrace); err != nil {
 		return nil, err
 	}
-	badTrace := makeTrace(len(gates), batch.Blocks())
+	badTrace := makeTrace(len(gates), batch.Words())
 	blamed := make([]int, len(gates))
 	flipped := make([]int, len(gates))
 
@@ -294,22 +312,24 @@ func (s *YieldSession) estimate(tsim *ThreshSim, model DefectModel, cfg YieldCon
 		}
 		rep.Trials++
 		failedTrial := false
-		for blk := 0; blk < batch.Blocks(); blk++ {
+		for wi := range batch.mask {
 			var fail uint64
 			for o := range out {
-				fail |= out[o][blk] ^ golden[o][blk]
+				fail |= out[o][wi] ^ golden[o][wi]
 			}
-			fail &= batch.mask[blk]
+			fail &= batch.mask[wi]
 			if fail == 0 {
 				continue
 			}
 			failedTrial = true
 			// Attribute each failing lane to the first flipped gate in
 			// topological order; once a lane is blamed it is removed so
-			// downstream propagation is not double-counted.
+			// downstream propagation is not double-counted. Iterating flat
+			// 64-bit words keeps the counts and orderings identical at
+			// every lane width.
 			remaining := fail
 			for gi := range gates {
-				flip := (cleanTrace[gi][blk] ^ badTrace[gi][blk]) & batch.mask[blk]
+				flip := (cleanTrace[gi][wi] ^ badTrace[gi][wi]) & batch.mask[wi]
 				if flip == 0 {
 					continue
 				}
@@ -356,10 +376,10 @@ func (s *YieldSession) estimate(tsim *ThreshSim, model DefectModel, cfg YieldCon
 	return rep, nil
 }
 
-func makeTrace(gates, blocks int) [][]uint64 {
+func makeTrace(gates, words int) [][]uint64 {
 	tr := make([][]uint64, gates)
 	for i := range tr {
-		tr[i] = make([]uint64, blocks)
+		tr[i] = make([]uint64, words)
 	}
 	return tr
 }

@@ -394,6 +394,11 @@ type Job struct {
 	Started  time.Time `json:"started,omitempty"`
 	Finished time.Time `json:"finished,omitempty"`
 	Error    string    `json:"error,omitempty"`
+	// ErrorCode classifies Error with a v1 error-envelope code when the
+	// failure is attributable to the request (e.g. invalid_request for a
+	// spec the packed engine rejects by design); empty for internal
+	// failures, timeouts, and cancellations.
+	ErrorCode string `json:"error_code,omitempty"`
 	// Progress streams a sweep job's partial curve while it runs.
 	Progress *Progress `json:"progress,omitempty"`
 	Result   *Result   `json:"result,omitempty"`

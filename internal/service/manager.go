@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"tels/internal/fsim"
 	"tels/internal/resyn"
 )
 
@@ -26,6 +27,12 @@ type Config struct {
 	// MaxJobs bounds the retained job table (default 1024); the oldest
 	// finished jobs are pruned first.
 	MaxJobs int
+	// FsimWidth is the packed fault-simulation engine's lane-block width
+	// for every yield/sweep/resyn job this manager runs (default
+	// fsim.DefaultWidth). Results are bit-identical at every width, so
+	// the knob is deployment configuration — it is surfaced as the
+	// fsim_width metrics label and never enters job digests.
+	FsimWidth fsim.Width
 }
 
 func (c Config) withDefaults() Config {
@@ -40,6 +47,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.FsimWidth == 0 {
+		c.FsimWidth = fsim.DefaultWidth
 	}
 	return c
 }
@@ -138,7 +148,7 @@ func New(cfg Config) *Manager {
 		queue:      make(chan *jobRecord, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		exec:       runBounded,
+		exec:       runBounded(cfg.FsimWidth),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -294,7 +304,9 @@ func (m *Manager) MetricsSnapshot() map[string]int64 {
 		perState[j.state]++
 	}
 	m.mu.Unlock()
-	return m.metrics.Snapshot(perState, m.cache.Len())
+	out := m.metrics.Snapshot(perState, m.cache.Len())
+	out["fsim_width"] = int64(m.cfg.FsimWidth)
+	return out
 }
 
 // pruneLocked evicts the oldest finished jobs beyond MaxJobs.
@@ -329,6 +341,12 @@ func (j *jobRecord) snapshotLocked() Job {
 	}
 	if j.err != nil {
 		job.Error = j.err.Error()
+		if fsim.InvalidInput(j.err) {
+			// Requests the packed engine rejects by design (too many
+			// exhaustive inputs, fanin over the packed limit) are caller
+			// errors, not service failures.
+			job.ErrorCode = CodeInvalidRequest
+		}
 	}
 	if j.req.Kind == "sweep" && j.sweepTotal > 0 {
 		pr := &Progress{

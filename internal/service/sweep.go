@@ -211,7 +211,7 @@ func (m *Manager) sweepPrefixes(ctx context.Context, j *jobRecord, points []Swee
 		if err != nil {
 			return nil, fmt.Errorf("service: sweep synthesis (δon=%d): malformed tln: %w", p.DeltaOn, err)
 		}
-		sess, err := fsim.NewYieldSession(golden, tn, fsim.YieldConfig{Seed: j.req.Yield.Seed})
+		sess, err := fsim.NewYieldSession(golden, tn, fsim.YieldConfig{Seed: j.req.Yield.Seed, Width: m.cfg.FsimWidth})
 		if err != nil {
 			return nil, fmt.Errorf("service: sweep session (δon=%d): %w", p.DeltaOn, err)
 		}
@@ -239,6 +239,7 @@ func (m *Manager) pointRunner(px *prefix, index int) func(context.Context, Reque
 			MaxTrials: req.Yield.MaxTrials,
 			HalfWidth: req.Yield.HalfWidth,
 			Seed:      req.Yield.Seed,
+			Width:     m.cfg.FsimWidth,
 		})
 		if err != nil {
 			return Result{}, fmt.Errorf("service: yield analysis: %w", err)

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"tels/internal/fsim"
+)
+
+// TestFsimWidthTransparent runs the same yield request through managers
+// deployed at every lane width: the job digests and yield reports must be
+// identical — the width is a deployment throughput knob, never request
+// state — and the configured width is visible only in the metrics.
+func TestFsimWidthTransparent(t *testing.T) {
+	req := Request{
+		BLIF:  testBlif,
+		Kind:  "yield",
+		Yield: YieldSpec{Model: "weight", V: 2.0, MaxTrials: 200, Seed: 3},
+	}
+	var digests []string
+	var reports []*fsim.YieldReport
+	for _, w := range fsim.Widths() {
+		m := newTestManager(t, Config{Workers: 2, FsimWidth: w})
+		job, err := m.Submit(req)
+		if err != nil {
+			t.Fatalf("width %s: %v", w, err)
+		}
+		done, err := m.Wait(context.Background(), job.ID)
+		if err != nil {
+			t.Fatalf("width %s: %v", w, err)
+		}
+		if done.State != StateDone {
+			t.Fatalf("width %s: state %s (%s)", w, done.State, done.Error)
+		}
+		if done.Result.Yield == nil {
+			t.Fatalf("width %s: no yield report", w)
+		}
+		digests = append(digests, done.Digest)
+		reports = append(reports, done.Result.Yield)
+		if got := m.MetricsSnapshot()["fsim_width"]; got != int64(w) {
+			t.Fatalf("width %s: fsim_width metric = %d", w, got)
+		}
+	}
+	for i := 1; i < len(digests); i++ {
+		if digests[i] != digests[0] {
+			t.Fatalf("width changed the job digest: %s vs %s", digests[i], digests[0])
+		}
+		a, b := reports[i], reports[0]
+		if a.Trials != b.Trials || a.Failures != b.Failures ||
+			a.FailureRate != b.FailureRate || a.Vectors != b.Vectors ||
+			fmt.Sprint(a.Critical) != fmt.Sprint(b.Critical) {
+			t.Fatalf("width changed the yield report: %+v vs %+v", a, b)
+		}
+	}
+}
+
+// TestInvalidInputErrorCode covers the error-hardening classification: a
+// job failing with a wrapped fsim engine sentinel (ErrFaninLimit here —
+// the TELS synthesizer itself splits gates below the packed limit, so
+// the sentinel reaches the service only from hand-built networks or
+// future pipelines) is surfaced as invalid_request, while an arbitrary
+// internal failure stays unclassified.
+func TestInvalidInputErrorCode(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	// Fail exactly as the yield runner does: the sentinel wrapped twice
+	// with %w, once by fsim and once by the runner.
+	m.exec = func(ctx context.Context, req Request) (Result, error) {
+		return Result{}, fmt.Errorf("service: yield analysis: %w",
+			fmt.Errorf("%w: gate g fanin 14 (max %d)", fsim.ErrFaninLimit, fsim.PackedFaninLimit))
+	}
+	job, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateFailed {
+		t.Fatalf("state = %s, want failed", done.State)
+	}
+	if done.ErrorCode != CodeInvalidRequest {
+		t.Fatalf("error code = %q (error %q), want %q", done.ErrorCode, done.Error, CodeInvalidRequest)
+	}
+	if !strings.Contains(done.Error, "fanin") {
+		t.Fatalf("error does not mention fanin: %q", done.Error)
+	}
+
+	// An internal failure must NOT be classified as the client's fault.
+	m2 := newTestManager(t, Config{Workers: 1})
+	m2.exec = func(ctx context.Context, req Request) (Result, error) {
+		return Result{}, fmt.Errorf("boom")
+	}
+	job2, err := m2.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2, err := m2.Wait(context.Background(), job2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done2.State != StateFailed || done2.ErrorCode != "" {
+		t.Fatalf("internal failure misclassified: state %s, code %q", done2.State, done2.ErrorCode)
+	}
+}

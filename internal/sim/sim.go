@@ -68,13 +68,14 @@ func inputNames(nw *network.Network) []string {
 
 // packedBatch builds the packed counterpart of Vectors: exhaustive for
 // narrow networks, `samples` random vectors otherwise, consuming rng
-// exactly as Vectors would.
-func packedBatch(nw *network.Network, samples int, rng *rand.Rand) *fsim.Batch {
+// exactly as Vectors would. The lane width w is a pure throughput knob;
+// the valid bits are identical at every width.
+func packedBatch(nw *network.Network, samples int, rng *rand.Rand, w fsim.Width) (*fsim.Batch, error) {
 	names := inputNames(nw)
 	if len(names) <= ExhaustiveLimit {
-		return fsim.Exhaustive(names)
+		return fsim.ExhaustiveW(names, w)
 	}
-	return fsim.Random(names, samples, rng)
+	return fsim.RandomW(names, samples, rng, w), nil
 }
 
 // Equivalent checks that the threshold network computes the same outputs
@@ -90,7 +91,10 @@ func Equivalent(nw *network.Network, tn *core.Network, seed int64) error {
 		return EquivalentScalar(nw, tn, seed)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	batch := packedBatch(nw, DefaultRandomVectors, rng)
+	batch, err := packedBatch(nw, DefaultRandomVectors, rng, fsim.DefaultWidth)
+	if err != nil {
+		return err
+	}
 	want, err := bsim.Eval(batch)
 	if err != nil {
 		return err
@@ -242,6 +246,9 @@ type FailureRateConfig struct {
 	// packed fsim engine (for cross-checks and benchmarks; both paths
 	// produce identical results).
 	Scalar bool
+	// Width is the packed engine's lane-block width (default
+	// fsim.DefaultWidth). Results are bit-identical at every width.
+	Width fsim.Width
 }
 
 // FailureRate measures the fraction of (circuit, disturbance) trials that
@@ -337,7 +344,10 @@ func pairFailures(pair Pair, v float64, cfg FailureRateConfig, idx int64) (int, 
 // time.
 func packedPairFailures(pair Pair, bsim *fsim.BoolSim, tsim *fsim.ThreshSim,
 	v float64, cfg FailureRateConfig, rng *rand.Rand) (int, error) {
-	batch := packedBatch(pair.Bool, cfg.Samples, rng)
+	batch, err := packedBatch(pair.Bool, cfg.Samples, rng, cfg.Width)
+	if err != nil {
+		return 0, err
+	}
 	ref, err := bsim.Eval(batch)
 	if err != nil {
 		return 0, err
