@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke cover bench fuzz experiments examples serve ci clean
+.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/ ./internal/fsim/ ./internal/resyn/
+	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/ ./internal/fsim/ ./internal/resyn/ ./internal/store/
 	$(GO) test -race -run 'Sweep|Session|V1|Resyn|Run' -count=2 ./internal/service/ ./internal/fsim/ ./internal/resyn/
 
 # benchsmoke compiles and runs the packed-vs-scalar Fig. 11 benchmark once
@@ -42,13 +42,23 @@ widthsmoke:
 	GOAMD64=v3 $(GO) test ./internal/fsim/ ./internal/sim/
 	GOAMD64=v3 $(GO) run ./cmd/telsbench -quick fsimwidth
 
+# storesmoke proves the durability layer end to end: WAL unit tests
+# (torn-tail truncation, rotation, compaction), the service-level
+# restart/drain recovery tests, and the kill-a-real-daemon-mid-sweep
+# integration test, then one quick append/recovery microbench.
+storesmoke:
+	$(GO) test -count=1 ./internal/store/
+	$(GO) test -count=1 -run 'TestRestart|TestDrain|TestCrash' ./internal/service/
+	$(GO) test -count=1 -run 'TestKillMidSweepRecovers|TestSigtermDrainRequeues' ./cmd/telsd/
+	$(GO) run ./cmd/telsbench -quick store
+
 # serve runs the synthesis daemon on :8455 (override with ADDR=...).
 ADDR ?= :8455
 serve:
 	$(GO) run ./cmd/telsd -addr $(ADDR)
 
 # ci is the exact gate GitHub Actions runs.
-ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke
+ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tels/internal/store"
+)
+
+// This file benchmarks internal/store, the WAL-backed durability layer
+// under telsd -data-dir: sequential append throughput of the journal,
+// and cold-start recovery time as a function of journal size. The
+// committed baseline BENCH_store.json is regenerated with
+// `telsbench -quick -json store`.
+
+// storeAppendRow is one append-throughput measurement.
+type storeAppendRow struct {
+	Records      int     `json:"records"`
+	Bytes        int64   `json:"bytes"`
+	WallMS       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	MBPerSec     float64 `json:"mb_per_sec"`
+	Sync         bool    `json:"sync"`
+}
+
+// storeRecoveryRow is one cold-open measurement against a journal of a
+// given size.
+type storeRecoveryRow struct {
+	Records        int     `json:"records"`
+	JournalBytes   int64   `json:"journal_bytes"`
+	Segments       int     `json:"segments"`
+	SnapshotLoaded bool    `json:"snapshot_loaded"`
+	JobsRecovered  int     `json:"jobs_recovered"`
+	EventsReplayed int     `json:"events_replayed"`
+	RecoveryMS     float64 `json:"recovery_ms"`
+}
+
+// storeEvents synthesizes a realistic journal stream: each job
+// contributes a submitted event carrying a request blob, a started
+// event, two progress ticks, and a finished event — five records per
+// job, the cadence a sweep-heavy telsd workload produces.
+func storeEvents(records int) []store.Event {
+	// A request payload in the size range of a real normalized submission.
+	req, _ := json.Marshal(map[string]any{
+		"blif": ".model bench\n.inputs a b c d e f g h\n.outputs x y\n" +
+			".names a b c d x\n1111 1\n.names e f g h y\n1--1 1\n.end\n",
+		"kind":    "yield",
+		"yield":   map[string]any{"model": "weight", "v": 0.8, "max_trials": 20000, "seed": 42},
+		"options": map[string]any{"Fanin": 3, "DeltaOff": 1},
+	})
+	out := make([]store.Event, 0, records)
+	for job := 0; len(out) < records; job++ {
+		id := fmt.Sprintf("job-%06d", job+1)
+		digest := fmt.Sprintf("%064x", job+1)
+		out = append(out,
+			store.Event{Type: store.EventSubmitted, JobID: id, Kind: "yield", Digest: digest, Request: req},
+			store.Event{Type: store.EventStarted, JobID: id, Kind: "yield", Digest: digest},
+			store.Event{Type: store.EventProgress, JobID: id, Done: 1, Total: 2},
+			store.Event{Type: store.EventProgress, JobID: id, Done: 2, Total: 2},
+			store.Event{Type: store.EventFinished, JobID: id, Kind: "yield", Digest: digest},
+		)
+	}
+	return out[:records]
+}
+
+// storeAppendBench journals `records` events into a fresh store and
+// reports throughput. Payload bytes are counted exactly as framed
+// (8-byte header + JSON payload).
+func storeAppendBench(records int, sync bool) (storeAppendRow, error) {
+	dir, err := os.MkdirTemp("", "telsbench-store-*")
+	if err != nil {
+		return storeAppendRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{Sync: sync})
+	if err != nil {
+		return storeAppendRow{}, err
+	}
+	events := storeEvents(records)
+	var bytes int64
+	for _, ev := range events {
+		p, err := json.Marshal(ev)
+		if err != nil {
+			return storeAppendRow{}, err
+		}
+		bytes += int64(len(p)) + 8
+	}
+	t0 := time.Now()
+	for _, ev := range events {
+		if err := st.Append(ev); err != nil {
+			st.Close()
+			return storeAppendRow{}, err
+		}
+	}
+	wall := time.Since(t0)
+	if err := st.Close(); err != nil {
+		return storeAppendRow{}, err
+	}
+	sec := wall.Seconds()
+	return storeAppendRow{
+		Records:      records,
+		Bytes:        bytes,
+		WallMS:       float64(wall.Microseconds()) / 1e3,
+		EventsPerSec: float64(records) / sec,
+		MBPerSec:     float64(bytes) / (1 << 20) / sec,
+		Sync:         sync,
+	}, nil
+}
+
+// storeRecoveryBench builds a journal of `records` events, closes it,
+// and times the cold re-open (snapshot load + segment replay + fold).
+func storeRecoveryBench(records int) (storeRecoveryRow, error) {
+	dir, err := os.MkdirTemp("", "telsbench-store-*")
+	if err != nil {
+		return storeRecoveryRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return storeRecoveryRow{}, err
+	}
+	for _, ev := range storeEvents(records) {
+		if err := st.Append(ev); err != nil {
+			st.Close()
+			return storeRecoveryRow{}, err
+		}
+	}
+	if err := st.Close(); err != nil {
+		return storeRecoveryRow{}, err
+	}
+	t0 := time.Now()
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return storeRecoveryRow{}, err
+	}
+	wall := time.Since(t0)
+	rec := st2.Recovered()
+	stats := st2.Stats()
+	if err := st2.Close(); err != nil {
+		return storeRecoveryRow{}, err
+	}
+	return storeRecoveryRow{
+		Records:        records,
+		JournalBytes:   stats.JournalBytes,
+		Segments:       stats.Segments,
+		SnapshotLoaded: rec.SnapshotLoaded,
+		JobsRecovered:  len(rec.Jobs),
+		EventsReplayed: rec.Events,
+		RecoveryMS:     float64(wall.Microseconds()) / 1e3,
+	}, nil
+}
+
+// storeBench runs both store benchmarks: append throughput (buffered
+// and fsync-per-record) and recovery time vs journal size.
+func storeBench(quick, jsonOut bool, emit emitFn) error {
+	appendSizes := []int{5000, 50000}
+	recoverySizes := []int{1000, 10000, 100000}
+	syncRecords := 500
+	if quick {
+		appendSizes = []int{500, 2000}
+		recoverySizes = []int{500, 2000}
+		syncRecords = 100
+	}
+
+	appends := make([]storeAppendRow, 0, len(appendSizes)+1)
+	for _, n := range appendSizes {
+		row, err := storeAppendBench(n, false)
+		if err != nil {
+			return err
+		}
+		appends = append(appends, row)
+	}
+	// One fsync-per-record point: the durability ceiling of the media.
+	syncRow, err := storeAppendBench(syncRecords, true)
+	if err != nil {
+		return err
+	}
+	appends = append(appends, syncRow)
+
+	recoveries := make([]storeRecoveryRow, 0, len(recoverySizes))
+	for _, n := range recoverySizes {
+		row, err := storeRecoveryBench(n)
+		if err != nil {
+			return err
+		}
+		recoveries = append(recoveries, row)
+	}
+
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "store",
+			"append":     appends,
+			"recovery":   recoveries,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("WAL append throughput (CRC-framed JSON records)")
+		fmt.Printf("%10s %12s %10s %14s %10s %6s\n", "records", "bytes", "wall ms", "events/s", "MB/s", "sync")
+		for _, r := range appends {
+			fmt.Printf("%10d %12d %10.2f %14.0f %10.1f %6v\n",
+				r.Records, r.Bytes, r.WallMS, r.EventsPerSec, r.MBPerSec, r.Sync)
+		}
+		fmt.Println()
+		fmt.Println("cold-start recovery vs journal size")
+		fmt.Printf("%10s %14s %9s %9s %7s %10s %12s\n",
+			"records", "journal B", "segments", "snapshot", "jobs", "events", "recover ms")
+		for _, r := range recoveries {
+			fmt.Printf("%10d %14d %9d %9v %7d %10d %12.2f\n",
+				r.Records, r.JournalBytes, r.Segments, r.SnapshotLoaded,
+				r.JobsRecovered, r.EventsReplayed, r.RecoveryMS)
+		}
+	}
+
+	if err := emit("store_append.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "records,bytes,wall_ms,events_per_sec,mb_per_sec,sync"); err != nil {
+			return err
+		}
+		for _, r := range appends {
+			if _, err := fmt.Fprintf(w, "%d,%d,%.3f,%.0f,%.2f,%v\n",
+				r.Records, r.Bytes, r.WallMS, r.EventsPerSec, r.MBPerSec, r.Sync); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return emit("store_recovery.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "records,journal_bytes,segments,snapshot_loaded,jobs,events,recovery_ms"); err != nil {
+			return err
+		}
+		for _, r := range recoveries {
+			if _, err := fmt.Fprintf(w, "%d,%d,%d,%v,%d,%d,%.3f\n",
+				r.Records, r.JournalBytes, r.Segments, r.SnapshotLoaded,
+				r.JobsRecovered, r.EventsReplayed, r.RecoveryMS); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

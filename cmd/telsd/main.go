@@ -4,7 +4,18 @@
 // repeated synthesis of the same netlist with the same knobs is served
 // without re-running the flow.
 //
-//	telsd -addr :8455 -workers 8 -cache 256
+//	telsd -addr :8455 -workers 8 -cache 256 -data-dir /var/lib/telsd
+//
+// With -data-dir set the daemon is durable: every job's lifecycle is
+// journaled to a segmented, CRC-framed write-ahead log and every result
+// is persisted to a content-addressed store under the job's SHA-256
+// digest (internal/store). On restart the journal is replayed — jobs
+// that were queued or running (or drained as interrupted by SIGTERM)
+// are re-enqueued under their original IDs with their deterministic
+// seeds, finished results are re-served from disk without
+// recomputation, and a torn journal tail from a crash is truncated back
+// to the last intact record. With -data-dir empty nothing touches disk
+// and behavior is identical to the pre-store daemon.
 //
 // Submissions are kind-tagged: {"kind": "synth"} runs the flow above;
 // {"kind": "yield"} appends a Monte-Carlo yield analysis on the packed
@@ -24,12 +35,12 @@
 // Endpoints (v1):
 //
 //	POST   /v1/jobs             submit {"kind": ..., "spec": {...}}
-//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs             list retained jobs (?state=, ?kind=, ?limit=N)
 //	GET    /v1/jobs/{id}        job status, result, and sweep/resyn progress
 //	GET    /v1/jobs/{id}/tln    the synthesized threshold netlist (text)
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET    /v1/healthz          liveness probe
-//	GET    /v1/metrics          job, cache, sweep, resyn, and latency counters
+//	GET    /v1/metrics          job, cache, sweep, resyn, store, and latency counters
 //
 // Errors are uniformly {"error": {"code", "message"}}. The pre-v1 flat
 // routes (POST /synth, and the unversioned /jobs, /healthz, /metrics
@@ -40,6 +51,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +61,7 @@ import (
 	"tels/internal/cli"
 	"tels/internal/fsim"
 	"tels/internal/service"
+	"tels/internal/store"
 )
 
 func main() {
@@ -60,6 +73,7 @@ func main() {
 		timeout = flag.Duration("timeout", 2*time.Minute, "default per-job timeout")
 		maxjobs = flag.Int("maxjobs", 1024, "retained job records")
 		width   = flag.String("width", "1", "fsim lane-block width in 64-bit words (1, 4, or 8); results and job digests are identical at every width")
+		dataDir = flag.String("data-dir", "", "durable store directory: journal job lifecycles, persist results, and recover on restart (empty = in-memory only)")
 		quiet   = flag.Bool("q", false, "suppress startup and shutdown messages")
 	)
 	flag.Parse()
@@ -72,20 +86,41 @@ func main() {
 	if err != nil {
 		t.Usage("%v", err)
 	}
-	if err := run(t, *addr, *workers, *queue, *cache, *timeout, *maxjobs, w); err != nil {
+	if err := run(t, *addr, *workers, *queue, *cache, *timeout, *maxjobs, w, *dataDir); err != nil {
 		t.Fail(err)
 	}
 }
 
-func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Duration, maxjobs int, width fsim.Width) error {
-	m := service.New(service.Config{
+func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Duration, maxjobs int, width fsim.Width, dataDir string) error {
+	cfg := service.Config{
 		Workers:        workers,
 		QueueDepth:     queue,
 		CacheEntries:   cache,
 		DefaultTimeout: timeout,
 		MaxJobs:        maxjobs,
 		FsimWidth:      width,
-	})
+	}
+	if dataDir != "" {
+		st, err := store.Open(dataDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		rec := st.Recovered()
+		pending := 0
+		for _, j := range rec.Jobs {
+			if !j.Terminal() {
+				pending++
+			}
+		}
+		t.Infof("recovered %s: %d jobs journaled (%d pending), %d events in %d ms%s",
+			dataDir, len(rec.Jobs), pending, rec.Events, rec.Elapsed.Milliseconds(),
+			tornNote(rec.TruncatedBytes))
+		cfg.Store = st
+	}
+	// Manager teardown runs before the store closes (deferred later):
+	// drained jobs journal their interrupted events first.
+	m := service.New(cfg)
 	defer m.Close()
 
 	srv := &http.Server{
@@ -108,6 +143,10 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 		return err
 	case <-ctx.Done():
 	}
+	// Graceful drain: stop the listener, then Manager.Close (deferred)
+	// cancels what is still queued or running — with a store those jobs
+	// are journaled as interrupted and re-enqueued on the next start
+	// instead of silently vanishing.
 	t.Infof("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -118,4 +157,11 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 		return err
 	}
 	return nil
+}
+
+func tornNote(truncated int64) string {
+	if truncated == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", torn tail of %d bytes truncated", truncated)
 }

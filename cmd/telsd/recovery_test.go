@@ -1,0 +1,354 @@
+package main
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"tels/internal/core"
+	"tels/internal/service"
+)
+
+// The crash test SIGKILLs a real telsd child mid-sweep and restarts it
+// on the same data dir: the sweep must resume, finish with the same
+// digest and curve as an uninterrupted run, and points that completed
+// before the kill must re-serve from the content-addressed store.
+
+const crashBlif = `.model small
+.inputs a b c
+.outputs f g
+.names a b c f
+11- 1
+1-1 1
+.names a b g
+11 1
+.end
+`
+
+// crashSweep is sized so one worker takes visibly long per point: the
+// killer can observe a partially-done sweep before the whole grid lands.
+var crashSweep = struct {
+	vs        []float64
+	maxTrials int
+	seed      int64
+}{
+	vs:        []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7},
+	maxTrials: 60000,
+	seed:      1729,
+}
+
+func buildTelsd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "telsd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build telsd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startTelsd launches the daemon and waits for /v1/healthz. The returned
+// process is not reaped by the test framework; callers kill it.
+func startTelsd(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-data-dir", dataDir)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	t.Fatalf("telsd on %s never became healthy", addr)
+	return nil
+}
+
+func sweepSpec() service.SweepJobSpec {
+	return service.SweepJobSpec{
+		SynthSpec: service.SynthSpec{BLIF: crashBlif},
+		Yield: service.YieldSpec{
+			Model:     "weight",
+			MaxTrials: crashSweep.maxTrials,
+			Seed:      crashSweep.seed,
+		},
+		Sweep: service.SweepSpec{Vs: crashSweep.vs},
+	}
+}
+
+// sweepRequest is the in-process twin of sweepSpec's submission, for the
+// clean reference run.
+func sweepRequest() service.Request {
+	return service.Request{
+		BLIF:    crashBlif,
+		Kind:    "sweep",
+		Options: core.DefaultOptions(),
+		Yield: service.YieldSpec{
+			Model:     "weight",
+			MaxTrials: crashSweep.maxTrials,
+			Seed:      crashSweep.seed,
+		},
+		Sweep: service.SweepSpec{Vs: crashSweep.vs},
+	}
+}
+
+func TestKillMidSweepRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real daemon")
+	}
+	bin := buildTelsd(t)
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Clean reference: the same sweep run in-process, uninterrupted.
+	ref := service.New(service.Config{Workers: 1})
+	defer ref.Close()
+	refJob, err := ref.Submit(sweepRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDone, err := ref.Wait(ctx, refJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refDone.State != service.StateDone || refDone.Result == nil || refDone.Result.Sweep == nil {
+		t.Fatalf("reference sweep: %+v", refDone)
+	}
+
+	daemon := startTelsd(t, bin, addr, dataDir)
+	defer daemon.Process.Kill()
+	c := &service.Client{BaseURL: "http://" + addr, PollInterval: 3 * time.Millisecond}
+
+	// A small job finished before the crash, to check disk re-serving.
+	pre, err := c.SubmitYield(ctx, service.YieldJobSpec{
+		SynthSpec: service.SynthSpec{BLIF: crashBlif},
+		Yield:     service.YieldSpec{Model: "weight", MaxTrials: 2000, Seed: 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preDone, err := c.WaitDone(ctx, pre.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preDone.State != service.StateDone {
+		t.Fatalf("pre-crash yield job: %+v", preDone)
+	}
+
+	sweep, err := c.SubmitSweep(ctx, sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Digest != refDone.Digest {
+		t.Fatalf("daemon digest %s != in-process digest %s for the same sweep", sweep.Digest, refDone.Digest)
+	}
+
+	// Kill the daemon as soon as some — but not all — points landed.
+	var partial int
+	killDeadline := time.Now().Add(90 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			t.Fatal("sweep never reached a partially-done state")
+		}
+		job, err := c.Job(ctx, sweep.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == service.StateDone {
+			t.Skip("sweep finished before the kill window; machine too fast for this grid")
+		}
+		if job.Progress != nil && job.Progress.DonePoints >= 1 {
+			partial = job.Progress.DonePoints
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := daemon.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	daemon.Wait()
+	t.Logf("killed daemon with %d/%d points done", partial, len(crashSweep.vs))
+
+	// Restart on the same journal: the sweep resumes under its original
+	// ID and finishes.
+	daemon2 := startTelsd(t, bin, addr, dataDir)
+	defer func() {
+		daemon2.Process.Signal(syscall.SIGTERM)
+		daemon2.Wait()
+	}()
+	resumed, err := c.WaitDone(ctx, sweep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.State != service.StateDone || resumed.Result == nil || resumed.Result.Sweep == nil {
+		t.Fatalf("resumed sweep: state=%s error=%q", resumed.State, resumed.Error)
+	}
+	if resumed.Digest != refDone.Digest {
+		t.Fatalf("resumed digest %s != reference %s", resumed.Digest, refDone.Digest)
+	}
+
+	// The curve is bit-identical to the uninterrupted run — replayed
+	// points reuse the journaled deterministic seeds.
+	refPts := refDone.Result.Sweep.Points
+	gotPts := resumed.Result.Sweep.Points
+	if len(gotPts) != len(refPts) {
+		t.Fatalf("resumed curve has %d points, reference %d", len(gotPts), len(refPts))
+	}
+	var reserved int
+	for i, p := range gotPts {
+		r := refPts[i]
+		if p.V != r.V || p.FailureRate != r.FailureRate || p.Yield != r.Yield {
+			t.Fatalf("point %d diverged after recovery: got v=%g rate=%g yield=%g, want v=%g rate=%g yield=%g",
+				i, p.V, p.FailureRate, p.Yield, r.V, r.FailureRate, r.Yield)
+		}
+		if p.CacheHit {
+			reserved++
+		}
+	}
+	// Points that finished before the kill persisted their results and
+	// must re-serve from disk, not recompute.
+	if reserved < partial {
+		t.Fatalf("%d points re-served from store, want at least the %d finished pre-kill", reserved, partial)
+	}
+
+	// The pre-crash yield job re-serves from disk too: same digest, no
+	// recompute (cache_hit).
+	again, err := c.SubmitYield(ctx, service.YieldJobSpec{
+		SynthSpec: service.SynthSpec{BLIF: crashBlif},
+		Yield:     service.YieldSpec{Model: "weight", MaxTrials: 2000, Seed: 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	againDone, err := c.WaitDone(ctx, again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if againDone.Digest != preDone.Digest {
+		t.Fatalf("pre-crash job digest changed: %s vs %s", againDone.Digest, preDone.Digest)
+	}
+	if againDone.Result == nil || !againDone.Result.CacheHit {
+		t.Fatal("pre-crash result recomputed instead of re-served from store")
+	}
+
+	// The restarted daemon's journal metrics reflect the recovery.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics["store_replayed_jobs"] < 2 {
+		t.Fatalf("store_replayed_jobs = %d, want >= 2", metrics["store_replayed_jobs"])
+	}
+	if metrics["store_requeued_jobs"] < 1 {
+		t.Fatalf("store_requeued_jobs = %d, want >= 1", metrics["store_requeued_jobs"])
+	}
+	if metrics["store_warmed_results"] < 1 {
+		t.Fatalf("store_warmed_results = %d, want >= 1", metrics["store_warmed_results"])
+	}
+}
+
+// TestSigtermDrainRequeues covers the graceful path end to end: SIGTERM
+// journals the running sweep as interrupted, and the next start finishes
+// it.
+func TestSigtermDrainRequeues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and restarts a real daemon")
+	}
+	bin := buildTelsd(t)
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	daemon := startTelsd(t, bin, addr, dataDir)
+	defer daemon.Process.Kill()
+	c := &service.Client{BaseURL: "http://" + addr, PollInterval: 3 * time.Millisecond}
+	sweep, err := c.SubmitSweep(ctx, sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGTERM while the sweep is underway.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never started")
+		}
+		job, err := c.Job(ctx, sweep.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == service.StateDone {
+			t.Skip("sweep finished before SIGTERM; machine too fast for this grid")
+		}
+		if job.State == service.StateRunning {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly on SIGTERM: %v", err)
+	}
+
+	daemon2 := startTelsd(t, bin, addr, dataDir)
+	defer func() {
+		daemon2.Process.Signal(syscall.SIGTERM)
+		daemon2.Wait()
+	}()
+	resumed, err := c.WaitDone(ctx, sweep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.State != service.StateDone {
+		t.Fatalf("drained sweep resumed to %s (%s)", resumed.State, resumed.Error)
+	}
+	if got := len(resumed.Result.Sweep.Points); got != len(crashSweep.vs) {
+		t.Fatalf("resumed sweep has %d points, want %d", got, len(crashSweep.vs))
+	}
+
+	// The drained job is visible through the list filters.
+	list, err := c.ListJobs(ctx, service.JobFilter{State: service.StateDone, Kind: "sweep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, j := range list.Jobs {
+		if j.ID == sweep.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("resumed sweep missing from ?state=done&kind=sweep list: %+v", list)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"tels/internal/core"
@@ -172,7 +173,7 @@ const maxBodyBytes = 8 << 20
 // NewHandler exposes the manager as a JSON-over-HTTP API:
 //
 //	POST   /v1/jobs             submit a job (kind-tagged SubmitEnvelope) → Job
-//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs             list retained jobs (?state=, ?kind=, ?limit=N)
 //	GET    /v1/jobs/{id}        job status (sweep jobs include progress)
 //	GET    /v1/jobs/{id}/tln    the synthesized .tln as text/plain
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
@@ -212,8 +213,47 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusAccepted, job)
 	}
+	// list supports ?state=, ?kind=, and ?limit=N so an operator can
+	// inspect a recovered backlog (e.g. /v1/jobs?state=queued) without
+	// dumping every retained job. limit keeps the newest N matches.
 	list := func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+		q := r.URL.Query()
+		state := State(q.Get("state"))
+		switch state {
+		case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Errorf("unknown state %q (want queued, running, done, failed, or cancelled)", state))
+			return
+		}
+		kind := q.Get("kind")
+		switch kind {
+		case "", "synth", "yield", "sweep", "resyn":
+		default:
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+				fmt.Errorf("unknown job kind %q (want synth, yield, sweep, or resyn)", kind))
+			return
+		}
+		limit := 0
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("bad limit %q", s))
+				return
+			}
+			limit = n
+		}
+		jobs := make([]Job, 0)
+		for _, job := range m.List() {
+			if (state == "" || job.State == state) && (kind == "" || job.Kind == kind) {
+				jobs = append(jobs, job)
+			}
+		}
+		total := len(jobs)
+		if limit > 0 && len(jobs) > limit {
+			jobs = jobs[len(jobs)-limit:]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "total": total})
 	}
 	get := func(w http.ResponseWriter, r *http.Request) {
 		job, ok := m.Get(r.PathValue("id"))

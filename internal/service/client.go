@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -94,6 +96,48 @@ func (c *Client) submitSpec(ctx context.Context, kind string, spec any) (Job, er
 		return Job{}, err
 	}
 	return c.SubmitEnvelope(ctx, SubmitEnvelope{Kind: kind, Spec: raw})
+}
+
+// JobFilter narrows ListJobs. Zero fields don't filter; Limit keeps the
+// newest N matches.
+type JobFilter struct {
+	State State
+	Kind  string
+	Limit int
+}
+
+// JobList is the job-list response: the (possibly limited) matching
+// jobs plus the total match count before the limit.
+type JobList struct {
+	Jobs  []Job `json:"jobs"`
+	Total int   `json:"total"`
+}
+
+// ListJobs fetches the retained jobs matching the filter.
+func (c *Client) ListJobs(ctx context.Context, f JobFilter) (JobList, error) {
+	q := url.Values{}
+	if f.State != "" {
+		q.Set("state", string(f.State))
+	}
+	if f.Kind != "" {
+		q.Set("kind", f.Kind)
+	}
+	if f.Limit > 0 {
+		q.Set("limit", strconv.Itoa(f.Limit))
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(path), nil)
+	if err != nil {
+		return JobList{}, err
+	}
+	var out JobList
+	if err := c.doJSON(req, http.StatusOK, &out); err != nil {
+		return JobList{}, err
+	}
+	return out, nil
 }
 
 // Job fetches the current snapshot of a job (sweep jobs include their

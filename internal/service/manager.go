@@ -8,8 +8,11 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
 	"tels/internal/fsim"
 	"tels/internal/resyn"
+	"tels/internal/store"
 )
 
 // Config sizes the manager.
@@ -33,6 +36,13 @@ type Config struct {
 	// the knob is deployment configuration — it is surfaced as the
 	// fsim_width metrics label and never enters job digests.
 	FsimWidth fsim.Width
+	// Store, when set, makes the manager durable: job lifecycles are
+	// journaled to its WAL, results persist to its content-addressed
+	// store, and at construction the journal is replayed — terminal
+	// jobs are restored with their results, pending jobs re-enqueued
+	// under their original IDs, and the cache warmed from disk. Nil
+	// keeps the manager fully in-memory.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +83,7 @@ type jobRecord struct {
 	started   time.Time
 	finished  time.Time
 	err       error
+	errCode   string // explicit error code (set on journal replay)
 	result    *Result
 	cancelled bool // Cancel was requested (distinguishes cancel from timeout)
 
@@ -114,12 +125,22 @@ type Manager struct {
 	cache   *Cache
 	metrics *Metrics
 
-	mu      sync.Mutex
-	jobs    map[string]*jobRecord
-	order   []string // submission order, for List and pruning
-	flights map[string]*flight
-	seq     int
-	closed  bool
+	// store persists job lifecycles and results (nil = in-memory only);
+	// the counters beside it feed the store_* metrics.
+	store           *store.Store
+	storeErrs       atomic.Int64
+	storeReplayed   int64 // journal entries replayed at construction
+	storeRequeued   int64 // replayed pending jobs put back in the queue
+	storeWarmed     int64 // cache entries loaded from persisted results
+	storeRecoveryMS int64
+
+	mu       sync.Mutex
+	jobs     map[string]*jobRecord
+	order    []string // submission order, for List and pruning
+	flights  map[string]*flight
+	seq      int
+	closed   bool
+	draining bool // Close in progress: journal cancellations as interrupted
 
 	queue      chan *jobRecord
 	wg         sync.WaitGroup
@@ -135,7 +156,11 @@ type Manager struct {
 	sweepPointStart func(index int)
 }
 
-// New starts a manager with its worker pool.
+// New starts a manager with its worker pool. With Config.Store set it
+// first replays the journal: the queue is sized to hold the whole
+// recovered backlog, terminal jobs are restored, pending jobs
+// re-enqueued, and the cache warmed from persisted results — all
+// before the workers start, so replayed work runs in journal order.
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -143,12 +168,24 @@ func New(cfg Config) *Manager {
 		cfg:        cfg,
 		cache:      NewCache(cfg.CacheEntries),
 		metrics:    &Metrics{},
+		store:      cfg.Store,
 		jobs:       make(map[string]*jobRecord),
 		flights:    make(map[string]*flight),
-		queue:      make(chan *jobRecord, cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		exec:       runBounded(cfg.FsimWidth),
+	}
+	var backlog []replayedJob
+	depth := cfg.QueueDepth
+	if m.store != nil {
+		backlog = decodeBacklog(m.store)
+		if n := queueable(backlog); n > depth {
+			depth = n
+		}
+	}
+	m.queue = make(chan *jobRecord, depth)
+	if m.store != nil {
+		m.restore(backlog)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -170,6 +207,10 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	// From here cancellations are drain-induced, not user-requested;
+	// with a store they are journaled as interrupted so the next start
+	// re-enqueues them.
+	m.draining = true
 	m.mu.Unlock()
 	m.baseCancel()
 	m.coordWg.Wait()
@@ -229,6 +270,7 @@ func (m *Manager) Submit(req Request) (Job, error) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.metrics.jobsSubmitted.Add(1)
+	m.journalSubmit(j)
 	m.pruneLocked()
 	return j.snapshotLocked(), nil
 }
@@ -306,6 +348,19 @@ func (m *Manager) MetricsSnapshot() map[string]int64 {
 	m.mu.Unlock()
 	out := m.metrics.Snapshot(perState, m.cache.Len())
 	out["fsim_width"] = int64(m.cfg.FsimWidth)
+	if m.store != nil {
+		st := m.store.Stats()
+		out["store_journal_bytes"] = st.JournalBytes
+		out["store_segments"] = int64(st.Segments)
+		out["store_appends"] = st.Appends
+		out["store_compactions"] = st.Compactions
+		out["store_results"] = st.Results
+		out["store_replayed_jobs"] = m.storeReplayed
+		out["store_requeued_jobs"] = m.storeRequeued
+		out["store_warmed_results"] = m.storeWarmed
+		out["store_recovery_ms"] = m.storeRecoveryMS
+		out["store_errors"] = m.storeErrs.Load()
+	}
 	return out
 }
 
@@ -341,6 +396,7 @@ func (j *jobRecord) snapshotLocked() Job {
 	}
 	if j.err != nil {
 		job.Error = j.err.Error()
+		job.ErrorCode = j.errCode
 		if fsim.InvalidInput(j.err) {
 			// Requests the packed engine rejects by design (too many
 			// exhaustive inputs, fanin over the packed limit) are caller
@@ -390,6 +446,9 @@ func (m *Manager) runJob(j *jobRecord) {
 	timeout := j.req.Timeout
 	if timeout <= 0 {
 		timeout = m.cfg.DefaultTimeout
+	}
+	if !j.internal {
+		m.journal(store.Event{Type: store.EventStarted, JobID: j.id})
 	}
 	m.mu.Unlock()
 
@@ -442,6 +501,12 @@ func (m *Manager) runJob(j *jobRecord) {
 			}
 		}
 		res, err := exec(ctx, j.req)
+		if err == nil {
+			// Persist the fresh result before taking the lock (disk I/O);
+			// internal sweep points and prefixes persist here too, so a
+			// restarted sweep re-serves its finished points from disk.
+			m.persistResult(j.digest, res)
+		}
 
 		m.mu.Lock()
 		delete(m.flights, j.digest)
@@ -502,6 +567,7 @@ func (m *Manager) finishLocked(j *jobRecord, res *Result, err error) {
 			m.metrics.jobsFailed.Add(1)
 		}
 	}
+	m.journalFinishLocked(j)
 	j.cancel() // release the context's resources
 	close(j.done)
 }

@@ -1,0 +1,308 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"tels/internal/store"
+)
+
+// This file wires the manager to the durable store (internal/store).
+// With Config.Store set, every public job's lifecycle is journaled to
+// the WAL (submitted with its full normalized request, started,
+// progress, and one terminal event) and every freshly computed result
+// is persisted to the content-addressed result store under its request
+// digest. At construction the manager replays the journal: terminal
+// jobs come back into the job table with their results loaded from
+// disk, pending jobs (queued, running, or interrupted by a graceful
+// drain) are re-enqueued under their original IDs — their requests
+// carry the deterministic seeds, so replayed sweeps and resyns
+// reproduce bit-identical digests — and the LRU cache is warmed from
+// the persisted results so finished work is re-served without
+// recomputation. Without a store every hook is a no-op and the manager
+// behaves exactly as before.
+//
+// Journal appends and result writes are best-effort: a persistence
+// error never fails the job, it only increments store_errors (the job
+// would merely be recomputed after a restart).
+
+// replayedJob pairs one folded journal entry with its decoded request.
+type replayedJob struct {
+	st  store.JobState
+	req Request
+	err error // request decode/normalize failure (journal damage)
+}
+
+// decodeBacklog parses the store's recovered job states into requests.
+func decodeBacklog(st *store.Store) []replayedJob {
+	rec := st.Recovered()
+	out := make([]replayedJob, 0, len(rec.Jobs))
+	for _, js := range rec.Jobs {
+		rj := replayedJob{st: js}
+		if err := json.Unmarshal(js.Request, &rj.req); err != nil {
+			rj.err = fmt.Errorf("service: replay job %s: decode request: %w", js.ID, err)
+		} else if err := rj.req.Normalize(); err != nil {
+			rj.err = fmt.Errorf("service: replay job %s: %w", js.ID, err)
+		}
+		out = append(out, rj)
+	}
+	return out
+}
+
+// queueable counts the backlog entries that will occupy a queue slot on
+// restore, so New can size the queue to hold the whole recovered
+// backlog (sweeps fan through coordinators and take no slot).
+func queueable(backlog []replayedJob) int {
+	n := 0
+	for _, rj := range backlog {
+		if !rj.st.Terminal() && rj.err == nil && rj.req.Kind != "sweep" {
+			n++
+		}
+	}
+	return n
+}
+
+// restore replays the decoded backlog into the job table and warms the
+// cache. It runs from New after the queue exists and before the workers
+// start.
+func (m *Manager) restore(backlog []replayedJob) {
+	start := time.Now()
+	m.warmCache()
+	for _, rj := range backlog {
+		m.restoreJob(rj)
+		m.storeReplayed++
+	}
+	m.storeRecoveryMS = time.Since(start).Milliseconds()
+}
+
+// restoreJob rebuilds one journal entry: terminal states land directly
+// in the job table (results re-read from the content-addressed store),
+// pending states re-enqueue under their original ID.
+func (m *Manager) restoreJob(rj replayedJob) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bumpSeqLocked(rj.st.ID)
+	created := time.Unix(0, rj.st.Submitted)
+	if rj.st.Submitted == 0 {
+		created = time.Now()
+	}
+
+	if rj.err != nil {
+		m.insertTerminalLocked(rj, created, StateFailed, rj.err, nil)
+		return
+	}
+	switch rj.st.Status {
+	case store.EventFinished:
+		if res, ok := m.loadResult(rj.st.Digest); ok {
+			m.insertTerminalLocked(rj, created, StateDone, nil, res)
+			return
+		}
+		// The journal says finished but the result file is gone (e.g. a
+		// crash between the result write and the journal append, or a
+		// pruned results directory): recompute.
+		m.requeueLocked(rj, created)
+	case store.EventFailed:
+		m.insertTerminalLocked(rj, created, StateFailed, errors.New(rj.st.Error), nil)
+	case store.EventCanceled:
+		m.insertTerminalLocked(rj, created, StateCancelled, context.Canceled, nil)
+	default: // submitted, started, interrupted → back into the queue
+		m.requeueLocked(rj, created)
+	}
+}
+
+// insertTerminalLocked adds a finished journal entry to the job table.
+func (m *Manager) insertTerminalLocked(rj replayedJob, created time.Time, state State, err error, res *Result) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	cancel()
+	j := &jobRecord{
+		id:       rj.st.ID,
+		req:      rj.req,
+		digest:   rj.st.Digest,
+		state:    state,
+		created:  created,
+		finished: time.Unix(0, rj.st.Finished),
+		err:      err,
+		errCode:  rj.st.ErrorCode,
+		result:   res,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	if rj.st.Finished == 0 {
+		j.finished = created
+	}
+	if state == StateCancelled {
+		j.cancelled = true
+	}
+	close(j.done)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+}
+
+// requeueLocked puts a pending journal entry back into the pipeline
+// under its original ID. The queue was sized for the whole recovered
+// backlog, so the send cannot block.
+func (m *Manager) requeueLocked(rj replayedJob, created time.Time) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := &jobRecord{
+		id:      rj.st.ID,
+		req:     rj.req,
+		digest:  rj.st.Digest,
+		state:   StateQueued,
+		created: created,
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	if rj.req.Kind == "resyn" {
+		j.run = m.resynRunner(j)
+	}
+	if rj.req.Kind == "sweep" {
+		m.coordWg.Add(1)
+		go m.runSweep(j)
+	} else {
+		m.queue <- j
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.storeRequeued++
+}
+
+// bumpSeqLocked keeps the ID counter above every replayed ID so new
+// submissions never collide with recovered ones.
+func (m *Manager) bumpSeqLocked(id string) {
+	var n int
+	if _, err := fmt.Sscanf(id, "job-%06d", &n); err == nil && n > m.seq {
+		m.seq = n
+	}
+}
+
+// loadResult reads and decodes one persisted result.
+func (m *Manager) loadResult(digest string) (*Result, bool) {
+	if digest == "" {
+		return nil, false
+	}
+	data, err := m.store.GetResult(digest)
+	if err != nil {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// warmCache preloads the LRU from the persisted results, newest first,
+// up to the cache capacity — so recovered results are re-served from
+// memory and replayed sweep points hit instead of recomputing. Loaded
+// oldest-to-newest so the LRU's eviction order matches file age.
+func (m *Manager) warmCache() {
+	capEntries := m.cfg.CacheEntries
+	if capEntries <= 0 {
+		capEntries = DefaultCacheEntries
+	}
+	digests, err := m.store.ResultDigests()
+	if err != nil {
+		m.storeErrs.Add(1)
+		return
+	}
+	if len(digests) > capEntries {
+		digests = digests[:capEntries]
+	}
+	for i := len(digests) - 1; i >= 0; i-- {
+		res, ok := m.loadResult(digests[i])
+		if !ok {
+			continue
+		}
+		m.cache.Put(digests[i], *res)
+		m.storeWarmed++
+	}
+}
+
+// journal appends one event, stamping the time; errors only count.
+func (m *Manager) journal(ev store.Event) {
+	if m.store == nil {
+		return
+	}
+	ev.Unix = time.Now().UnixNano()
+	if err := m.store.Append(ev); err != nil {
+		m.storeErrs.Add(1)
+	}
+}
+
+// journalSubmit journals a public job's submission with its full
+// normalized request, the replay unit of recovery.
+func (m *Manager) journalSubmit(j *jobRecord) {
+	if m.store == nil {
+		return
+	}
+	req, err := json.Marshal(j.req)
+	if err != nil {
+		m.storeErrs.Add(1)
+		return
+	}
+	m.journal(store.Event{
+		Type:    store.EventSubmitted,
+		JobID:   j.id,
+		Kind:    j.req.Kind,
+		Digest:  j.digest,
+		Request: req,
+	})
+}
+
+// journalProgress journals a sweep's done/total counters or a resyn's
+// iteration count, so an operator can see how far a recovered backlog
+// had progressed.
+func (m *Manager) journalProgress(j *jobRecord, done, total int) {
+	if m.store == nil || j.internal {
+		return
+	}
+	m.journal(store.Event{Type: store.EventProgress, JobID: j.id, Done: done, Total: total})
+}
+
+// journalFinishLocked journals a public job's terminal transition.
+// During a graceful drain, cancellations the user didn't ask for are
+// journaled as interrupted, so the next start re-enqueues them instead
+// of losing them.
+func (m *Manager) journalFinishLocked(j *jobRecord) {
+	if m.store == nil || j.internal {
+		return
+	}
+	ev := store.Event{JobID: j.id, Digest: j.digest}
+	switch j.state {
+	case StateDone:
+		ev.Type = store.EventFinished
+	case StateCancelled:
+		ev.Type = store.EventCanceled
+		if m.draining && !j.cancelled {
+			ev.Type = store.EventInterrupted
+		}
+	default:
+		ev.Type = store.EventFailed
+		if j.err != nil {
+			ev.Error = j.err.Error()
+		}
+		ev.ErrorCode = j.snapshotLocked().ErrorCode
+	}
+	m.journal(ev)
+}
+
+// persistResult writes a freshly computed result to the
+// content-addressed store (no-op without a store, idempotent per
+// digest).
+func (m *Manager) persistResult(digest string, res Result) {
+	if m.store == nil {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err == nil {
+		err = m.store.PutResult(digest, data)
+	}
+	if err != nil {
+		m.storeErrs.Add(1)
+	}
+}

@@ -1,0 +1,487 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tels/internal/store"
+)
+
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return st
+}
+
+// TestRestartReServesFinishedResults is the durability round trip: a
+// finished job survives a restart in the job table, and an identical
+// new submission is served from the warmed cache without re-running the
+// pipeline.
+func TestRestartReServesFinishedResults(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	m := New(Config{Workers: 2, Store: st})
+	job, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("state = %s (%s)", done.State, done.Error)
+	}
+	m.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	m2 := New(Config{Workers: 2, Store: st2})
+	t.Cleanup(m2.Close)
+	var execs atomic.Int64
+	real := m2.exec
+	m2.exec = func(ctx context.Context, req Request) (Result, error) {
+		execs.Add(1)
+		return real(ctx, req)
+	}
+
+	// The finished job is back in the table with its result and digest.
+	back, ok := m2.Get(job.ID)
+	if !ok {
+		t.Fatalf("job %s lost across restart", job.ID)
+	}
+	if back.State != StateDone || back.Digest != done.Digest {
+		t.Fatalf("replayed as %s digest %s, want done digest %s", back.State, back.Digest, done.Digest)
+	}
+	if back.Result == nil || back.Result.TLN != done.Result.TLN {
+		t.Fatal("replayed job lost its result")
+	}
+
+	// An identical submission hits the warmed cache: no pipeline run.
+	again, err := m2.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID == job.ID {
+		t.Fatal("new submission reused a replayed job ID")
+	}
+	fin, err := m2.Wait(context.Background(), again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone || fin.Result == nil || !fin.Result.CacheHit {
+		t.Fatalf("re-submission not served from disk: %+v", fin)
+	}
+	if fin.Digest != done.Digest {
+		t.Fatalf("digest changed across restart: %s vs %s", fin.Digest, done.Digest)
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("pipeline ran %d times for a persisted result", execs.Load())
+	}
+
+	snap := m2.MetricsSnapshot()
+	if snap["store_replayed_jobs"] == 0 || snap["store_warmed_results"] == 0 {
+		t.Fatalf("store metrics missing recovery counts: %v", snap)
+	}
+}
+
+// TestDrainInterruptsAndRequeues is the graceful-drain contract: jobs
+// still queued or running when Close drains are journaled interrupted
+// and re-enqueued — under their original IDs — on the next start.
+func TestDrainInterruptsAndRequeues(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	m := New(Config{Workers: 1, QueueDepth: 4, Store: st})
+	started := make(chan struct{}, 2)
+	m.exec = func(ctx context.Context, req Request) (Result, error) {
+		started <- struct{}{}
+		<-ctx.Done() // a pipeline the drain must interrupt
+		return Result{}, ctx.Err()
+	}
+	running, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queuedReq := testRequest()
+	queuedReq.Options.DeltaOn = 1 // distinct digest, so it can't coalesce
+	queued, err := m.Submit(queuedReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	var pending int
+	for _, j := range st2.Recovered().Jobs {
+		if j.Status == store.EventInterrupted {
+			pending++
+		}
+	}
+	if pending != 2 {
+		t.Fatalf("journal holds %d interrupted jobs, want 2: %+v", pending, st2.Recovered().Jobs)
+	}
+
+	m2 := New(Config{Workers: 2, Store: st2})
+	t.Cleanup(m2.Close)
+	for _, id := range []string{running.ID, queued.ID} {
+		fin, err := m2.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("requeued job %s finished %s (%s)", id, fin.State, fin.Error)
+		}
+	}
+}
+
+// TestCrashRequeuesPendingJobs simulates a hard crash (no drain, no
+// terminal events): a journal left with submitted/started jobs
+// re-enqueues them on the next start with their digests intact.
+func TestCrashRequeuesPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	m := New(Config{Workers: 1, Store: st})
+	started := make(chan struct{})
+	m.exec = func(ctx context.Context, req Request) (Result, error) {
+		close(started)
+		<-ctx.Done()
+		return Result{}, ctx.Err()
+	}
+	job, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// Crash: the manager is abandoned mid-run — nothing terminal is
+	// journaled. (Closed at cleanup only to reap its goroutines.)
+	t.Cleanup(m.Close)
+	t.Cleanup(func() { st.Close() })
+
+	st2 := openTestStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	m2 := New(Config{Workers: 1, Store: st2})
+	t.Cleanup(m2.Close)
+	fin, err := m2.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("crashed job replayed to %s (%s)", fin.State, fin.Error)
+	}
+	if fin.Digest != job.Digest {
+		t.Fatalf("digest changed across crash replay: %s vs %s", fin.Digest, job.Digest)
+	}
+}
+
+// TestRestartReplaysFailedAndCancelled keeps terminal non-success
+// states terminal across a restart instead of re-running them.
+func TestRestartReplaysFailedAndCancelled(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	m := New(Config{Workers: 1, Store: st})
+	blocked := make(chan struct{})
+	m.exec = func(ctx context.Context, req Request) (Result, error) {
+		if req.Options.DeltaOn == 1 {
+			close(blocked)
+			<-ctx.Done()
+			return Result{}, ctx.Err()
+		}
+		return Result{}, fmt.Errorf("synthetic pipeline failure")
+	}
+	failReq := testRequest()
+	failed, err := m.Submit(failReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := m.Wait(context.Background(), failed.ID); err != nil || fin.State != StateFailed {
+		t.Fatalf("setup: %v %+v", err, fin)
+	}
+	cancelReq := testRequest()
+	cancelReq.Options.DeltaOn = 1
+	cancelled, err := m.Submit(cancelReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	m.Cancel(cancelled.ID)
+	if fin, err := m.Wait(context.Background(), cancelled.ID); err != nil || fin.State != StateCancelled {
+		t.Fatalf("setup: %v %+v", err, fin)
+	}
+	m.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	m2 := New(Config{Workers: 1, Store: st2})
+	t.Cleanup(m2.Close)
+	f, ok := m2.Get(failed.ID)
+	if !ok || f.State != StateFailed || f.Error == "" {
+		t.Fatalf("failed job replayed as %+v", f)
+	}
+	c, ok := m2.Get(cancelled.ID)
+	if !ok || c.State != StateCancelled {
+		t.Fatalf("cancelled job replayed as %+v", c)
+	}
+}
+
+// TestRestartResumesSweep runs a sweep to completion, restarts, and
+// checks the aggregate curve is re-served from disk; a fresh identical
+// sweep after restart serves every point from the warmed cache.
+func TestRestartResumesSweep(t *testing.T) {
+	dir := t.TempDir()
+	req := testRequest()
+	req.Kind = "sweep"
+	req.Yield = YieldSpec{Model: "weight", V: 0.8, MaxTrials: 50, Seed: 7}
+	req.Sweep = SweepSpec{Vs: []float64{0.5, 1.0, 1.5}}
+
+	st := openTestStore(t, dir)
+	m := New(Config{Workers: 2, Store: st})
+	job, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.Wait(context.Background(), job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone || done.Result == nil || done.Result.Sweep == nil {
+		t.Fatalf("sweep: %+v", done)
+	}
+	m.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	m2 := New(Config{Workers: 2, Store: st2})
+	t.Cleanup(m2.Close)
+	back, ok := m2.Get(job.ID)
+	if !ok || back.State != StateDone || back.Result == nil || back.Result.Sweep == nil {
+		t.Fatalf("sweep not re-served after restart: %+v", back)
+	}
+	if len(back.Result.Sweep.Points) != len(done.Result.Sweep.Points) {
+		t.Fatal("sweep curve truncated across restart")
+	}
+	for i, p := range back.Result.Sweep.Points {
+		if p.FailureRate != done.Result.Sweep.Points[i].FailureRate {
+			t.Fatalf("point %d failure rate drifted across restart", i)
+		}
+	}
+
+	// A new identical sweep must hit the warmed cache on every point.
+	again, err := m2.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := m2.Wait(context.Background(), again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("re-run sweep: %s (%s)", fin.State, fin.Error)
+	}
+	for _, p := range fin.Result.Sweep.Points {
+		if !p.CacheHit {
+			t.Fatalf("point v=%g recomputed despite persisted results", p.V)
+		}
+		want := done.Result.Sweep.Points[p.Index]
+		if p.FailureRate != want.FailureRate {
+			t.Fatalf("point v=%g failure rate %g != original %g", p.V, p.FailureRate, want.FailureRate)
+		}
+	}
+}
+
+// TestListFilters exercises the ?state=, ?kind=, and ?limit= query
+// parameters of GET /v1/jobs.
+func TestListFilters(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2})
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+
+	var synthIDs []string
+	for i := 0; i < 3; i++ {
+		req := testRequest()
+		req.Options.Seed = int64(i) // distinct digests
+		job, err := m.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Wait(context.Background(), job.ID); err != nil {
+			t.Fatal(err)
+		}
+		synthIDs = append(synthIDs, job.ID)
+	}
+	yreq := testRequest()
+	yreq.Kind = "yield"
+	yreq.Yield = YieldSpec{Model: "weight", V: 0.8, MaxTrials: 20}
+	yjob, err := m.Submit(yreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), yjob.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(query string) JobList {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs%s: status %d", query, resp.StatusCode)
+		}
+		var out JobList
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if all := get(""); len(all.Jobs) != 4 || all.Total != 4 {
+		t.Fatalf("unfiltered list: %d jobs, total %d", len(all.Jobs), all.Total)
+	}
+	if byKind := get("?kind=yield"); len(byKind.Jobs) != 1 || byKind.Jobs[0].ID != yjob.ID {
+		t.Fatalf("kind filter: %+v", byKind)
+	}
+	if byState := get("?state=done"); byState.Total != 4 {
+		t.Fatalf("state filter: total %d, want 4", byState.Total)
+	}
+	limited := get("?kind=synth&limit=2")
+	if len(limited.Jobs) != 2 || limited.Total != 3 {
+		t.Fatalf("limit: %d jobs, total %d, want 2 of 3", len(limited.Jobs), limited.Total)
+	}
+	// limit keeps the newest matches.
+	if limited.Jobs[0].ID != synthIDs[1] || limited.Jobs[1].ID != synthIDs[2] {
+		t.Fatalf("limit kept %s,%s; want the newest two %s,%s",
+			limited.Jobs[0].ID, limited.Jobs[1].ID, synthIDs[1], synthIDs[2])
+	}
+	if none := get("?state=failed"); len(none.Jobs) != 0 || none.Total != 0 {
+		t.Fatalf("empty filter returned %+v", none)
+	}
+
+	for _, bad := range []string{"?state=bogus", "?kind=bogus", "?limit=-1", "?limit=x"} {
+		resp, err := http.Get(srv.URL + "/v1/jobs" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /v1/jobs%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// The typed client round-trips the same filters.
+	c := &Client{BaseURL: srv.URL}
+	got, err := c.ListJobs(context.Background(), JobFilter{Kind: "synth", State: StateDone, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 1 || got.Total != 3 || got.Jobs[0].ID != synthIDs[2] {
+		t.Fatalf("client filter: %+v", got)
+	}
+}
+
+// TestNoStoreUnchanged pins the no-store mode: no store_* metrics, no
+// data written anywhere, digests as before.
+func TestNoStoreUnchanged(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	job, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), job.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.MetricsSnapshot()
+	if _, ok := snap["store_journal_bytes"]; ok {
+		t.Fatal("store metrics exposed without a store")
+	}
+}
+
+// TestJournalProgressSurvives checks a sweep's progress counters land
+// in the journal (operators can see how far a backlog got).
+func TestJournalProgressSurvives(t *testing.T) {
+	dir := t.TempDir()
+	req := testRequest()
+	req.Kind = "sweep"
+	req.Yield = YieldSpec{Model: "weight", V: 0.8, MaxTrials: 30, Seed: 3}
+	req.Sweep = SweepSpec{Vs: []float64{0.5, 1.0}}
+
+	st := openTestStore(t, dir)
+	m := New(Config{Workers: 2, Store: st})
+	job, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := m.Wait(context.Background(), job.ID); err != nil || fin.State != StateDone {
+		t.Fatalf("sweep: %v %+v", err, fin)
+	}
+	m.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	for _, j := range st2.Recovered().Jobs {
+		if j.ID == job.ID {
+			if j.Done != 2 || j.Total != 2 {
+				t.Fatalf("journal progress %d/%d, want 2/2", j.Done, j.Total)
+			}
+			return
+		}
+	}
+	t.Fatalf("sweep job missing from journal")
+}
+
+// Replays must finish fast enough to be usable at startup; this is a
+// sanity bound, not a benchmark (the real numbers live in telsbench
+// store).
+func TestRecoveryElapsedRecorded(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	m := New(Config{Workers: 1, Store: st})
+	job, err := m.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), job.ID); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	st.Close()
+
+	st2 := openTestStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	m2 := New(Config{Workers: 1, Store: st2})
+	t.Cleanup(m2.Close)
+	snap := m2.MetricsSnapshot()
+	if snap["store_recovery_ms"] < 0 || snap["store_recovery_ms"] > int64(10*time.Second/time.Millisecond) {
+		t.Fatalf("implausible recovery time: %d ms", snap["store_recovery_ms"])
+	}
+	if snap["store_replayed_jobs"] != 1 {
+		t.Fatalf("store_replayed_jobs = %d, want 1", snap["store_replayed_jobs"])
+	}
+}

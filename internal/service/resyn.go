@@ -68,6 +68,7 @@ func (m *Manager) resynBaseline(ctx context.Context, req Request) (Result, error
 	if err != nil {
 		return Result{}, err
 	}
+	m.persistResult(sdigest, res)
 	evicted := m.cache.Put(sdigest, res)
 	m.metrics.cacheEvictions.Add(int64(evicted))
 	m.metrics.addStages(res.Stages)
@@ -115,7 +116,9 @@ func (m *Manager) resynRunner(j *jobRecord) func(context.Context, Request) (Resu
 				m.metrics.resynGatesHardened.Add(int64(len(it.Hardened)))
 				m.mu.Lock()
 				j.resynIters = append(j.resynIters, it)
+				done := len(j.resynIters)
 				m.mu.Unlock()
+				m.journalProgress(j, done, req.Resyn.MaxIters)
 			},
 		}
 

@@ -172,7 +172,13 @@ fan:
 		}
 	}
 	m.mu.Unlock()
-	m.finish(j, &Result{Sweep: sr}, nil)
+	res := Result{Sweep: sr}
+	// Persist the aggregated curve under the sweep's own digest so a
+	// restart re-serves the finished sweep from disk (the individual
+	// points are already persisted under their standalone-yield
+	// digests as they complete).
+	m.persistResult(j.digest, res)
+	m.finish(j, &res, nil)
 }
 
 // sweepPrefixes synthesizes (or cache-loads) one prefix per distinct δon
@@ -275,4 +281,5 @@ func (m *Manager) recordPoint(j *jobRecord, p SweepPoint, rec *jobRecord) {
 	j.sweepPoints[p.Index] = &sp
 	j.sweepDone++
 	m.metrics.sweepPointsDone.Add(1)
+	m.journalProgress(j, j.sweepDone, j.sweepTotal)
 }
