@@ -126,8 +126,14 @@ type Manager struct {
 	metrics *Metrics
 
 	// store persists job lifecycles and results (nil = in-memory only);
-	// the counters beside it feed the store_* metrics.
+	// the counters beside it feed the store_* metrics. Journal events
+	// are captured into journalPending under mu and written to the WAL
+	// by flushJournal outside it, so disk I/O never runs inside the
+	// manager's critical sections; journalMu serializes flushers, which
+	// keeps the WAL in capture (= state transition) order.
 	store           *store.Store
+	journalMu       sync.Mutex
+	journalPending  []store.Event
 	storeErrs       atomic.Int64
 	storeReplayed   int64 // journal entries replayed at construction
 	storeRequeued   int64 // replayed pending jobs put back in the queue
@@ -157,10 +163,13 @@ type Manager struct {
 }
 
 // New starts a manager with its worker pool. With Config.Store set it
-// first replays the journal: the queue is sized to hold the whole
-// recovered backlog, terminal jobs are restored, pending jobs
-// re-enqueued, and the cache warmed from persisted results — all
-// before the workers start, so replayed work runs in journal order.
+// first replays the journal: terminal jobs are restored with their
+// results, the cache is warmed from disk, and the pending backlog is
+// re-enqueued in journal order. The queue is sized from the actual
+// pending list after replay — not an estimate of it — so the backlog
+// sends cannot block, and recovered sweep coordinators start only
+// after the backlog is enqueued and the workers are draining, so they
+// can never wedge startup by competing for queue slots.
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -175,21 +184,29 @@ func New(cfg Config) *Manager {
 		baseCancel: cancel,
 		exec:       runBounded(cfg.FsimWidth),
 	}
-	var backlog []replayedJob
-	depth := cfg.QueueDepth
+	var pending []*jobRecord
 	if m.store != nil {
-		backlog = decodeBacklog(m.store)
-		if n := queueable(backlog); n > depth {
-			depth = n
-		}
+		pending = m.restore(decodeBacklog(m.store))
+	}
+	depth := cfg.QueueDepth
+	if n := queueable(pending); n > depth {
+		depth = n
 	}
 	m.queue = make(chan *jobRecord, depth)
-	if m.store != nil {
-		m.restore(backlog)
+	for _, j := range pending {
+		if j.req.Kind != "sweep" {
+			m.queue <- j // fits: depth ≥ queueable(pending)
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
+	}
+	for _, j := range pending {
+		if j.req.Kind == "sweep" {
+			m.coordWg.Add(1)
+			go m.runSweep(j)
+		}
 	}
 	return m
 }
@@ -216,6 +233,7 @@ func (m *Manager) Close() {
 	m.coordWg.Wait()
 	close(m.queue)
 	m.wg.Wait()
+	m.flushJournal() // drain-induced interrupted events reach the WAL
 }
 
 // Submit validates and enqueues a request, returning the job snapshot.
@@ -230,6 +248,7 @@ func (m *Manager) Submit(req Request) (Job, error) {
 		return Job{}, err
 	}
 
+	defer m.flushJournal() // after the deferred unlock (LIFO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -270,7 +289,7 @@ func (m *Manager) Submit(req Request) (Job, error) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.metrics.jobsSubmitted.Add(1)
-	m.journalSubmit(j)
+	m.journalSubmitLocked(j)
 	m.pruneLocked()
 	return j.snapshotLocked(), nil
 }
@@ -305,6 +324,7 @@ func (m *Manager) List() []Job {
 // observes the context and releases its slot without waiting for the
 // abandoned pipeline goroutine.
 func (m *Manager) Cancel(id string) bool {
+	defer m.flushJournal() // after the deferred unlock (LIFO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j, ok := m.jobs[id]
@@ -436,6 +456,7 @@ func (m *Manager) worker() {
 // runJob drives one job: cache lookup, singleflight coalescing, or an
 // actual pipeline run under the job's deadline.
 func (m *Manager) runJob(j *jobRecord) {
+	defer m.flushJournal() // terminal transitions journal under the lock
 	m.mu.Lock()
 	if j.state != StateQueued { // cancelled while waiting for a worker
 		m.mu.Unlock()
@@ -448,9 +469,10 @@ func (m *Manager) runJob(j *jobRecord) {
 		timeout = m.cfg.DefaultTimeout
 	}
 	if !j.internal {
-		m.journal(store.Event{Type: store.EventStarted, JobID: j.id})
+		m.journalLocked(store.Event{Type: store.EventStarted, JobID: j.id})
 	}
 	m.mu.Unlock()
+	m.flushJournal()
 
 	ctx, cancel := context.WithTimeout(j.ctx, timeout)
 	defer cancel()
@@ -529,6 +551,7 @@ func (m *Manager) runJob(j *jobRecord) {
 }
 
 func (m *Manager) finish(j *jobRecord, res *Result, err error) {
+	defer m.flushJournal() // after the deferred unlock (LIFO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.finishLocked(j, res, err)

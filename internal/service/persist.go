@@ -52,13 +52,18 @@ func decodeBacklog(st *store.Store) []replayedJob {
 	return out
 }
 
-// queueable counts the backlog entries that will occupy a queue slot on
+// queueable counts the pending jobs that occupy a queue slot on
 // restore, so New can size the queue to hold the whole recovered
-// backlog (sweeps fan through coordinators and take no slot).
-func queueable(backlog []replayedJob) int {
+// backlog (sweeps fan through coordinators and take no slot). It runs
+// on the pending list restore actually produced, after every
+// requeue-or-not decision (including "journal says finished but the
+// result file is gone") has been made — an up-front estimate from the
+// raw backlog could undercount and leave New's queue sends blocking
+// forever with no worker started yet.
+func queueable(pending []*jobRecord) int {
 	n := 0
-	for _, rj := range backlog {
-		if !rj.st.Terminal() && rj.err == nil && rj.req.Kind != "sweep" {
+	for _, j := range pending {
+		if j.req.Kind != "sweep" {
 			n++
 		}
 	}
@@ -66,22 +71,29 @@ func queueable(backlog []replayedJob) int {
 }
 
 // restore replays the decoded backlog into the job table and warms the
-// cache. It runs from New after the queue exists and before the workers
-// start.
-func (m *Manager) restore(backlog []replayedJob) {
+// cache, returning the pending jobs in journal order. It runs from New
+// before the queue exists: the caller sizes the queue from the returned
+// list, enqueues it, and only then starts workers and recovered sweep
+// coordinators.
+func (m *Manager) restore(backlog []replayedJob) []*jobRecord {
 	start := time.Now()
 	m.warmCache()
+	var pending []*jobRecord
 	for _, rj := range backlog {
-		m.restoreJob(rj)
+		if j := m.restoreJob(rj); j != nil {
+			pending = append(pending, j)
+		}
 		m.storeReplayed++
 	}
 	m.storeRecoveryMS = time.Since(start).Milliseconds()
+	return pending
 }
 
 // restoreJob rebuilds one journal entry: terminal states land directly
 // in the job table (results re-read from the content-addressed store),
-// pending states re-enqueue under their original ID.
-func (m *Manager) restoreJob(rj replayedJob) {
+// pending states are returned for the caller to re-enqueue under their
+// original IDs.
+func (m *Manager) restoreJob(rj replayedJob) *jobRecord {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.bumpSeqLocked(rj.st.ID)
@@ -92,25 +104,26 @@ func (m *Manager) restoreJob(rj replayedJob) {
 
 	if rj.err != nil {
 		m.insertTerminalLocked(rj, created, StateFailed, rj.err, nil)
-		return
+		return nil
 	}
 	switch rj.st.Status {
 	case store.EventFinished:
 		if res, ok := m.loadResult(rj.st.Digest); ok {
 			m.insertTerminalLocked(rj, created, StateDone, nil, res)
-			return
+			return nil
 		}
 		// The journal says finished but the result file is gone (e.g. a
 		// crash between the result write and the journal append, or a
 		// pruned results directory): recompute.
-		m.requeueLocked(rj, created)
+		return m.requeueLocked(rj, created)
 	case store.EventFailed:
 		m.insertTerminalLocked(rj, created, StateFailed, errors.New(rj.st.Error), nil)
 	case store.EventCanceled:
 		m.insertTerminalLocked(rj, created, StateCancelled, context.Canceled, nil)
 	default: // submitted, started, interrupted → back into the queue
-		m.requeueLocked(rj, created)
+		return m.requeueLocked(rj, created)
 	}
+	return nil
 }
 
 // insertTerminalLocked adds a finished journal entry to the job table.
@@ -142,10 +155,13 @@ func (m *Manager) insertTerminalLocked(rj replayedJob, created time.Time, state 
 	m.order = append(m.order, j.id)
 }
 
-// requeueLocked puts a pending journal entry back into the pipeline
-// under its original ID. The queue was sized for the whole recovered
-// backlog, so the send cannot block.
-func (m *Manager) requeueLocked(rj replayedJob, created time.Time) {
+// requeueLocked rebuilds a pending journal entry under its original ID
+// and returns it for New to put back into the pipeline: the queue does
+// not exist yet (it is sized from the pending list this feeds), and
+// sweep coordinators must not start before the backlog is enqueued and
+// the workers are draining, or their fan-in could steal the queue
+// slots the backlog sends rely on.
+func (m *Manager) requeueLocked(rj replayedJob, created time.Time) *jobRecord {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &jobRecord{
 		id:      rj.st.ID,
@@ -160,15 +176,10 @@ func (m *Manager) requeueLocked(rj replayedJob, created time.Time) {
 	if rj.req.Kind == "resyn" {
 		j.run = m.resynRunner(j)
 	}
-	if rj.req.Kind == "sweep" {
-		m.coordWg.Add(1)
-		go m.runSweep(j)
-	} else {
-		m.queue <- j
-	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.storeRequeued++
+	return j
 }
 
 // bumpSeqLocked keeps the ID counter above every replayed ID so new
@@ -223,20 +234,45 @@ func (m *Manager) warmCache() {
 	}
 }
 
-// journal appends one event, stamping the time; errors only count.
-func (m *Manager) journal(ev store.Event) {
+// journalLocked captures one event, stamping the time. The caller
+// holds m.mu — the capture order under the lock is the order the
+// events reach the WAL — and calls flushJournal after releasing it, so
+// the disk write itself never runs inside the manager's critical
+// section.
+func (m *Manager) journalLocked(ev store.Event) {
 	if m.store == nil {
 		return
 	}
 	ev.Unix = time.Now().UnixNano()
-	if err := m.store.Append(ev); err != nil {
-		m.storeErrs.Add(1)
+	m.journalPending = append(m.journalPending, ev)
+}
+
+// flushJournal appends every captured event to the WAL; errors only
+// count. Callers must not hold m.mu. journalMu serializes flushers, so
+// batches reach the store in capture order; a concurrent flusher may
+// have already drained this caller's events, in which case the append
+// completed before that flusher released journalMu — an event is
+// always durable by the time its capturer's flush returns.
+func (m *Manager) flushJournal() {
+	if m.store == nil {
+		return
+	}
+	m.journalMu.Lock()
+	defer m.journalMu.Unlock()
+	m.mu.Lock()
+	evs := m.journalPending
+	m.journalPending = nil
+	m.mu.Unlock()
+	for _, ev := range evs {
+		if err := m.store.Append(ev); err != nil {
+			m.storeErrs.Add(1)
+		}
 	}
 }
 
-// journalSubmit journals a public job's submission with its full
+// journalSubmitLocked journals a public job's submission with its full
 // normalized request, the replay unit of recovery.
-func (m *Manager) journalSubmit(j *jobRecord) {
+func (m *Manager) journalSubmitLocked(j *jobRecord) {
 	if m.store == nil {
 		return
 	}
@@ -245,7 +281,7 @@ func (m *Manager) journalSubmit(j *jobRecord) {
 		m.storeErrs.Add(1)
 		return
 	}
-	m.journal(store.Event{
+	m.journalLocked(store.Event{
 		Type:    store.EventSubmitted,
 		JobID:   j.id,
 		Kind:    j.req.Kind,
@@ -254,14 +290,14 @@ func (m *Manager) journalSubmit(j *jobRecord) {
 	})
 }
 
-// journalProgress journals a sweep's done/total counters or a resyn's
-// iteration count, so an operator can see how far a recovered backlog
-// had progressed.
-func (m *Manager) journalProgress(j *jobRecord, done, total int) {
+// journalProgressLocked journals a sweep's done/total counters or a
+// resyn's iteration count, so an operator can see how far a recovered
+// backlog had progressed.
+func (m *Manager) journalProgressLocked(j *jobRecord, done, total int) {
 	if m.store == nil || j.internal {
 		return
 	}
-	m.journal(store.Event{Type: store.EventProgress, JobID: j.id, Done: done, Total: total})
+	m.journalLocked(store.Event{Type: store.EventProgress, JobID: j.id, Done: done, Total: total})
 }
 
 // journalFinishLocked journals a public job's terminal transition.
@@ -288,7 +324,7 @@ func (m *Manager) journalFinishLocked(j *jobRecord) {
 		}
 		ev.ErrorCode = j.snapshotLocked().ErrorCode
 	}
-	m.journal(ev)
+	m.journalLocked(ev)
 }
 
 // persistResult writes a freshly computed result to the

@@ -190,6 +190,71 @@ func TestCrashRequeuesPendingJobs(t *testing.T) {
 	}
 }
 
+// TestRestoreFinishedWithoutResultDoesNotDeadlock pins the
+// queue-sizing contract: finished journal entries whose result file is
+// missing (persistResult is best-effort, so a failed write still
+// journals finished) are re-enqueued at restore and must count toward
+// the backlog the queue is sized for. A backlog of them larger than
+// QueueDepth used to block New's restore sends before any worker
+// started, deadlocking startup.
+func TestRestoreFinishedWithoutResultDoesNotDeadlock(t *testing.T) {
+	dir := t.TempDir()
+	st := openTestStore(t, dir)
+	const n = 8 // larger than the QueueDepth below
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		req := testRequest()
+		req.Options.Seed = int64(i + 1) // distinct digests
+		if err := req.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		digest, err := Digest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := fmt.Sprintf("job-%06d", i+1)
+		ids = append(ids, id)
+		for _, ev := range []store.Event{
+			{Type: store.EventSubmitted, JobID: id, Kind: req.Kind, Digest: digest, Request: raw},
+			{Type: store.EventStarted, JobID: id},
+			// Finished, but no result file was ever persisted.
+			{Type: store.EventFinished, JobID: id, Digest: digest},
+		} {
+			if err := st.Append(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	created := make(chan *Manager, 1)
+	go func() { created <- New(Config{Workers: 1, QueueDepth: 2, Store: st2}) }()
+	var m2 *Manager
+	select {
+	case m2 = <-created:
+	case <-time.After(10 * time.Second):
+		t.Fatal("New deadlocked restoring a finished-without-result backlog")
+	}
+	t.Cleanup(m2.Close)
+	for _, id := range ids {
+		fin, err := m2.Wait(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("job %s replayed to %s (%s)", id, fin.State, fin.Error)
+		}
+	}
+}
+
 // TestRestartReplaysFailedAndCancelled keeps terminal non-success
 // states terminal across a restart instead of re-running them.
 func TestRestartReplaysFailedAndCancelled(t *testing.T) {

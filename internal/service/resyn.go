@@ -116,9 +116,9 @@ func (m *Manager) resynRunner(j *jobRecord) func(context.Context, Request) (Resu
 				m.metrics.resynGatesHardened.Add(int64(len(it.Hardened)))
 				m.mu.Lock()
 				j.resynIters = append(j.resynIters, it)
-				done := len(j.resynIters)
+				m.journalProgressLocked(j, len(j.resynIters), req.Resyn.MaxIters)
 				m.mu.Unlock()
-				m.journalProgress(j, done, req.Resyn.MaxIters)
+				m.flushJournal()
 			},
 		}
 

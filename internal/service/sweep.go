@@ -260,6 +260,7 @@ func (m *Manager) pointRunner(px *prefix, index int) func(context.Context, Reque
 
 // recordPoint folds one finished point into the sweep's progress table.
 func (m *Manager) recordPoint(j *jobRecord, p SweepPoint, rec *jobRecord) {
+	defer m.flushJournal() // after the deferred unlock (LIFO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sp := p // grid coordinates
@@ -281,5 +282,5 @@ func (m *Manager) recordPoint(j *jobRecord, p SweepPoint, rec *jobRecord) {
 	j.sweepPoints[p.Index] = &sp
 	j.sweepDone++
 	m.metrics.sweepPointsDone.Add(1)
-	m.journalProgress(j, j.sweepDone, j.sweepTotal)
+	m.journalProgressLocked(j, j.sweepDone, j.sweepTotal)
 }

@@ -38,11 +38,16 @@ func (s *Store) resultPath(digest string) string {
 
 // PutResult persists the result bytes under the digest. Re-putting an
 // existing digest is a no-op: the address is derived from the request
-// content, so the bytes are already equivalent.
+// content, so the bytes are already equivalent. resMu makes the
+// exists-check, write, and counter bump one critical section — two
+// concurrent first-puts of the same digest would otherwise both write
+// and both increment, drifting the results count from the file count.
 func (s *Store) PutResult(digest string, data []byte) error {
 	if err := validDigest(digest); err != nil {
 		return err
 	}
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
 	path := s.resultPath(digest)
 	if _, err := os.Stat(path); err == nil {
 		return nil

@@ -169,6 +169,11 @@ type Store struct {
 	resDir string
 	opts   Options
 
+	// resMu serializes result-store writes (exists-check, write, and
+	// counter bump form one critical section) without stalling journal
+	// appends, which serialize on mu.
+	resMu sync.Mutex
+
 	mu           sync.Mutex
 	seg          *os.File
 	segSeq       uint64
@@ -495,8 +500,10 @@ func (s *Store) compactLocked() error {
 	if err := atomicWrite(s.walDir, snapName(s.segSeq), data); err != nil {
 		return err
 	}
-	// The snapshot is durable; everything it covers can go. A crash
-	// between these removals just leaves files Open prunes later.
+	// atomicWrite fsynced the snapshot and the wal directory, so the
+	// snapshot is durable — against power loss, not just a process kill
+	// — before anything it covers goes. A crash between these removals
+	// just leaves files Open prunes later.
 	for seq := range s.liveSegs {
 		if seq < s.segSeq {
 			if err := os.Remove(filepath.Join(s.walDir, segName(seq))); err != nil {
@@ -555,7 +562,11 @@ func (s *Store) Close() error {
 }
 
 // atomicWrite writes name under dir via a temp file and rename, so
-// readers never observe a partial file.
+// readers never observe a partial file. The temp file is fsynced
+// before the rename and the directory after it, so the file is durable
+// against power loss by the time atomicWrite returns — compaction
+// relies on this to delete the segments a snapshot covers immediately,
+// and Options.Sync relies on it for result files.
 func atomicWrite(dir, name string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, name+".tmp-*")
 	if err != nil {
@@ -566,6 +577,11 @@ func atomicWrite(dir, name string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
@@ -573,6 +589,20 @@ func atomicWrite(dir, name string, data []byte) error {
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making renames and unlinks inside it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
 	}
 	return nil
 }
