@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke cover bench fuzz experiments examples serve ci clean
+.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -14,7 +14,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/ ./internal/fsim/ ./internal/resyn/ ./internal/store/
+	$(GO) test -race ./internal/core/ ./internal/sim/ ./internal/opt/ ./internal/expt/ ./internal/service/ ./internal/fsim/ ./internal/resyn/ ./internal/store/ ./internal/cluster/
 	$(GO) test -race -run 'Sweep|Session|V1|Resyn|Run' -count=2 ./internal/service/ ./internal/fsim/ ./internal/resyn/
 
 # benchsmoke compiles and runs the packed-vs-scalar Fig. 11 benchmark once
@@ -52,13 +52,24 @@ storesmoke:
 	$(GO) test -count=1 -run 'TestKillMidSweepRecovers|TestSigtermDrainRequeues' ./cmd/telsd/
 	$(GO) run ./cmd/telsbench -quick store
 
+# clustersmoke proves the cluster dispatch end to end: the ring,
+# breaker, and policy unit tests, the service-level fan-out / steal /
+# hedge / readiness tests, the SIGKILL-a-real-peer-mid-sweep integration
+# test (three telsd processes on loopback, curve must stay bit-identical
+# to single node), then one quick 1/2/4-peer scaling run.
+clustersmoke:
+	$(GO) test -count=1 ./internal/cluster/
+	$(GO) test -count=1 -run 'TestCluster|TestCompute|TestReadyz|TestClientWait|TestListRejects' ./internal/service/
+	$(GO) test -count=1 -run 'TestClusterKillPeerMidSweep' ./cmd/telsd/
+	$(GO) run ./cmd/telsbench -quick cluster
+
 # serve runs the synthesis daemon on :8455 (override with ADDR=...).
 ADDR ?= :8455
 serve:
 	$(GO) run ./cmd/telsd -addr $(ADDR)
 
 # ci is the exact gate GitHub Actions runs.
-ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke
+ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"tels/internal/blif"
+	"tels/internal/cluster"
+	"tels/internal/mcnc"
+	"tels/internal/service"
+)
+
+// This file implements `telsbench cluster`: the dispatch-layer scaling
+// experiment behind BENCH_cluster.json. It boots fleets of 1, 2, and 4
+// telsd managers inside this process (each with its own HTTP listener on
+// loopback, a one-worker pool, and the shared consistent-hash ring),
+// fans one Fig. 11 sweep grid across each fleet, and reports wall time,
+// speedup, and scaling efficiency per fleet size — plus a cross-arm
+// bit-identity check: every arm must produce the same curve as the
+// single-node reference, or the experiment fails.
+//
+// The measurement is deliberately synthetic: all peers share one
+// machine, so real synthesis would serialize on the physical cores and
+// no dispatch layer could show scaling. Instead each point carries a
+// fixed service.Config.ExecDelay sleep that stands in for per-point
+// compute; the arms then measure how well the sweep coordinator keeps N
+// one-worker peers busy (fan-out, hedging, stealing), which is exactly
+// the layer this experiment exists to characterize.
+
+// clusterArm is one fleet size's measurement.
+type clusterArm struct {
+	Peers        int     `json:"peers"`
+	WallMS       int64   `json:"wall_ms"`
+	Speedup      float64 `json:"speedup"`
+	Efficiency   float64 `json:"efficiency"`
+	RemotePoints int64   `json:"remote_points"`
+	Steals       int64   `json:"steals"`
+	Hedges       int64   `json:"hedges"`
+	HedgesWon    int64   `json:"hedges_won"`
+}
+
+// benchPeer is one in-process daemon: manager, handler, loopback server.
+type benchPeer struct {
+	addr string
+	m    *service.Manager
+	srv  *http.Server
+}
+
+// startBenchFleet boots n managers with HTTP listeners on loopback. The
+// listeners are created first so every peer's ring can be built from the
+// full address list. With n == 1 the manager gets no cluster at all —
+// the single-node arm is the plain pre-cluster code path.
+func startBenchFleet(n int, delay time.Duration) ([]*benchPeer, error) {
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	peers := make([]*benchPeer, n)
+	for i := range peers {
+		var cl *cluster.Cluster
+		if n > 1 {
+			var err error
+			cl, err = cluster.New(cluster.Config{Self: addrs[i], Peers: addrs})
+			if err != nil {
+				return nil, err
+			}
+		}
+		// The shallow queue is the load balancer: a saturated owner answers
+		// queue-full 503s, which the coordinator retries briefly and then
+		// steals back locally, so hash skew degrades into balanced work
+		// instead of a long tail on the most-loaded peer.
+		m := service.New(service.Config{
+			Workers:    1,
+			QueueDepth: 2,
+			Cluster:    cl,
+			ExecDelay:  delay,
+		})
+		srv := &http.Server{Handler: service.NewHandler(m)}
+		go srv.Serve(listeners[i])
+		peers[i] = &benchPeer{addr: addrs[i], m: m, srv: srv}
+	}
+	return peers, nil
+}
+
+// closeBenchFleet drains managers before listeners: the coordinator's
+// Close waits for its result pushes, which need the peer servers up.
+func closeBenchFleet(peers []*benchPeer) {
+	for _, p := range peers {
+		if p != nil {
+			p.m.Close()
+		}
+	}
+	for _, p := range peers {
+		if p != nil {
+			p.srv.Close()
+		}
+	}
+}
+
+// runClusterArm fans one sweep across a fleet of n and returns the
+// measurement plus the curve for the cross-arm identity check.
+func runClusterArm(n int, req service.Request, delay time.Duration) (clusterArm, []service.SweepPoint, error) {
+	arm := clusterArm{Peers: n}
+	peers, err := startBenchFleet(n, delay)
+	if err != nil {
+		closeBenchFleet(peers)
+		return arm, nil, err
+	}
+	defer closeBenchFleet(peers)
+	coord := peers[0].m
+	// A few points in flight per peer keeps every queue fed while letting
+	// the shallow queues signal saturation early.
+	req.Sweep.MaxInFlight = 3 * n
+	start := time.Now()
+	job, err := coord.Submit(req)
+	if err != nil {
+		return arm, nil, err
+	}
+	done, err := coord.Wait(context.Background(), job.ID)
+	if err != nil {
+		return arm, nil, err
+	}
+	arm.WallMS = time.Since(start).Milliseconds()
+	if done.State != service.StateDone {
+		return arm, nil, fmt.Errorf("cluster arm n=%d: sweep %s (%s)", n, done.State, done.Error)
+	}
+	sr := done.Result.Sweep
+	if sr.FailedPoints != 0 {
+		return arm, nil, fmt.Errorf("cluster arm n=%d: %d points failed", n, sr.FailedPoints)
+	}
+	ms := coord.MetricsSnapshot()
+	arm.RemotePoints = ms["cluster_remote_points"]
+	arm.Steals = ms["cluster_steals"]
+	arm.Hedges = ms["cluster_hedges"]
+	arm.HedgesWon = ms["cluster_hedges_won"]
+	return arm, sr.Points, nil
+}
+
+// sameCurve reports the first divergence between two sweep curves, or ""
+// when they are bit-identical in every reported figure.
+func sameCurve(ref, got []service.SweepPoint) string {
+	if len(ref) != len(got) {
+		return fmt.Sprintf("point count %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		r, g := ref[i], got[i]
+		if g.V != r.V || g.DeltaOn != r.DeltaOn || g.Model != r.Model {
+			return fmt.Sprintf("point %d grid coordinates differ", i)
+		}
+		if g.FailureRate != r.FailureRate || g.Yield != r.Yield {
+			return fmt.Sprintf("point v=%g: failure rate %v vs %v", g.V, g.FailureRate, r.FailureRate)
+		}
+		if g.Gates != r.Gates || g.Area != r.Area {
+			return fmt.Sprintf("point v=%g: gates/area %d/%d vs %d/%d", g.V, g.Gates, g.Area, r.Gates, r.Area)
+		}
+		if g.Error != "" {
+			return fmt.Sprintf("point v=%g: error %q", g.V, g.Error)
+		}
+	}
+	return ""
+}
+
+// clusterBench runs the 1/2/4-peer arms and renders or JSON-encodes the
+// comparison.
+func clusterBench(quick, jsonOut bool, seed int64, emit emitFn) error {
+	const name = "cm152a"
+	const deltaOn = 2
+	delay := 60 * time.Millisecond
+	points := 64
+	trials := 50
+	if quick {
+		delay = 20 * time.Millisecond
+		points = 24
+		trials = 50
+	}
+	vs := make([]float64, points)
+	for i := range vs {
+		vs[i] = 0.2 + 0.05*float64(i) // dense enough that hash skew averages out
+	}
+	src, err := blif.WriteString(mcnc.Build(name))
+	if err != nil {
+		return err
+	}
+	req := service.Request{
+		BLIF: src,
+		Kind: "sweep",
+		Yield: service.YieldSpec{
+			Model:     "weight",
+			MaxTrials: trials,
+			HalfWidth: 0.001, // disable early stop: every point costs the same
+			Seed:      seed,
+		},
+		Sweep: service.SweepSpec{Vs: vs},
+	}
+	req.Options.DeltaOn = deltaOn
+
+	var arms []clusterArm
+	var ref []service.SweepPoint
+	for _, n := range []int{1, 2, 4} {
+		arm, curve, err := runClusterArm(n, req, delay)
+		if err != nil {
+			return err
+		}
+		if n == 1 {
+			ref = curve
+		} else if diff := sameCurve(ref, curve); diff != "" {
+			return fmt.Errorf("cluster arm n=%d diverges from single node: %s", n, diff)
+		}
+		arm.Speedup = 1
+		if len(arms) > 0 {
+			arm.Speedup = float64(arms[0].WallMS) / float64(arm.WallMS)
+		}
+		arm.Efficiency = arm.Speedup / float64(n)
+		arms = append(arms, arm)
+	}
+
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "cluster", "mode": "synthetic",
+			"benchmark": name, "delta_on": deltaOn,
+			"exec_delay_ms": delay.Milliseconds(), "points": points,
+			"trials": trials, "seed": seed, "workers_per_peer": 1,
+			"curve_identical": true, "arms": arms,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("Cluster sweep fan-out — %s, δon=%d, %d points, %d trials/point, exec delay %s, 1 worker/peer\n",
+			name, deltaOn, points, trials, delay)
+		fmt.Println("(synthetic: peers share one machine, per-point compute is a fixed sleep;")
+		fmt.Println(" the measurement characterizes the dispatch layer, not the synthesizer)")
+		fmt.Println()
+		fmt.Printf("%5s | %8s | %7s | %10s | %6s %6s %6s\n",
+			"peers", "wall ms", "speedup", "efficiency", "remote", "steal", "hedge")
+		fmt.Println("----------------------------------------------------------------")
+		for _, a := range arms {
+			fmt.Printf("%5d | %8d | %6.2fx | %9.0f%% | %6d %6d %6d\n",
+				a.Peers, a.WallMS, a.Speedup, 100*a.Efficiency, a.RemotePoints, a.Steals, a.Hedges)
+		}
+		fmt.Println("\nall arms produced bit-identical curves")
+	}
+	return emit("cluster.csv", func(w io.Writer) error {
+		if _, err := fmt.Fprintln(w, "peers,wall_ms,speedup,efficiency,remote_points,steals,hedges,hedges_won"); err != nil {
+			return err
+		}
+		for _, a := range arms {
+			if _, err := fmt.Fprintf(w, "%d,%d,%g,%g,%d,%d,%d,%d\n",
+				a.Peers, a.WallMS, a.Speedup, a.Efficiency, a.RemotePoints, a.Steals, a.Hedges, a.HedgesWon); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

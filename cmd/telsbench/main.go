@@ -19,16 +19,19 @@
 //	                          loop timed at W=1 vs 4 vs 8 ×64-bit blocks
 //	telsbench store           durable-store microbench: WAL append throughput
 //	                          and cold-start recovery time vs journal size
+//	telsbench cluster         sweep fan-out scaling across 1/2/4 in-process
+//	                          telsd peers (synthetic per-point delay)
 //	telsbench all             everything above (except sweep, resyn, fsimwidth,
-//	                          store)
+//	                          store, cluster)
 //
 // The -quick flag shrinks the Monte-Carlo grids and skips the largest
 // benchmark (i10) for a fast smoke run. The -json flag replaces the
-// rendered tables of table1, fig10, fig11, fig12, resyn, fsimwidth, and
-// store with a machine-readable JSON document on stdout
-// (BENCH_fig11.json, BENCH_resyn.json, BENCH_fsim_width.json, and
-// BENCH_store.json in the repo root are such baselines, regenerated with
-// `telsbench -quick -json fig11` and friends).
+// rendered tables of table1, fig10, fig11, fig12, resyn, fsimwidth,
+// store, and cluster with a machine-readable JSON document on stdout
+// (BENCH_fig11.json, BENCH_resyn.json, BENCH_fsim_width.json,
+// BENCH_store.json, and BENCH_cluster.json in the repo root are such
+// baselines, regenerated with `telsbench -quick -json fig11` and
+// friends).
 package main
 
 import (
@@ -101,10 +104,10 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 	}
 	_ = emit
 	switch cmd {
-	case "table1", "fig10", "fig11", "fig12", "resyn", "fsimwidth", "store":
+	case "table1", "fig10", "fig11", "fig12", "resyn", "fsimwidth", "store", "cluster":
 	default:
 		if jsonOut {
-			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, resyn, fsimwidth, and store, not %q", cmd)
+			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, resyn, fsimwidth, store, and cluster, not %q", cmd)
 		}
 	}
 	switch cmd {
@@ -136,6 +139,8 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		return fsimWidth(quick, jsonOut, seed, emit)
 	case "store":
 		return storeBench(quick, jsonOut, emit)
+	case "cluster":
+		return clusterBench(quick, jsonOut, seed, emit)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return table1(o, quick, false, emit) },
@@ -156,7 +161,7 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, sweep, resyn, fsimwidth, store, or all)", cmd)
+		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, sweep, resyn, fsimwidth, store, cluster, or all)", cmd)
 	}
 }
 

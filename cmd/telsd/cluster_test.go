@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"tels/internal/service"
+)
+
+// The clustersmoke: three real telsd processes form a static ring on
+// loopback, a sweep fans its grid across them, and one non-coordinator
+// peer is SIGKILLed mid-grid. The sweep must complete on the survivors
+// with a curve bit-identical to an uninterrupted single-node run — a
+// dead peer degrades throughput, never correctness.
+
+func TestClusterKillPeerMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real daemons")
+	}
+	bin := buildTelsd(t)
+	addrs := []string{freeAddr(t), freeAddr(t), freeAddr(t)}
+	peerList := strings.Join(addrs, ",")
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Clean reference: the same sweep run in-process on one node.
+	ref := service.New(service.Config{Workers: 1})
+	defer ref.Close()
+	refJob, err := ref.Submit(sweepRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDone, err := ref.Wait(ctx, refJob.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refDone.State != service.StateDone || refDone.Result == nil || refDone.Result.Sweep == nil {
+		t.Fatalf("reference sweep: %+v", refDone)
+	}
+
+	daemons := make([]*exec.Cmd, len(addrs))
+	for i, a := range addrs {
+		daemons[i] = startTelsd(t, bin, a, "", "-peers", peerList, "-self", a)
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.Process.Kill()
+		}
+	}()
+
+	c := &service.Client{BaseURL: "http://" + addrs[0], PollInterval: 3 * time.Millisecond}
+	sweep, err := c.SubmitSweep(ctx, sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Digest != refDone.Digest {
+		t.Fatalf("cluster digest %s != single-node digest %s for the same sweep", sweep.Digest, refDone.Digest)
+	}
+
+	// SIGKILL a non-coordinator peer as soon as the grid is visibly
+	// underway: the points it owns must be stolen back by the survivors.
+	killDeadline := time.Now().Add(90 * time.Second)
+	for {
+		if time.Now().After(killDeadline) {
+			t.Fatal("sweep never reached a partially-done state")
+		}
+		job, err := c.Job(ctx, sweep.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job.State == service.StateDone {
+			t.Skip("sweep finished before the kill window; machine too fast for this grid")
+		}
+		if job.Progress != nil && job.Progress.DonePoints >= 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	victim := daemons[2]
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.Wait()
+	t.Logf("killed peer %s mid-grid", addrs[2])
+
+	done, err := c.WaitDone(ctx, sweep.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != service.StateDone || done.Result == nil || done.Result.Sweep == nil {
+		t.Fatalf("sweep after peer kill: state=%s error=%q", done.State, done.Error)
+	}
+	if done.Result.Sweep.FailedPoints != 0 {
+		t.Fatalf("%d points failed; a dead peer must cost throughput, not points", done.Result.Sweep.FailedPoints)
+	}
+
+	// Bit-identical curve: every figure the sweep reports matches the
+	// single-node reference exactly.
+	refPts := refDone.Result.Sweep.Points
+	gotPts := done.Result.Sweep.Points
+	if len(gotPts) != len(refPts) {
+		t.Fatalf("cluster curve has %d points, reference %d", len(gotPts), len(refPts))
+	}
+	for i, p := range gotPts {
+		r := refPts[i]
+		if p.V != r.V || p.FailureRate != r.FailureRate || p.Yield != r.Yield ||
+			p.Gates != r.Gates || p.Area != r.Area {
+			t.Fatalf("point %d diverged from single node: got v=%g rate=%g yield=%g gates=%d area=%d, want v=%g rate=%g yield=%g gates=%d area=%d",
+				i, p.V, p.FailureRate, p.Yield, p.Gates, p.Area,
+				r.V, r.FailureRate, r.Yield, r.Gates, r.Area)
+		}
+	}
+
+	// The coordinator's metrics show the dispatch actually happened:
+	// points ran on other peers, and the dead peer's work was stolen.
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics["cluster_remote_points"] == 0 {
+		t.Fatal("cluster_remote_points = 0: the grid never fanned out")
+	}
+	if metrics["cluster_steals"] == 0 {
+		t.Fatal("cluster_steals = 0: the killed peer's points were never stolen back")
+	}
+	if metrics["cluster_peers"] != 3 {
+		t.Fatalf("cluster_peers = %d, want 3", metrics["cluster_peers"])
+	}
+}

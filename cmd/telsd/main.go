@@ -32,6 +32,22 @@
 // trajectory, and the final result carries the hardening report plus the
 // hardened netlist.
 //
+// With -peers set the daemon joins a static cluster: every peer is
+// started with the same comma-separated peer list and its own -self
+// identity, and a consistent-hash ring over job digests assigns each
+// digest an owner peer. Before computing a foreign digest a peer asks
+// its owner for an existing result; sweep grids fan their points to the
+// owners (hedging stragglers with a local run and stealing work back
+// from dead or saturated peers), so a killed peer degrades throughput,
+// never correctness.
+//
+//	telsd -addr :8455 -peers host1:8455,host2:8455 -self host1:8455
+//
+// The daemon listens immediately but gates readiness: while the journal
+// replays, GET /v1/healthz answers 200 (the process is alive) and
+// GET /v1/readyz answers 503 (don't route work here yet); every other
+// route also answers 503 until recovery completes.
+//
 // Endpoints (v1):
 //
 //	POST   /v1/jobs             submit {"kind": ..., "spec": {...}}
@@ -40,11 +56,14 @@
 //	GET    /v1/jobs/{id}/tln    the synthesized threshold netlist (text)
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
 //	GET    /v1/healthz          liveness probe
-//	GET    /v1/metrics          job, cache, sweep, resyn, store, and latency counters
+//	GET    /v1/readyz           readiness probe (503 during recovery)
+//	GET    /v1/metrics          job, cache, sweep, resyn, store, cluster, and latency counters
 //
-// Errors are uniformly {"error": {"code", "message"}}. The pre-v1 flat
-// routes (POST /synth, and the unversioned /jobs, /healthz, /metrics
-// mirrors) have been removed; only the /v1/ surface is served.
+// plus the cluster-internal /v1/cluster/* surface peers use to exchange
+// results and work. Errors are uniformly {"error": {"code", "message"}}.
+// The pre-v1 flat routes (POST /synth, and the unversioned /jobs,
+// /healthz, /metrics mirrors) have been removed; only the /v1/ surface
+// is served.
 package main
 
 import (
@@ -55,10 +74,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"tels/internal/cli"
+	"tels/internal/cluster"
 	"tels/internal/fsim"
 	"tels/internal/service"
 	"tels/internal/store"
@@ -74,6 +96,8 @@ func main() {
 		maxjobs = flag.Int("maxjobs", 1024, "retained job records")
 		width   = flag.String("width", "1", "fsim lane-block width in 64-bit words (1, 4, or 8); results and job digests are identical at every width")
 		dataDir = flag.String("data-dir", "", "durable store directory: journal job lifecycles, persist results, and recover on restart (empty = in-memory only)")
+		peers   = flag.String("peers", "", "static cluster peer list (host:port,...); every peer must be started with the same list (empty = single node)")
+		self    = flag.String("self", "", "this daemon's own address as it appears in -peers (required with -peers)")
 		quiet   = flag.Bool("q", false, "suppress startup and shutdown messages")
 	)
 	flag.Parse()
@@ -86,46 +110,100 @@ func main() {
 	if err != nil {
 		t.Usage("%v", err)
 	}
-	if err := run(t, *addr, *workers, *queue, *cache, *timeout, *maxjobs, w, *dataDir); err != nil {
+	if (*peers == "") != (*self == "") {
+		t.Usage("-peers and -self must be set together")
+	}
+	if err := run(t, *addr, *workers, *queue, *cache, *timeout, *maxjobs, w, *dataDir, *peers, *self); err != nil {
 		t.Fail(err)
 	}
 }
 
-func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Duration, maxjobs int, width fsim.Width, dataDir string) error {
-	cfg := service.Config{
-		Workers:        workers,
-		QueueDepth:     queue,
-		CacheEntries:   cache,
-		DefaultTimeout: timeout,
-		MaxJobs:        maxjobs,
-		FsimWidth:      width,
+// bootGate answers for the daemon until recovery completes: liveness
+// stays green so supervisors don't kill a replaying daemon, readiness
+// and everything else answer 503 so load balancers and cluster peers
+// don't route work here yet. Once the real handler is published every
+// request goes straight to it.
+type bootGate struct {
+	ready atomic.Pointer[http.Handler]
+}
+
+func (g *bootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.ready.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
 	}
-	if dataDir != "" {
-		st, err := store.Open(dataDir, store.Options{})
-		if err != nil {
-			return err
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if r.URL.Path == "/v1/healthz" {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"status":"ok","phase":"starting"}`)
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, `{"error":{"code":"overloaded","message":"recovering: journal replay in progress"}}`)
+}
+
+func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Duration, maxjobs int, width fsim.Width, dataDir, peers, self string) error {
+	// The listener comes up before recovery: store open + journal replay
+	// can take a while after a crash, and a daemon that answers nothing
+	// during that window looks dead to supervisors and peers alike.
+	gate := &bootGate{}
+	type booted struct {
+		m  *service.Manager
+		st *store.Store
+	}
+	bootCh := make(chan booted, 1)
+	bootErr := make(chan error, 1)
+	go func() {
+		cfg := service.Config{
+			Workers:        workers,
+			QueueDepth:     queue,
+			CacheEntries:   cache,
+			DefaultTimeout: timeout,
+			MaxJobs:        maxjobs,
+			FsimWidth:      width,
 		}
-		defer st.Close()
-		rec := st.Recovered()
-		pending := 0
-		for _, j := range rec.Jobs {
-			if !j.Terminal() {
-				pending++
+		var st *store.Store
+		if dataDir != "" {
+			var err error
+			st, err = store.Open(dataDir, store.Options{})
+			if err != nil {
+				bootErr <- err
+				return
 			}
+			rec := st.Recovered()
+			pending := 0
+			for _, j := range rec.Jobs {
+				if !j.Terminal() {
+					pending++
+				}
+			}
+			t.Infof("recovered %s: %d jobs journaled (%d pending), %d events in %d ms%s",
+				dataDir, len(rec.Jobs), pending, rec.Events, rec.Elapsed.Milliseconds(),
+				tornNote(rec.TruncatedBytes))
+			cfg.Store = st
 		}
-		t.Infof("recovered %s: %d jobs journaled (%d pending), %d events in %d ms%s",
-			dataDir, len(rec.Jobs), pending, rec.Events, rec.Elapsed.Milliseconds(),
-			tornNote(rec.TruncatedBytes))
-		cfg.Store = st
-	}
-	// Manager teardown runs before the store closes (deferred later):
-	// drained jobs journal their interrupted events first.
-	m := service.New(cfg)
-	defer m.Close()
+		if peers != "" {
+			cl, err := cluster.New(cluster.Config{Self: self, Peers: splitPeers(peers)})
+			if err != nil {
+				if st != nil {
+					st.Close()
+				}
+				bootErr <- err
+				return
+			}
+			cfg.Cluster = cl
+			t.Infof("cluster of %d peers, self %s", cl.Size(), cl.Self())
+		}
+		m := service.New(cfg)
+		h := service.NewHandler(m)
+		gate.ready.Store(&h)
+		t.Infof("ready (%d workers, cache %d entries, fsim width %s)", m.Workers(), cache, width)
+		bootCh <- booted{m: m, st: st}
+	}()
 
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           service.NewHandler(m),
+		Handler:           gate,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -136,17 +214,21 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	t.Infof("serving on %s (%d workers, cache %d entries, fsim width %s)", addr, m.Workers(), cache, width)
+	t.Infof("serving on %s", addr)
 
 	select {
+	case err := <-bootErr:
+		srv.Close()
+		<-errCh
+		return err
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
 	}
-	// Graceful drain: stop the listener, then Manager.Close (deferred)
-	// cancels what is still queued or running — with a store those jobs
+	// Graceful drain: stop the listener, then close the manager — which
+	// cancels what is still queued or running; with a store those jobs
 	// are journaled as interrupted and re-enqueued on the next start
-	// instead of silently vanishing.
+	// instead of silently vanishing — and only then the store.
 	t.Infof("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -156,7 +238,28 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	select {
+	case b := <-bootCh:
+		b.m.Close()
+		if b.st != nil {
+			b.st.Close()
+		}
+	case err := <-bootErr:
+		return err
+	}
 	return nil
+}
+
+// splitPeers parses the -peers list, tolerating stray whitespace and
+// trailing commas; cluster.New validates the result.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func tornNote(truncated int64) string {

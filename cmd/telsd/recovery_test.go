@@ -64,11 +64,17 @@ func freeAddr(t *testing.T) string {
 	return addr
 }
 
-// startTelsd launches the daemon and waits for /v1/healthz. The returned
-// process is not reaped by the test framework; callers kill it.
-func startTelsd(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
+// startTelsd launches the daemon and waits for /v1/readyz — healthz
+// alone goes green during boot, before the journal replay finishes. The
+// returned process is not reaped by the test framework; callers kill it.
+func startTelsd(t *testing.T, bin, addr, dataDir string, extra ...string) *exec.Cmd {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", addr, "-workers", "1", "-data-dir", dataDir)
+	args := []string{"-addr", addr, "-workers", "1"}
+	if dataDir != "" {
+		args = append(args, "-data-dir", dataDir)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -76,7 +82,7 @@ func startTelsd(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
 	}
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get("http://" + addr + "/v1/healthz")
+		resp, err := http.Get("http://" + addr + "/v1/readyz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
@@ -86,7 +92,7 @@ func startTelsd(t *testing.T, bin, addr, dataDir string) *exec.Cmd {
 		time.Sleep(20 * time.Millisecond)
 	}
 	cmd.Process.Kill()
-	t.Fatalf("telsd on %s never became healthy", addr)
+	t.Fatalf("telsd on %s never became ready", addr)
 	return nil
 }
 

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Health is the per-peer circuit breaker: consecutive transport
+// failures trip a peer into a cooldown during which the dispatch layer
+// computes the peer's keys locally instead of waiting on it. After the
+// cooldown one probe request is allowed through (half-open); its
+// outcome closes or re-trips the breaker. Inflight and error counters
+// feed the cluster_peer_* metrics.
+type Health struct {
+	threshold int           // consecutive failures that trip the breaker
+	cooldown  time.Duration // how long a tripped peer stays out of rotation
+
+	mu    sync.Mutex
+	peers map[string]*peerHealth
+}
+
+type peerHealth struct {
+	consecFails int
+	downUntil   time.Time
+	probing     bool // a half-open probe is in flight
+	inflight    int64
+	requests    int64
+	errors      int64
+	trips       int64
+}
+
+// PeerStats is one peer's health snapshot.
+type PeerStats struct {
+	Inflight int64
+	Requests int64
+	Errors   int64
+	Trips    int64
+	Down     bool
+}
+
+// NewHealth builds a breaker tripping after threshold consecutive
+// failures (≤0 → 3) for cooldown (≤0 → 2s).
+func NewHealth(threshold int, cooldown time.Duration) *Health {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &Health{threshold: threshold, cooldown: cooldown, peers: make(map[string]*peerHealth)}
+}
+
+func (h *Health) peer(addr string) *peerHealth {
+	p, ok := h.peers[addr]
+	if !ok {
+		p = &peerHealth{}
+		h.peers[addr] = p
+	}
+	return p
+}
+
+// Available reports whether the peer should be dispatched to: the
+// breaker is closed, or its cooldown has expired and no half-open probe
+// is already occupying the slot.
+func (h *Health) Available(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(addr)
+	if p.downUntil.IsZero() || time.Now().After(p.downUntil) {
+		return !p.probing || p.downUntil.IsZero()
+	}
+	return false
+}
+
+// Begin records the start of one request to the peer. A request started
+// against a tripped-but-cooled-down peer becomes the half-open probe.
+func (h *Health) Begin(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(addr)
+	p.inflight++
+	p.requests++
+	if !p.downUntil.IsZero() && time.Now().After(p.downUntil) {
+		p.probing = true
+	}
+}
+
+// End records the outcome of one request. Success closes the breaker;
+// a failure counts toward the trip threshold (or re-trips a half-open
+// peer immediately).
+func (h *Health) End(addr string, failed bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(addr)
+	p.inflight--
+	if !failed {
+		p.consecFails = 0
+		p.downUntil = time.Time{}
+		p.probing = false
+		return
+	}
+	p.errors++
+	p.consecFails++
+	if p.probing || p.consecFails >= h.threshold {
+		p.downUntil = time.Now().Add(h.cooldown)
+		p.trips++
+		p.probing = false
+	}
+}
+
+// Snapshot copies every tracked peer's counters.
+func (h *Health) Snapshot() map[string]PeerStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	out := make(map[string]PeerStats, len(h.peers))
+	for addr, p := range h.peers {
+		out[addr] = PeerStats{
+			Inflight: p.inflight,
+			Requests: p.requests,
+			Errors:   p.errors,
+			Trips:    p.trips,
+			Down:     !p.downUntil.IsZero() && now.Before(p.downUntil),
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthBreakerTripAndRecover(t *testing.T) {
+	h := NewHealth(3, 50*time.Millisecond)
+	const peer = "h1:1"
+
+	fail := func() {
+		h.Begin(peer)
+		h.End(peer, true)
+	}
+	ok := func() {
+		h.Begin(peer)
+		h.End(peer, false)
+	}
+
+	if !h.Available(peer) {
+		t.Fatal("fresh peer unavailable")
+	}
+	fail()
+	fail()
+	if !h.Available(peer) {
+		t.Fatal("breaker tripped before threshold")
+	}
+	ok() // success resets the consecutive count
+	fail()
+	fail()
+	fail()
+	if h.Available(peer) {
+		t.Fatal("breaker did not trip at threshold")
+	}
+	st := h.Snapshot()[peer]
+	if st.Trips != 1 || !st.Down {
+		t.Fatalf("snapshot after trip = %+v", st)
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	if !h.Available(peer) {
+		t.Fatal("peer not half-open after cooldown")
+	}
+	// The probe occupies the half-open slot: no second request allowed.
+	h.Begin(peer)
+	if h.Available(peer) {
+		t.Fatal("second request admitted during half-open probe")
+	}
+	h.End(peer, true) // probe fails -> re-trip immediately
+	if h.Available(peer) {
+		t.Fatal("failed probe did not re-trip the breaker")
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	ok() // successful probe closes the breaker
+	if !h.Available(peer) {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	st = h.Snapshot()[peer]
+	if st.Down || st.Trips != 2 || st.Inflight != 0 {
+		t.Fatalf("snapshot after recovery = %+v", st)
+	}
+}
+
+func TestHealthPeersIndependent(t *testing.T) {
+	h := NewHealth(1, time.Minute)
+	h.Begin("bad:1")
+	h.End("bad:1", true)
+	if h.Available("bad:1") {
+		t.Fatal("bad peer still available")
+	}
+	if !h.Available("good:2") {
+		t.Fatal("unrelated peer affected by another peer's breaker")
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyPercentileNeedsSamples(t *testing.T) {
+	var l Latency
+	for i := 0; i < minHedgeSamples-1; i++ {
+		l.Observe(10 * time.Millisecond)
+	}
+	if _, ok := l.Percentile(0.95); ok {
+		t.Fatal("percentile available below the sample floor")
+	}
+	l.Observe(10 * time.Millisecond)
+	if _, ok := l.Percentile(0.95); !ok {
+		t.Fatal("percentile unavailable at the sample floor")
+	}
+}
+
+func TestLatencyPercentileOrdering(t *testing.T) {
+	var l Latency
+	for i := 1; i <= 100; i++ { // window keeps the last 64: 37..100ms
+		l.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50, _ := l.Percentile(0.50)
+	p95, _ := l.Percentile(0.95)
+	if p50 >= p95 {
+		t.Fatalf("p50 %v >= p95 %v", p50, p95)
+	}
+	if p95 < 90*time.Millisecond || p95 > 100*time.Millisecond {
+		t.Fatalf("p95 = %v, want within the retained 37..100ms window's top", p95)
+	}
+}
+
+func TestBackoffGrowthAndJitter(t *testing.T) {
+	base, max := 25*time.Millisecond, 400*time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		ideal := base << uint(attempt)
+		if ideal > max || ideal <= 0 {
+			ideal = max
+		}
+		for i := 0; i < 20; i++ {
+			d := Backoff(attempt, base, max)
+			lo := time.Duration(float64(ideal) * 0.75)
+			hi := time.Duration(float64(ideal) * 1.25)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+	// Huge attempt numbers must not overflow into negative sleeps.
+	if d := Backoff(500, base, max); d <= 0 || d > time.Duration(float64(max)*1.25) {
+		t.Fatalf("overflowing attempt produced %v", d)
+	}
+}
+
+func TestHedgeDelayColdStartAndClamp(t *testing.T) {
+	c, err := New(Config{
+		Self: "a:1", Peers: []string{"a:1", "b:2"},
+		HedgeMin: 50 * time.Millisecond, HedgeMax: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.HedgeDelay(); d != time.Second {
+		t.Fatalf("cold-start hedge delay = %v, want HedgeMax", d)
+	}
+	for i := 0; i < 16; i++ {
+		c.latency.Observe(2 * time.Millisecond)
+	}
+	// 3 × 2ms = 6ms clamps up to HedgeMin.
+	if d := c.HedgeDelay(); d != 50*time.Millisecond {
+		t.Fatalf("fast-peer hedge delay = %v, want HedgeMin", d)
+	}
+	for i := 0; i < 64; i++ {
+		c.latency.Observe(10 * time.Second)
+	}
+	if d := c.HedgeDelay(); d != time.Second {
+		t.Fatalf("slow-peer hedge delay = %v, want clamp at HedgeMax", d)
+	}
+}

@@ -179,7 +179,14 @@ const maxBodyBytes = 8 << 20
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
 //	DELETE /v1/jobs/{id}        same as cancel
 //	GET    /v1/healthz          liveness probe
+//	GET    /v1/readyz           readiness probe (cmd/telsd 503s it during WAL replay)
 //	GET    /v1/metrics          expvar-style counters
+//
+// plus the cluster-internal peer surface:
+//
+//	GET  /v1/cluster/result/{digest}  cached/persisted result, 404 on miss
+//	PUT  /v1/cluster/result/{digest}  accept a result computed by a non-owner peer
+//	POST /v1/cluster/compute          run an internal Request to completion → Job
 //
 // Everything else — including the removed pre-v1 routes (POST /synth,
 // unversioned /jobs, /healthz, /metrics) — gets a 404. Errors are
@@ -218,6 +225,16 @@ func NewHandler(m *Manager) http.Handler {
 	// dumping every retained job. limit keeps the newest N matches.
 	list := func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
+		// An empty-but-present value (?state=) is a malformed filter, not
+		// an absent one: silently matching everything would hide typos
+		// like "?state=&kind=synth" from scripts.
+		for _, k := range []string{"state", "kind", "limit"} {
+			if q.Has(k) && q.Get(k) == "" {
+				writeError(w, http.StatusBadRequest, CodeInvalidRequest,
+					fmt.Errorf("empty %s parameter (omit it to match all)", k))
+				return
+			}
+		}
 		state := State(q.Get("state"))
 		switch state {
 		case "", StateQueued, StateRunning, StateDone, StateFailed, StateCancelled:
@@ -293,8 +310,73 @@ func NewHandler(m *Manager) http.Handler {
 	healthz := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": m.Workers()})
 	}
+	// readyz answers 200 once this handler serves at all: a manager that
+	// constructed has finished WAL replay. cmd/telsd fronts this handler
+	// with a boot gate that 503s readyz (while keeping healthz green)
+	// until construction completes, so load balancers and cluster peers
+	// don't route to a daemon still replaying its journal.
+	readyz := func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "workers": m.Workers()})
+	}
 	metrics := func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.MetricsSnapshot())
+	}
+
+	// Cluster-internal surface: peers exchange results and work on it.
+	clusterGet := func(w http.ResponseWriter, r *http.Request) {
+		digest := r.PathValue("digest")
+		res, ok := m.CachedResult(digest)
+		if !ok {
+			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no result for digest %q", digest))
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
+	clusterPut := func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		if len(body) > maxBodyBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+			return
+		}
+		var res Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decode result: %w", err))
+			return
+		}
+		m.AcceptResult(r.PathValue("digest"), res)
+		w.WriteHeader(http.StatusNoContent)
+	}
+	clusterCompute := func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("read body: %w", err))
+			return
+		}
+		if len(body) > maxBodyBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+			return
+		}
+		var req Request
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		// Synchronous on purpose: the caller cancelling (r.Context())
+		// cancels the job, so a hedge loser releases this peer's worker.
+		job, err := m.ComputeSync(r.Context(), req)
+		if err != nil {
+			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+				writeError(w, http.StatusServiceUnavailable, CodeOverloaded, err)
+				return
+			}
+			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
 	}
 
 	// v1 surface.
@@ -313,7 +395,11 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", cancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", cancel)
 	mux.HandleFunc("GET /v1/healthz", healthz)
+	mux.HandleFunc("GET /v1/readyz", readyz)
 	mux.HandleFunc("GET /v1/metrics", metrics)
+	mux.HandleFunc("GET /v1/cluster/result/{digest}", clusterGet)
+	mux.HandleFunc("PUT /v1/cluster/result/{digest}", clusterPut)
+	mux.HandleFunc("POST /v1/cluster/compute", clusterCompute)
 
 	// Unmatched paths — the removed pre-v1 routes included — get the
 	// JSON envelope, not the mux's plain text.

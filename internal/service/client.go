@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -21,8 +22,11 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
-	// PollInterval paces WaitDone (default 50 ms).
+	// PollInterval is Wait's initial poll spacing (default 50 ms); each
+	// subsequent poll backs off exponentially toward PollMaxInterval.
 	PollInterval time.Duration
+	// PollMaxInterval caps the backed-off poll spacing (default 1 s).
+	PollMaxInterval time.Duration
 }
 
 // StatusError is a decoded API error envelope; errors.As against it
@@ -160,11 +164,22 @@ func (c *Client) WaitDone(ctx context.Context, id string) (Job, error) {
 }
 
 // Wait polls until the job reaches a terminal state or ctx expires,
-// invoking observe (if non-nil) on every snapshot along the way.
+// invoking observe (if non-nil) on every snapshot along the way. Polls
+// start at PollInterval and back off exponentially (with jitter, so a
+// herd of waiters desynchronizes) up to PollMaxInterval: short jobs are
+// noticed quickly, long sweeps don't hammer the daemon, and ctx
+// cancellation is honored between polls.
 func (c *Client) Wait(ctx context.Context, id string, observe func(Job)) (Job, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 50 * time.Millisecond
+	}
+	maxInterval := c.PollMaxInterval
+	if maxInterval <= 0 {
+		maxInterval = time.Second
+	}
+	if maxInterval < interval {
+		maxInterval = interval
 	}
 	for {
 		job, err := c.Job(ctx, id)
@@ -177,10 +192,16 @@ func (c *Client) Wait(ctx context.Context, id string, observe func(Job)) (Job, e
 		if job.State.Terminal() {
 			return job, nil
 		}
+		// ±20% jitter around the current interval.
+		sleep := time.Duration(float64(interval) * (0.8 + 0.4*rand.Float64()))
 		select {
-		case <-time.After(interval):
+		case <-time.After(sleep):
 		case <-ctx.Done():
 			return Job{}, ctx.Err()
+		}
+		interval *= 2
+		if interval > maxInterval {
+			interval = maxInterval
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"sync/atomic"
 
+	"tels/internal/cluster"
 	"tels/internal/fsim"
 	"tels/internal/resyn"
 	"tels/internal/store"
@@ -43,6 +44,20 @@ type Config struct {
 	// under their original IDs, and the cache warmed from disk. Nil
 	// keeps the manager fully in-memory.
 	Store *store.Store
+	// Cluster, when set, spreads the content-addressed cache across a
+	// static fleet of telsd peers: before computing a digest owned by
+	// another peer the manager asks the owner for an existing result,
+	// sweep grids fan their points to owner peers (hedged and stolen
+	// back when peers straggle or die), and fresh results computed for
+	// foreign digests are pushed to their owners. Nil keeps the manager
+	// single-node; a fully dead fleet degrades to exactly that.
+	Cluster *cluster.Cluster
+	// ExecDelay adds an artificial latency to every pipeline execution.
+	// It exists for benchmarks and tests that measure the dispatch layer
+	// itself (cmd/telsbench cluster runs every peer in one process, where
+	// real compute would serialize on the machine's cores); it never
+	// enters job digests and must stay zero in production.
+	ExecDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -151,6 +166,7 @@ type Manager struct {
 	queue      chan *jobRecord
 	wg         sync.WaitGroup
 	coordWg    sync.WaitGroup // sweep coordinators; drained before the queue closes
+	pushWg     sync.WaitGroup // best-effort result pushes to owner peers
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -233,6 +249,7 @@ func (m *Manager) Close() {
 	m.coordWg.Wait()
 	close(m.queue)
 	m.wg.Wait()
+	m.pushWg.Wait()  // in-flight owner pushes observe baseCtx and stop
 	m.flushJournal() // drain-induced interrupted events reach the WAL
 }
 
@@ -368,6 +385,21 @@ func (m *Manager) MetricsSnapshot() map[string]int64 {
 	m.mu.Unlock()
 	out := m.metrics.Snapshot(perState, m.cache.Len())
 	out["fsim_width"] = int64(m.cfg.FsimWidth)
+	if cl := m.cfg.Cluster; cl != nil {
+		m.metrics.addCluster(out)
+		out["cluster_peers"] = int64(cl.Size())
+		for addr, st := range cl.Stats() {
+			out["cluster_peer_"+addr+"_inflight"] = st.Inflight
+			out["cluster_peer_"+addr+"_requests"] = st.Requests
+			out["cluster_peer_"+addr+"_errors"] = st.Errors
+			out["cluster_peer_"+addr+"_trips"] = st.Trips
+			if st.Down {
+				out["cluster_peer_"+addr+"_down"] = 1
+			} else {
+				out["cluster_peer_"+addr+"_down"] = 0
+			}
+		}
+	}
 	if m.store != nil {
 		st := m.store.Stats()
 		out["store_journal_bytes"] = st.JournalBytes
@@ -510,8 +542,28 @@ func (m *Manager) runJob(j *jobRecord) {
 		f := &flight{done: make(chan struct{})}
 		m.flights[j.digest] = f
 		m.metrics.cacheMisses.Add(1)
-		m.metrics.jobsExecuted.Add(1)
 		m.mu.Unlock()
+
+		// A digest owned by another peer may already be computed there:
+		// ask before burning a worker on it. Jobs with a custom runner
+		// skip the fill — the sweep dispatcher already chose the venue.
+		if j.run == nil {
+			if res, ok := m.remoteFill(ctx, j.digest); ok {
+				m.mu.Lock()
+				delete(m.flights, j.digest)
+				res.CacheHit = false // stored copy mirrors a fresh result
+				evicted := m.cache.Put(j.digest, res)
+				m.metrics.cacheEvictions.Add(int64(evicted))
+				f.res = res
+				close(f.done)
+				r := res
+				r.CacheHit = true
+				m.finishLocked(j, &r, nil)
+				m.mu.Unlock()
+				return
+			}
+		}
+		m.metrics.jobsExecuted.Add(1)
 
 		exec := m.exec
 		if j.run != nil {
@@ -522,12 +574,25 @@ func (m *Manager) runJob(j *jobRecord) {
 				return runDetached(c, r, inner)
 			}
 		}
+		if d := m.cfg.ExecDelay; d > 0 {
+			inner := exec
+			exec = func(c context.Context, r Request) (Result, error) {
+				select {
+				case <-time.After(d):
+				case <-c.Done():
+					return Result{}, c.Err()
+				}
+				return inner(c, r)
+			}
+		}
 		res, err := exec(ctx, j.req)
 		if err == nil {
 			// Persist the fresh result before taking the lock (disk I/O);
 			// internal sweep points and prefixes persist here too, so a
 			// restarted sweep re-serves its finished points from disk.
 			m.persistResult(j.digest, res)
+			// Replicate to the digest's owner peer so its future fills hit.
+			m.pushToOwner(j.digest, res)
 		}
 
 		m.mu.Lock()

@@ -26,6 +26,18 @@ type Metrics struct {
 	resynGatesHardened atomic.Int64
 	resynMemoHits      atomic.Int64
 
+	// Cluster dispatch counters (snapshotted only when clustering is on).
+	clusterRemoteHits    atomic.Int64 // fills answered by an owner peer
+	clusterRemoteMisses  atomic.Int64 // fill attempts that missed or failed
+	clusterRemotePoints  atomic.Int64 // sweep points dispatched to owner peers
+	clusterSteals        atomic.Int64 // points stolen back from dead/saturated owners
+	clusterHedges        atomic.Int64 // local hedges launched against stragglers
+	clusterHedgesWon     atomic.Int64 // hedges where the local run finished first
+	clusterHedgesLost    atomic.Int64 // hedges where the remote still won
+	clusterPushes        atomic.Int64 // results replicated to their owner peer
+	clusterFillsServed   atomic.Int64 // fill requests this peer answered
+	clusterComputeServed atomic.Int64 // compute requests this peer accepted
+
 	parseNS      atomic.Int64
 	optimizeNS   atomic.Int64
 	synthesizeNS atomic.Int64
@@ -70,4 +82,20 @@ func (m *Metrics) Snapshot(perState map[State]int, cacheLen int) map[string]int6
 		out["jobs_state_"+string(s)] = int64(perState[s])
 	}
 	return out
+}
+
+// addCluster folds the dispatch counters into a snapshot; the manager
+// calls it only when clustering is configured, so single-node metric
+// surfaces are unchanged.
+func (m *Metrics) addCluster(out map[string]int64) {
+	out["cluster_remote_hits"] = m.clusterRemoteHits.Load()
+	out["cluster_remote_misses"] = m.clusterRemoteMisses.Load()
+	out["cluster_remote_points"] = m.clusterRemotePoints.Load()
+	out["cluster_steals"] = m.clusterSteals.Load()
+	out["cluster_hedges"] = m.clusterHedges.Load()
+	out["cluster_hedges_won"] = m.clusterHedgesWon.Load()
+	out["cluster_hedges_lost"] = m.clusterHedgesLost.Load()
+	out["cluster_pushes"] = m.clusterPushes.Load()
+	out["cluster_fills_served"] = m.clusterFillsServed.Load()
+	out["cluster_compute_served"] = m.clusterComputeServed.Load()
 }

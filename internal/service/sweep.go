@@ -117,9 +117,15 @@ func (m *Manager) runSweep(j *jobRecord) {
 		return
 	}
 
+	// Clustered sweeps default their budget to the fleet's aggregate
+	// worker count: most points run on other peers, so pacing by the
+	// local pool alone would leave the fleet idle.
 	budget := j.req.Sweep.MaxInFlight
 	if budget <= 0 {
 		budget = m.cfg.Workers
+		if cl := m.cfg.Cluster; cl != nil {
+			budget = m.cfg.Workers * cl.Size()
+		}
 	}
 	sem := make(chan struct{}, budget)
 	var wg sync.WaitGroup
@@ -138,19 +144,12 @@ fan:
 			m.finish(j, nil, derr)
 			return
 		}
-		px := prefixes[p.DeltaOn]
-		rec, serr := m.submitInternal(ctx, fmt.Sprintf("%s.p%d", j.id, p.Index), preq, pdigest, m.pointRunner(px, p.Index))
-		if serr != nil {
-			<-sem
-			break fan
-		}
 		wg.Add(1)
-		go func(p SweepPoint, rec *jobRecord) {
+		go func(p SweepPoint, preq Request, pdigest string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			<-rec.done
-			m.recordPoint(j, p, rec)
-		}(p, rec)
+			m.runPoint(ctx, j, prefixes[p.DeltaOn], p, preq, pdigest)
+		}(p, preq, pdigest)
 	}
 	wg.Wait()
 
@@ -258,25 +257,25 @@ func (m *Manager) pointRunner(px *prefix, index int) func(context.Context, Reque
 	}
 }
 
-// recordPoint folds one finished point into the sweep's progress table.
-func (m *Manager) recordPoint(j *jobRecord, p SweepPoint, rec *jobRecord) {
+// recordPoint folds one finished point into the sweep's progress table;
+// the outcome may come from a local run or a peer's compute response.
+func (m *Manager) recordPoint(j *jobRecord, p SweepPoint, res *Result, err error) {
 	defer m.flushJournal() // after the deferred unlock (LIFO)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sp := p // grid coordinates
 	switch {
-	case rec.err != nil:
-		sp.Error = rec.err.Error()
+	case err != nil:
+		sp.Error = err.Error()
 		j.sweepFailed++
-	case rec.result != nil:
-		r := rec.result
-		sp.CacheHit = r.CacheHit
-		sp.Gates = r.Stats.Gates
-		sp.Area = r.Stats.Area
-		if r.Yield != nil {
-			sp.FailureRate = r.Yield.FailureRate
-			sp.Yield = r.Yield.Yield
-			sp.Report = r.Yield
+	case res != nil:
+		sp.CacheHit = res.CacheHit
+		sp.Gates = res.Stats.Gates
+		sp.Area = res.Stats.Area
+		if res.Yield != nil {
+			sp.FailureRate = res.Yield.FailureRate
+			sp.Yield = res.Yield.Yield
+			sp.Report = res.Yield
 		}
 	}
 	j.sweepPoints[p.Index] = &sp
