@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke cover bench fuzz experiments examples serve ci clean
+.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke apismoke cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -63,13 +63,25 @@ clustersmoke:
 	$(GO) test -count=1 -run 'TestClusterKillPeerMidSweep' ./cmd/telsd/
 	$(GO) run ./cmd/telsbench -quick cluster
 
+# apismoke proves the multi-tenant v1 surface end to end: the envelope
+# conformance sweep, tenant scoping with the ?tenant= filter, priority
+# and quota enforcement (429 + Retry-After while other tenants flow),
+# the weighted-fair starvation scenario against the FIFO baseline, SSE
+# exactly-once streaming, tenant-preserving restart recovery, tenant
+# propagation across a 3-peer ring, a booted two-tenant telsd walked
+# over real HTTP, then one quick fair-vs-fifo admission benchmark.
+apismoke:
+	$(GO) test -count=1 -run 'TestV1|TestTenant|TestPriority|TestQuota|TestWeightedFair|TestRestartPreservesTenant|TestPreTenantJournal|TestSSE|TestSubscribe|TestCluster.*Tenant|TestOverloaded|TestMetricsExpose' ./internal/service/
+	$(GO) test -count=1 -run 'TestAPISmokeMultiTenant' ./cmd/telsd/
+	$(GO) run ./cmd/telsbench -quick tenants
+
 # serve runs the synthesis daemon on :8455 (override with ADDR=...).
 ADDR ?= :8455
 serve:
 	$(GO) run ./cmd/telsd -addr $(ADDR)
 
 # ci is the exact gate GitHub Actions runs.
-ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke
+ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke apismoke
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...

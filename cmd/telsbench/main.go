@@ -104,10 +104,10 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 	}
 	_ = emit
 	switch cmd {
-	case "table1", "fig10", "fig11", "fig12", "resyn", "fsimwidth", "store", "cluster":
+	case "table1", "fig10", "fig11", "fig12", "resyn", "fsimwidth", "store", "cluster", "tenants":
 	default:
 		if jsonOut {
-			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, resyn, fsimwidth, store, and cluster, not %q", cmd)
+			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, resyn, fsimwidth, store, cluster, and tenants, not %q", cmd)
 		}
 	}
 	switch cmd {
@@ -141,6 +141,8 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		return storeBench(quick, jsonOut, emit)
 	case "cluster":
 		return clusterBench(quick, jsonOut, seed, emit)
+	case "tenants":
+		return tenantsBench(quick, jsonOut, emit)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return table1(o, quick, false, emit) },
@@ -161,7 +163,7 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, sweep, resyn, fsimwidth, store, cluster, or all)", cmd)
+		return fmt.Errorf("unknown command %q (want table1, fig10, fig11, fig12, timing, ablation, heuristics, weights, seeds, unate, sweep, resyn, fsimwidth, store, cluster, tenants, or all)", cmd)
 	}
 }
 

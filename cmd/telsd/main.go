@@ -48,22 +48,34 @@
 // GET /v1/readyz answers 503 (don't route work here yet); every other
 // route also answers 503 until recovery completes.
 //
+// With -api-keys (or -api-keys-file) set the daemon is multi-tenant:
+// every /v1 request except the probes must present a configured bearer
+// key, every job belongs to the key's tenant, tenant keys see only
+// their own jobs, and admission is weighted-fair across tenants (stride
+// scheduling on per-tenant weights with low/normal/high priority lanes)
+// with per-tenant quotas — a submission past max_jobs answers 429
+// quota_exceeded with a Retry-After header. With no keys the daemon is
+// open and byte-compatible with the pre-tenancy API.
+//
 // Endpoints (v1):
 //
-//	POST   /v1/jobs             submit {"kind": ..., "spec": {...}}
-//	GET    /v1/jobs             list retained jobs (?state=, ?kind=, ?limit=N)
+//	POST   /v1/jobs             submit {"kind": ..., "spec": {...}, "priority": ...}
+//	GET    /v1/jobs             list retained jobs (?state=, ?kind=, ?tenant=, ?limit=N)
 //	GET    /v1/jobs/{id}        job status, result, and sweep/resyn progress
+//	GET    /v1/jobs/{id}/events Server-Sent Events stream of the job lifecycle
 //	GET    /v1/jobs/{id}/tln    the synthesized threshold netlist (text)
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
-//	GET    /v1/healthz          liveness probe
-//	GET    /v1/readyz           readiness probe (503 during recovery)
-//	GET    /v1/metrics          job, cache, sweep, resyn, store, cluster, and latency counters
+//	GET    /v1/healthz          liveness probe (no auth)
+//	GET    /v1/readyz           readiness probe (no auth; 503 during recovery)
+//	GET    /v1/metrics          job, cache, sweep, resyn, store, cluster, per-tenant, and latency counters
 //
 // plus the cluster-internal /v1/cluster/* surface peers use to exchange
-// results and work. Errors are uniformly {"error": {"code", "message"}}.
-// The pre-v1 flat routes (POST /synth, and the unversioned /jobs,
-// /healthz, /metrics mirrors) have been removed; only the /v1/ surface
-// is served.
+// results and work (admin or cluster-key principals only; the
+// X-Tels-Tenant header carries job ownership across peers). Errors are
+// uniformly {"error": {"code", "message"}}. The pre-v1 flat routes
+// (POST /synth, and the unversioned /jobs, /healthz, /metrics mirrors)
+// have been removed; only the /v1/ surface is served. docs/API.md is
+// the complete reference.
 package main
 
 import (
@@ -86,19 +98,47 @@ import (
 	"tels/internal/store"
 )
 
+// options carries the parsed flag set into run.
+type options struct {
+	addr       string
+	workers    int
+	queue      int
+	cache      int
+	timeout    time.Duration
+	maxjobs    int
+	width      fsim.Width
+	dataDir    string
+	peers      string
+	self       string
+	auth       *service.Auth
+	admission  string
+	tenantWt   int
+	tenantJobs int
+	tenantInfl int
+	execDelay  time.Duration
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8455", "listen address")
-		workers = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
-		queue   = flag.Int("queue", 0, "queue depth (0 = 4×workers)")
-		cache   = flag.Int("cache", service.DefaultCacheEntries, "result-cache capacity in entries")
-		timeout = flag.Duration("timeout", 2*time.Minute, "default per-job timeout")
-		maxjobs = flag.Int("maxjobs", 1024, "retained job records")
-		width   = flag.String("width", "1", "fsim lane-block width in 64-bit words (1, 4, or 8); results and job digests are identical at every width")
-		dataDir = flag.String("data-dir", "", "durable store directory: journal job lifecycles, persist results, and recover on restart (empty = in-memory only)")
-		peers   = flag.String("peers", "", "static cluster peer list (host:port,...); every peer must be started with the same list (empty = single node)")
-		self    = flag.String("self", "", "this daemon's own address as it appears in -peers (required with -peers)")
-		quiet   = flag.Bool("q", false, "suppress startup and shutdown messages")
+		addr      = flag.String("addr", ":8455", "listen address")
+		workers   = flag.Int("workers", 0, "worker-pool size (0 = NumCPU)")
+		queue     = flag.Int("queue", 0, "queue depth (0 = 4×workers)")
+		cache     = flag.Int("cache", service.DefaultCacheEntries, "result-cache capacity in entries")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "default per-job timeout")
+		maxjobs   = flag.Int("maxjobs", 1024, "retained job records")
+		width     = flag.String("width", "1", "fsim lane-block width in 64-bit words (1, 4, or 8); results and job digests are identical at every width")
+		dataDir   = flag.String("data-dir", "", "durable store directory: journal job lifecycles, persist results, and recover on restart (empty = in-memory only)")
+		peers     = flag.String("peers", "", "static cluster peer list (host:port,...); every peer must be started with the same list (empty = single node)")
+		self      = flag.String("self", "", "this daemon's own address as it appears in -peers (required with -peers)")
+		apiKeys   = flag.String("api-keys", "", "tenant API keys as tenant=key[,tenant=key=admin,...]; empty = open mode (no auth)")
+		keysFile  = flag.String("api-keys-file", "", `JSON keys file {"tenants":[{"name","key","weight","max_jobs","max_in_flight","admin"}],"cluster_key":"..."}; merged with -api-keys`)
+		clustKey  = flag.String("cluster-key", "", "shared bearer token peers present on /v1/cluster/* calls (required when keys are set on a cluster)")
+		admission = flag.String("admission", service.AdmissionFair, "admission policy: fair (weighted-fair per-tenant queues) or fifo (single queue, baseline)")
+		tenantWt  = flag.Int("tenant-weight", 0, "default tenant weight under fair admission (0 = 1)")
+		tenantJ   = flag.Int("tenant-max-jobs", 0, "default cap on a tenant's outstanding jobs, 429 beyond it (0 = unlimited)")
+		tenantIF  = flag.Int("tenant-max-inflight", 0, "default cap on a tenant's concurrently running jobs (0 = unlimited)")
+		execDelay = flag.Duration("exec-delay", 0, "artificial latency added to every job execution (fault injection for staging and smoke tests)")
+		quiet     = flag.Bool("q", false, "suppress startup and shutdown messages")
 	)
 	flag.Parse()
 	t := cli.New("telsd")
@@ -113,9 +153,56 @@ func main() {
 	if (*peers == "") != (*self == "") {
 		t.Usage("-peers and -self must be set together")
 	}
-	if err := run(t, *addr, *workers, *queue, *cache, *timeout, *maxjobs, w, *dataDir, *peers, *self); err != nil {
+	if *admission != service.AdmissionFair && *admission != service.AdmissionFIFO {
+		t.Usage("-admission must be fair or fifo, got %q", *admission)
+	}
+	auth, err := buildAuth(*apiKeys, *keysFile, *clustKey)
+	if err != nil {
+		t.Usage("%v", err)
+	}
+	o := options{
+		addr: *addr, workers: *workers, queue: *queue, cache: *cache,
+		timeout: *timeout, maxjobs: *maxjobs, width: w, dataDir: *dataDir,
+		peers: *peers, self: *self, auth: auth, admission: *admission,
+		tenantWt: *tenantWt, tenantJobs: *tenantJ, tenantInfl: *tenantIF,
+		execDelay: *execDelay,
+	}
+	if err := run(t, o); err != nil {
 		t.Fail(err)
 	}
+}
+
+// buildAuth merges the -api-keys flag, the -api-keys-file contents, and
+// the -cluster-key into one key table. nil (open mode) when no tenant
+// keys are configured anywhere.
+func buildAuth(apiKeys, keysFile, clusterKey string) (*service.Auth, error) {
+	var tenants []service.TenantConfig
+	if keysFile != "" {
+		ts, fileClusterKey, err := service.LoadKeysFile(keysFile)
+		if err != nil {
+			return nil, err
+		}
+		tenants = append(tenants, ts...)
+		if clusterKey == "" {
+			clusterKey = fileClusterKey
+		}
+	}
+	if apiKeys != "" {
+		ts, err := service.ParseAPIKeys(apiKeys)
+		if err != nil {
+			return nil, err
+		}
+		tenants = append(tenants, ts...)
+	}
+	if len(tenants) == 0 && clusterKey == "" {
+		return nil, nil
+	}
+	auth, err := service.NewAuth(tenants)
+	if err != nil {
+		return nil, err
+	}
+	auth.ClusterKey = clusterKey
+	return auth, nil
 }
 
 // bootGate answers for the daemon until recovery completes: liveness
@@ -138,11 +225,14 @@ func (g *bootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, `{"status":"ok","phase":"starting"}`)
 		return
 	}
+	// Retry-After: replay is usually quick; waiters (service.Client.Wait
+	// honors this) should come back shortly rather than give up.
+	w.Header().Set("Retry-After", "1")
 	w.WriteHeader(http.StatusServiceUnavailable)
 	fmt.Fprintln(w, `{"error":{"code":"overloaded","message":"recovering: journal replay in progress"}}`)
 }
 
-func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Duration, maxjobs int, width fsim.Width, dataDir, peers, self string) error {
+func run(t *cli.Tool, o options) error {
 	// The listener comes up before recovery: store open + journal replay
 	// can take a while after a crash, and a daemon that answers nothing
 	// during that window looks dead to supervisors and peers alike.
@@ -155,17 +245,23 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 	bootErr := make(chan error, 1)
 	go func() {
 		cfg := service.Config{
-			Workers:        workers,
-			QueueDepth:     queue,
-			CacheEntries:   cache,
-			DefaultTimeout: timeout,
-			MaxJobs:        maxjobs,
-			FsimWidth:      width,
+			Workers:           o.workers,
+			QueueDepth:        o.queue,
+			CacheEntries:      o.cache,
+			DefaultTimeout:    o.timeout,
+			MaxJobs:           o.maxjobs,
+			FsimWidth:         o.width,
+			Auth:              o.auth,
+			Admission:         o.admission,
+			TenantWeight:      o.tenantWt,
+			TenantMaxJobs:     o.tenantJobs,
+			TenantMaxInFlight: o.tenantInfl,
+			ExecDelay:         o.execDelay,
 		}
 		var st *store.Store
-		if dataDir != "" {
+		if o.dataDir != "" {
 			var err error
-			st, err = store.Open(dataDir, store.Options{})
+			st, err = store.Open(o.dataDir, store.Options{})
 			if err != nil {
 				bootErr <- err
 				return
@@ -178,12 +274,16 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 				}
 			}
 			t.Infof("recovered %s: %d jobs journaled (%d pending), %d events in %d ms%s",
-				dataDir, len(rec.Jobs), pending, rec.Events, rec.Elapsed.Milliseconds(),
+				o.dataDir, len(rec.Jobs), pending, rec.Events, rec.Elapsed.Milliseconds(),
 				tornNote(rec.TruncatedBytes))
 			cfg.Store = st
 		}
-		if peers != "" {
-			cl, err := cluster.New(cluster.Config{Self: self, Peers: splitPeers(peers)})
+		if o.peers != "" {
+			clCfg := cluster.Config{Self: o.self, Peers: splitPeers(o.peers)}
+			if o.auth != nil {
+				clCfg.AuthToken = o.auth.ClusterKey
+			}
+			cl, err := cluster.New(clCfg)
 			if err != nil {
 				if st != nil {
 					st.Close()
@@ -197,12 +297,15 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 		m := service.New(cfg)
 		h := service.NewHandler(m)
 		gate.ready.Store(&h)
-		t.Infof("ready (%d workers, cache %d entries, fsim width %s)", m.Workers(), cache, width)
+		if o.auth != nil && !o.auth.Open() {
+			t.Infof("auth on: %d tenants (%s admission)", len(o.auth.Tenants()), o.admission)
+		}
+		t.Infof("ready (%d workers, cache %d entries, fsim width %s)", m.Workers(), o.cache, o.width)
 		bootCh <- booted{m: m, st: st}
 	}()
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           gate,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -214,7 +317,7 @@ func run(t *cli.Tool, addr string, workers, queue, cache int, timeout time.Durat
 	go func() {
 		errCh <- srv.ListenAndServe()
 	}()
-	t.Infof("serving on %s", addr)
+	t.Infof("serving on %s", o.addr)
 
 	select {
 	case err := <-bootErr:

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tels/internal/service"
+)
+
+// The API smoke test boots a real telsd with two tenants plus an admin
+// key and walks the multi-tenant surface end to end: auth failures in
+// the JSON envelope, quota 429s with Retry-After, the SSE stream of a
+// live sweep, and the admin ?tenant= filter.
+
+// smokeSweep returns a sweep sized to run for a noticeable moment on
+// one worker — long enough that quota rejections can be observed while
+// earlier jobs are still outstanding, short enough for a smoke test.
+func smokeSweep(seed int64) service.SweepJobSpec {
+	return service.SweepJobSpec{
+		SynthSpec: service.SynthSpec{BLIF: crashBlif, Seed: seed},
+		Yield: service.YieldSpec{
+			Model:     "weight",
+			MaxTrials: 60000,
+			Seed:      42,
+		},
+		Sweep: service.SweepSpec{Vs: []float64{0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7}},
+	}
+}
+
+func TestAPISmokeMultiTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a real daemon")
+	}
+	bin := buildTelsd(t)
+	addr := freeAddr(t)
+	// The latency injection keeps the tiny smoke sweeps outstanding long
+	// enough for the quota rejection to be observable over HTTP.
+	daemon := startTelsd(t, bin, addr, "",
+		"-api-keys", "alice=ka,bob=kb,ops=kadmin=admin",
+		"-tenant-max-jobs", "2",
+		"-exec-delay", "150ms",
+	)
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	base := "http://" + addr
+	alice := &service.Client{BaseURL: base, APIKey: "ka", PollInterval: 10 * time.Millisecond}
+	bob := &service.Client{BaseURL: base, APIKey: "kb", PollInterval: 10 * time.Millisecond}
+	admin := &service.Client{BaseURL: base, APIKey: "kadmin", PollInterval: 10 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// --- Auth failures arrive in the JSON envelope. ---
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("keyless list: %d\n%s", resp.StatusCode, body)
+	}
+	var env struct {
+		Error service.APIError `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != service.CodeUnauthorized {
+		t.Fatalf("401 not enveloped: %s", body)
+	}
+	keyless := &service.Client{BaseURL: base}
+	if _, err := keyless.ListJobs(ctx, service.JobFilter{}); !service.IsUnauthorized(err) {
+		t.Fatalf("keyless client: %v, want unauthorized", err)
+	}
+	wrong := &service.Client{BaseURL: base, APIKey: "nope"}
+	if _, err := wrong.ListJobs(ctx, service.JobFilter{}); !service.IsForbidden(err) {
+		t.Fatalf("wrong key: %v, want forbidden", err)
+	}
+
+	// --- Envelope conformance on routing errors. ---
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/jobs", strings.NewReader(""))
+	req.Header.Set("Authorization", "Bearer ka")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT /v1/jobs: %d\n%s", resp.StatusCode, body)
+	}
+	env.Error = service.APIError{}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != service.CodeMethodNotAllowed {
+		t.Fatalf("405 not enveloped: %s", body)
+	}
+
+	// --- Quota: alice's third outstanding job bounces 429 with
+	// Retry-After; bob keeps flowing. ---
+	j1, err := alice.SubmitSweep(ctx, smokeSweep(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.SubmitSweep(ctx, smokeSweep(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = alice.SubmitSweep(ctx, smokeSweep(3))
+	if !service.IsQuotaExceeded(err) {
+		t.Fatalf("third submit: %v, want quota_exceeded", err)
+	}
+	var se *service.StatusError
+	if !errors.As(err, &se) || se.RetryAfter <= 0 {
+		t.Fatalf("429 without Retry-After: %v", err)
+	}
+	bjob, err := bob.SubmitSweep(ctx, smokeSweep(4))
+	if err != nil {
+		t.Fatalf("bob blocked: %v", err)
+	}
+
+	// --- SSE: watch alice's sweep; every grid point must stream exactly
+	// once across the snapshot and progress events. ---
+	seen := map[int]int{}
+	final, err := alice.Watch(ctx, j1.ID, func(ev service.JobEvent) {
+		switch ev.Type {
+		case "snapshot":
+			if ev.Job != nil && ev.Job.Progress != nil {
+				for _, p := range ev.Job.Progress.Points {
+					seen[p.Index]++
+				}
+			}
+		case "progress":
+			if ev.Point != nil {
+				seen[ev.Point.Index]++
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("sweep ended %s (%s)", final.State, final.Error)
+	}
+	for i := range smokeSweep(1).Sweep.Vs {
+		if seen[i] != 1 {
+			t.Fatalf("grid point %d streamed %d times (%v)", i, seen[i], seen)
+		}
+	}
+
+	// --- Tenant scoping and the admin filter. ---
+	if _, err := bob.Job(ctx, j1.ID); err == nil {
+		t.Fatal("bob read alice's job")
+	}
+	if _, err := bob.WaitDone(ctx, bjob.ID); err != nil {
+		t.Fatal(err)
+	}
+	al, err := admin.ListJobs(ctx, service.JobFilter{Tenant: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range al.Jobs {
+		if j.Tenant != "alice" {
+			t.Fatalf("?tenant=alice returned %s job %s", j.Tenant, j.ID)
+		}
+	}
+	if al.Total == 0 {
+		t.Fatal("?tenant=alice returned nothing")
+	}
+	bl, err := bob.ListJobs(ctx, service.JobFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range bl.Jobs {
+		if j.Tenant != "bob" {
+			t.Fatalf("bob's list leaked %s job %s", j.Tenant, j.ID)
+		}
+	}
+
+	// Quota frees once alice's work drains.
+	if _, err := alice.WaitDone(ctx, j1.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if _, err = alice.SubmitSweep(ctx, smokeSweep(5)); err == nil {
+			break
+		}
+		if !service.IsQuotaExceeded(err) || time.Now().After(deadline) {
+			t.Fatalf("submit after drain: %v", err)
+		}
+		time.Sleep(se.RetryAfter)
+	}
+}

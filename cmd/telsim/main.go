@@ -39,6 +39,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -75,6 +76,7 @@ type options struct {
 	models   string
 	inflight int
 	server   string
+	apiKey   string
 	workers  int
 	quiet    bool
 
@@ -104,6 +106,7 @@ func main() {
 	flag.StringVar(&o.models, "models", "", "sweep: comma-separated defect models (default -model)")
 	flag.IntVar(&o.inflight, "inflight", 0, "sweep: max concurrently outstanding points (default worker count)")
 	flag.StringVar(&o.server, "server", "", "sweep: telsd base URL (default: in-process manager)")
+	flag.StringVar(&o.apiKey, "api-key", "", "tenant API key for -server mode (telsd -api-keys)")
 	flag.IntVar(&o.workers, "workers", 0, "sweep/resyn: in-process worker-pool size (default NumCPU)")
 	flag.IntVar(&o.don, "don", 0, "resyn: baseline synthesis δon margin")
 	flag.Float64Var(&o.target, "target", 0, "resyn: target yield (0 = run to convergence)")
@@ -526,12 +529,22 @@ func specEnvelope(kind string, spec any) (service.SubmitEnvelope, error) {
 func runServiceJob(env service.SubmitEnvelope, o options, progress func(service.Job)) (service.Job, error) {
 	ctx := context.Background()
 	if o.server != "" {
-		c := &service.Client{BaseURL: o.server, PollInterval: 100 * time.Millisecond}
+		c := &service.Client{BaseURL: o.server, APIKey: o.apiKey, PollInterval: 100 * time.Millisecond}
 		job, err := c.SubmitEnvelope(ctx, env)
 		if err != nil {
-			return service.Job{}, err
+			return service.Job{}, describeAPIError(err)
 		}
-		return c.Wait(ctx, job.ID, progress)
+		// Watch streams progress over SSE and falls back to polling when
+		// the stream is unavailable.
+		job, err = c.Watch(ctx, job.ID, func(ev service.JobEvent) {
+			if ev.Job != nil {
+				progress(*ev.Job)
+			}
+		})
+		if err != nil {
+			return service.Job{}, describeAPIError(err)
+		}
+		return job, nil
 	}
 	m := service.New(service.Config{Workers: o.workers, FsimWidth: o.width})
 	defer m.Close()
@@ -554,6 +567,27 @@ func runServiceJob(env service.SubmitEnvelope, o options, progress func(service.
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// describeAPIError surfaces the envelope's machine-readable code on a
+// server rejection, with actionable hints for the auth and quota cases,
+// so a scripted caller can tell a quota push-back from a bad spec.
+func describeAPIError(err error) error {
+	var se *service.StatusError
+	if !errors.As(err, &se) {
+		return err
+	}
+	switch {
+	case service.IsQuotaExceeded(err):
+		return fmt.Errorf("telsim: tenant quota exceeded [%s]: %s (retry after %s)", se.Code, se.Message, se.RetryAfter)
+	case service.IsUnauthorized(err):
+		return fmt.Errorf("telsim: server requires an API key [%s]: %s (pass -api-key)", se.Code, se.Message)
+	case service.IsForbidden(err):
+		return fmt.Errorf("telsim: API key rejected [%s]: %s", se.Code, se.Message)
+	case service.IsOverloaded(err):
+		return fmt.Errorf("telsim: server overloaded [%s]: %s (retry after %s)", se.Code, se.Message, se.RetryAfter)
+	}
+	return fmt.Errorf("telsim: server error [%s]: %w", se.Code, err)
 }
 
 // resynCmd drives one kind="resyn" job through the service layer and

@@ -48,6 +48,11 @@ type Config struct {
 
 	// HTTPClient overrides the transport's client (tests).
 	HTTPClient *http.Client
+
+	// AuthToken is the shared cluster bearer token attached to every
+	// peer call (telsd -cluster-key). Empty sends no credentials — an
+	// open-mode fleet.
+	AuthToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -98,12 +103,14 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr := NewTransport(cfg.HTTPClient)
+	tr.Auth = cfg.AuthToken
 	return &Cluster{
 		cfg:       cfg,
 		ring:      ring,
 		health:    NewHealth(cfg.FailThreshold, cfg.Cooldown),
 		latency:   &Latency{},
-		transport: NewTransport(cfg.HTTPClient),
+		transport: tr,
 	}, nil
 }
 
@@ -178,8 +185,15 @@ func (c *Cluster) Push(ctx context.Context, addr, digest string, result []byte) 
 // failures with jittered exponential backoff. Successful calls feed the
 // hedge-delay latency window. The returned bytes are the terminal Job
 // JSON; an ErrUnavailable return means the peer is down or saturated
-// and the caller should steal the work back locally.
+// and the caller should steal the work back locally. It is ComputeAs
+// without a tenant attribution.
 func (c *Cluster) Compute(ctx context.Context, addr string, request []byte) ([]byte, error) {
+	return c.ComputeAs(ctx, addr, "", request)
+}
+
+// ComputeAs is Compute with the originating tenant propagated to the
+// serving peer, so per-tenant admission holds fleet-wide.
+func (c *Cluster) ComputeAs(ctx context.Context, addr, tenant string, request []byte) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if !c.health.Available(addr) {
@@ -190,7 +204,7 @@ func (c *Cluster) Compute(ctx context.Context, addr string, request []byte) ([]b
 		}
 		c.health.Begin(addr)
 		start := time.Now()
-		data, err := c.transport.Compute(ctx, addr, request)
+		data, err := c.transport.ComputeAs(ctx, addr, tenant, request)
 		// A queue-full answer proves the peer is alive; only failures to
 		// answer at all count toward tripping its breaker.
 		c.health.End(addr, err != nil && !errors.Is(err, ErrBusy))

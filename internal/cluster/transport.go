@@ -34,9 +34,25 @@ var (
 	ErrBusy        = fmt.Errorf("%w: peer saturated", ErrUnavailable)
 )
 
+// TenantHeader carries the originating tenant on peer-to-peer compute
+// calls, so the serving peer schedules the fanned-out work under the
+// tenant that submitted it.
+const TenantHeader = "X-Tels-Tenant"
+
 // Transport is the raw HTTP client for peer-to-peer calls.
 type Transport struct {
 	client *http.Client
+	// Auth, when set, is the shared cluster bearer token attached to
+	// every peer call (telsd -cluster-key); empty sends no credentials,
+	// matching an open-mode fleet.
+	Auth string
+}
+
+// authorize attaches the shared cluster credential, if any.
+func (t *Transport) authorize(req *http.Request) {
+	if t.Auth != "" {
+		req.Header.Set("Authorization", "Bearer "+t.Auth)
+	}
 }
 
 // NewTransport wraps the HTTP client (nil → a dedicated client with
@@ -78,6 +94,7 @@ func (t *Transport) GetResult(ctx context.Context, addr, digest string) ([]byte,
 	if err != nil {
 		return nil, err
 	}
+	t.authorize(req)
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return nil, classify(err)
@@ -107,6 +124,7 @@ func (t *Transport) PutResult(ctx context.Context, addr, digest string, result [
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	t.authorize(req)
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return classify(err)
@@ -126,13 +144,24 @@ func (t *Transport) PutResult(ctx context.Context, addr, digest string, result [
 // service's internal Request JSON, the response the terminal Job JSON.
 // The request is synchronous on purpose — cancelling ctx tears down the
 // connection, which the serving peer observes and cancels the job, so a
-// hedge loser releases the remote worker instead of leaking it.
+// hedge loser releases the remote worker instead of leaking it. It is
+// ComputeAs without a tenant attribution.
 func (t *Transport) Compute(ctx context.Context, addr string, request []byte) ([]byte, error) {
+	return t.ComputeAs(ctx, addr, "", request)
+}
+
+// ComputeAs is Compute with the originating tenant attached via
+// TenantHeader, so per-tenant admission holds on the serving peer.
+func (t *Transport) ComputeAs(ctx context.Context, addr, tenant string, request []byte) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peerURL(addr, "/v1/cluster/compute"), bytes.NewReader(request))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set(TenantHeader, tenant)
+	}
+	t.authorize(req)
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return nil, classify(err)

@@ -1,14 +1,17 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"tels/internal/cluster"
 	"tels/internal/core"
 )
 
@@ -98,10 +101,22 @@ type ResynJobSpec struct {
 type SubmitEnvelope struct {
 	Kind string          `json:"kind"`
 	Spec json.RawMessage `json:"spec"`
+	// Priority orders the job within the submitting tenant's queue:
+	// "high", "normal" (default), or "low".
+	Priority string `json:"priority,omitempty"`
 }
 
 // Request decodes the envelope's spec according to its kind.
 func (e SubmitEnvelope) Request() (Request, error) {
+	req, err := e.decodeSpec()
+	if err != nil {
+		return Request{}, err
+	}
+	req.Priority = e.Priority
+	return req, nil
+}
+
+func (e SubmitEnvelope) decodeSpec() (Request, error) {
 	kind := e.Kind
 	if kind == "" {
 		kind = "synth"
@@ -152,13 +167,21 @@ func (e SubmitEnvelope) Request() (Request, error) {
 // Error codes of the uniform JSON error envelope. Every error response
 // has the body {"error": {"code": "...", "message": "..."}}.
 const (
-	CodeInvalidRequest = "invalid_request"   // malformed body or spec (400)
-	CodeNotFound       = "not_found"         // unknown job or route (404)
-	CodeConflict       = "conflict"          // job not in a usable state (409)
-	CodeTooLarge       = "payload_too_large" // body over the size cap (413)
-	CodeOverloaded     = "overloaded"        // queue full or shutting down (503)
-	CodeInternal       = "internal"          // unexpected server failure (500)
+	CodeInvalidRequest   = "invalid_request"    // malformed body or spec (400)
+	CodeUnauthorized     = "unauthorized"       // missing credentials (401)
+	CodeForbidden        = "forbidden"          // wrong or insufficient credentials (403)
+	CodeNotFound         = "not_found"          // unknown job or route (404)
+	CodeMethodNotAllowed = "method_not_allowed" // route exists, method doesn't (405)
+	CodeConflict         = "conflict"           // job not in a usable state (409)
+	CodeTooLarge         = "payload_too_large"  // body over the size cap (413)
+	CodeQuotaExceeded    = "quota_exceeded"     // tenant over its admission quota (429)
+	CodeOverloaded       = "overloaded"         // queue full or shutting down (503)
+	CodeInternal         = "internal"           // unexpected server failure (500)
 )
+
+// overloadedRetryAfter is the Retry-After suggestion on 503s: the queue
+// drains at worker speed, so a short pause is enough.
+const overloadedRetryAfter = time.Second
 
 // APIError is the wire error payload.
 type APIError struct {
@@ -173,8 +196,9 @@ const maxBodyBytes = 8 << 20
 // NewHandler exposes the manager as a JSON-over-HTTP API:
 //
 //	POST   /v1/jobs             submit a job (kind-tagged SubmitEnvelope) → Job
-//	GET    /v1/jobs             list retained jobs (?state=, ?kind=, ?limit=N)
+//	GET    /v1/jobs             list retained jobs (?state=, ?kind=, ?tenant=, ?limit=N)
 //	GET    /v1/jobs/{id}        job status (sweep jobs include progress)
+//	GET    /v1/jobs/{id}/events SSE stream of state transitions and progress
 //	GET    /v1/jobs/{id}/tln    the synthesized .tln as text/plain
 //	POST   /v1/jobs/{id}/cancel cancel a queued or running job
 //	DELETE /v1/jobs/{id}        same as cancel
@@ -188,11 +212,33 @@ const maxBodyBytes = 8 << 20
 //	PUT  /v1/cluster/result/{digest}  accept a result computed by a non-owner peer
 //	POST /v1/cluster/compute          run an internal Request to completion → Job
 //
+// With the manager's Config.Auth set, every route except healthz and
+// readyz requires "Authorization: Bearer <key>": a missing credential
+// is 401 unauthorized, an unknown one 403 forbidden, and jobs are
+// scoped to the key's tenant (admin keys and the shared cluster key
+// see everything). Without Auth the daemon is open: every caller acts
+// as an admin of the "default" tenant, preserving the pre-tenancy
+// behavior.
+//
 // Everything else — including the removed pre-v1 routes (POST /synth,
 // unversioned /jobs, /healthz, /metrics) — gets a 404. Errors are
-// always {"error": {"code", "message"}}.
+// always {"error": {"code", "message"}}, including 405s the routing
+// layer itself produces.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
+
+	// owned hides other tenants' jobs from non-admin callers: a foreign
+	// job ID answers exactly like a nonexistent one, so tenants can't
+	// probe each other's job namespace.
+	owned := func(w http.ResponseWriter, r *http.Request) (Job, bool) {
+		id := r.PathValue("id")
+		job, ok := m.Get(id)
+		if !ok || !callerFrom(r.Context()).Sees(job.Tenant) {
+			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", id))
+			return Job{}, false
+		}
+		return job, true
+	}
 
 	submit := func(w http.ResponseWriter, r *http.Request, decode func([]byte) (Request, error)) {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
@@ -209,26 +255,34 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
-		job, err := m.Submit(req)
+		job, err := m.SubmitAs(callerFrom(r.Context()), req)
 		if err != nil {
-			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
+			var qe *QuotaError
+			switch {
+			case errors.As(err, &qe):
+				w.Header().Set("Retry-After", retryAfterValue(qe.RetryAfter))
+				writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded, err)
+			case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed):
+				w.Header().Set("Retry-After", retryAfterValue(overloadedRetryAfter))
 				writeError(w, http.StatusServiceUnavailable, CodeOverloaded, err)
-				return
+			default:
+				writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			}
-			writeError(w, http.StatusBadRequest, CodeInvalidRequest, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job)
 	}
-	// list supports ?state=, ?kind=, and ?limit=N so an operator can
-	// inspect a recovered backlog (e.g. /v1/jobs?state=queued) without
-	// dumping every retained job. limit keeps the newest N matches.
+	// list supports ?state=, ?kind=, ?tenant=, and ?limit=N so an
+	// operator can inspect a recovered backlog (e.g. /v1/jobs?state=queued)
+	// without dumping every retained job. limit keeps the newest N
+	// matches. Non-admin callers only ever see their own tenant's jobs;
+	// naming another tenant is 403.
 	list := func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		// An empty-but-present value (?state=) is a malformed filter, not
 		// an absent one: silently matching everything would hide typos
 		// like "?state=&kind=synth" from scripts.
-		for _, k := range []string{"state", "kind", "limit"} {
+		for _, k := range []string{"state", "kind", "limit", "tenant"} {
 			if q.Has(k) && q.Get(k) == "" {
 				writeError(w, http.StatusBadRequest, CodeInvalidRequest,
 					fmt.Errorf("empty %s parameter (omit it to match all)", k))
@@ -251,6 +305,16 @@ func NewHandler(m *Manager) http.Handler {
 				fmt.Errorf("unknown job kind %q (want synth, yield, sweep, or resyn)", kind))
 			return
 		}
+		caller := callerFrom(r.Context())
+		tenant := q.Get("tenant")
+		if tenant != "" && !caller.Sees(tenant) {
+			writeError(w, http.StatusForbidden, CodeForbidden,
+				fmt.Errorf("tenant %q may not list tenant %q", caller.Tenant, tenant))
+			return
+		}
+		if !caller.Admin {
+			tenant = caller.Tenant // tenant keys are always scoped to themselves
+		}
 		limit := 0
 		if s := q.Get("limit"); s != "" {
 			n, err := strconv.Atoi(s)
@@ -262,7 +326,7 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		jobs := make([]Job, 0)
 		for _, job := range m.List() {
-			if (state == "" || job.State == state) && (kind == "" || job.Kind == kind) {
+			if (state == "" || job.State == state) && (kind == "" || job.Kind == kind) && (tenant == "" || job.Tenant == tenant) {
 				jobs = append(jobs, job)
 			}
 		}
@@ -273,17 +337,57 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "total": total})
 	}
 	get := func(w http.ResponseWriter, r *http.Request) {
-		job, ok := m.Get(r.PathValue("id"))
+		job, ok := owned(w, r)
 		if !ok {
-			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
 		writeJSON(w, http.StatusOK, job)
 	}
-	tln := func(w http.ResponseWriter, r *http.Request) {
-		job, ok := m.Get(r.PathValue("id"))
+	events := func(w http.ResponseWriter, r *http.Request) {
+		job, ok := owned(w, r)
 		if !ok {
-			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		fl, okf := w.(http.Flusher)
+		if !okf {
+			writeError(w, http.StatusInternalServerError, CodeInternal, fmt.Errorf("response writer cannot stream"))
+			return
+		}
+		ch, stop, oks := m.Subscribe(job.ID)
+		if !oks {
+			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", job.ID))
+			return
+		}
+		defer stop()
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		for {
+			select {
+			case ev, open := <-ch:
+				if !open {
+					return // consumer fell behind and was dropped; it re-syncs by reconnecting
+				}
+				data, err := json.Marshal(ev)
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+				fl.Flush()
+				if ev.Type == eventEnd {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	tln := func(w http.ResponseWriter, r *http.Request) {
+		job, ok := owned(w, r)
+		if !ok {
 			return
 		}
 		if job.State != StateDone || job.Result == nil {
@@ -298,13 +402,12 @@ func NewHandler(m *Manager) http.Handler {
 		io.WriteString(w, job.Result.TLN)
 	}
 	cancel := func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if _, ok := m.Get(id); !ok {
-			writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("unknown job %q", id))
+		job, ok := owned(w, r)
+		if !ok {
 			return
 		}
-		cancelled := m.Cancel(id)
-		job, _ := m.Get(id)
+		cancelled := m.Cancel(job.ID)
+		job, _ = m.Get(job.ID)
 		writeJSON(w, http.StatusOK, map[string]any{"cancelled": cancelled, "job": job})
 	}
 	healthz := func(w http.ResponseWriter, r *http.Request) {
@@ -367,7 +470,9 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		// Synchronous on purpose: the caller cancelling (r.Context())
 		// cancels the job, so a hedge loser releases this peer's worker.
-		job, err := m.ComputeSync(r.Context(), req)
+		// The tenant header attributes the fanned-out work to the tenant
+		// that submitted the sweep on the coordinating peer.
+		job, err := m.ComputeSyncAs(r.Context(), r.Header.Get(cluster.TenantHeader), req)
 		if err != nil {
 			if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) {
 				writeError(w, http.StatusServiceUnavailable, CodeOverloaded, err)
@@ -391,6 +496,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/jobs", list)
 	mux.HandleFunc("GET /v1/jobs/{id}", get)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", events)
 	mux.HandleFunc("GET /v1/jobs/{id}/tln", tln)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", cancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", cancel)
@@ -401,12 +507,140 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("PUT /v1/cluster/result/{digest}", clusterPut)
 	mux.HandleFunc("POST /v1/cluster/compute", clusterCompute)
 
-	// Unmatched paths — the removed pre-v1 routes included — get the
-	// JSON envelope, not the mux's plain text.
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeError(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("no route %s %s", r.Method, r.URL.Path))
+	// No catch-all route: the mux's native 404 (unknown path) and 405
+	// (known path, wrong method) answers are rewritten into the JSON
+	// envelope by envelopeRouting below. Registering "/" here would
+	// shadow the method mismatch and turn every wrong-method request
+	// into a 404.
+	return envelopeRouting(withAuth(m.Auth(), mux))
+}
+
+// callerKey stores the authenticated Caller in the request context.
+type callerKeyType struct{}
+
+var callerKey callerKeyType
+
+// callerFrom recovers the authenticated principal; requests that never
+// passed the auth middleware (direct handler tests) act as the open-mode
+// admin, matching a keyless daemon.
+func callerFrom(ctx context.Context) Caller {
+	if c, ok := ctx.Value(callerKey).(Caller); ok {
+		return c
+	}
+	return Caller{Tenant: DefaultTenant, Admin: true}
+}
+
+// withAuth authenticates every request against the key table and stores
+// the resulting Caller in the context. Probe routes stay open so load
+// balancers need no credentials. The cluster-internal surface requires
+// an admin principal (the shared cluster key or an admin tenant key) —
+// a plain tenant key must not be able to push results or run arbitrary
+// internal requests on a peer.
+func withAuth(auth *Auth, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/healthz" || r.URL.Path == "/v1/readyz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		caller := Caller{Tenant: DefaultTenant, Admin: true}
+		if !auth.Open() {
+			hdr := r.Header.Get("Authorization")
+			if hdr == "" {
+				writeError(w, http.StatusUnauthorized, CodeUnauthorized,
+					fmt.Errorf("missing Authorization header (want Bearer <api-key>)"))
+				return
+			}
+			token, ok := strings.CutPrefix(hdr, "Bearer ")
+			if !ok {
+				writeError(w, http.StatusUnauthorized, CodeUnauthorized,
+					fmt.Errorf("malformed Authorization header (want Bearer <api-key>)"))
+				return
+			}
+			caller, ok = auth.Authenticate(strings.TrimSpace(token))
+			if !ok {
+				writeError(w, http.StatusForbidden, CodeForbidden, fmt.Errorf("unknown API key"))
+				return
+			}
+		}
+		if strings.HasPrefix(r.URL.Path, "/v1/cluster/") && !caller.Admin {
+			writeError(w, http.StatusForbidden, CodeForbidden,
+				fmt.Errorf("cluster routes require the cluster key or an admin key"))
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), callerKey, caller)))
 	})
-	return mux
+}
+
+// envelopeRouting converts the bare text/plain 404s and 405s Go's
+// ServeMux writes for unmatched paths and method-pattern mismatches
+// into the uniform JSON error envelope, so every error on the surface —
+// routing-layer ones included — has the same shape. Handler-written
+// 404s (unknown job IDs) already carry the envelope and are recognized
+// by their application/json Content-Type; those pass through untouched.
+func envelopeRouting(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(&envelopeWriter{ResponseWriter: w, req: r}, r)
+	})
+}
+
+// envelopeWriter intercepts plain-text WriteHeader(404/405): it
+// replaces the mux's status line and body with the JSON envelope and
+// swallows the original body bytes. Every other status passes through.
+type envelopeWriter struct {
+	http.ResponseWriter
+	req       *http.Request
+	rewrote   bool // an envelope was written; swallow the original body
+	committed bool
+}
+
+func (ew *envelopeWriter) WriteHeader(status int) {
+	if ew.committed {
+		return
+	}
+	ew.committed = true
+	routing := status == http.StatusMethodNotAllowed || status == http.StatusNotFound
+	if routing && !strings.HasPrefix(ew.Header().Get("Content-Type"), "application/json") {
+		ew.rewrote = true
+		// The mux already set Content-Type/Allow on the shared header map;
+		// writeError overrides Content-Type, Allow stays — it's correct.
+		if status == http.StatusMethodNotAllowed {
+			writeError(ew.ResponseWriter, status, CodeMethodNotAllowed,
+				fmt.Errorf("method %s not allowed on %s", ew.req.Method, ew.req.URL.Path))
+		} else {
+			writeError(ew.ResponseWriter, status, CodeNotFound,
+				fmt.Errorf("no route %s %s", ew.req.Method, ew.req.URL.Path))
+		}
+		return
+	}
+	ew.ResponseWriter.WriteHeader(status)
+}
+
+func (ew *envelopeWriter) Write(p []byte) (int, error) {
+	if !ew.committed {
+		ew.WriteHeader(http.StatusOK)
+	}
+	if ew.rewrote {
+		return len(p), nil // discard the mux's plain-text body
+	}
+	return ew.ResponseWriter.Write(p)
+}
+
+// Flush passes streaming through the interceptor — the SSE route needs
+// the underlying Flusher.
+func (ew *envelopeWriter) Flush() {
+	if fl, ok := ew.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// retryAfterValue renders a Retry-After header in whole seconds,
+// rounding up so "retry after 200ms" never becomes "retry now".
+func retryAfterValue(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

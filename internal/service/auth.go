@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// DefaultTenant is the tenant every job belongs to when telsd runs
+// without API keys, and the tenant pre-tenancy journals replay under.
+const DefaultTenant = "default"
+
+// TenantConfig declares one tenant: its bearer key plus the admission
+// knobs that govern it. Zero-valued knobs inherit the manager defaults
+// (Config.TenantWeight/TenantMaxJobs/TenantMaxInFlight).
+type TenantConfig struct {
+	// Name identifies the tenant; it appears on jobs, journal records,
+	// and metrics.
+	Name string `json:"name"`
+	// Key is the bearer token presented as "Authorization: Bearer <key>".
+	Key string `json:"key"`
+	// Weight scales the tenant's share of the worker pool under
+	// weighted-fair admission (0 = default weight 1).
+	Weight int `json:"weight,omitempty"`
+	// MaxJobs caps the tenant's outstanding (queued or running) public
+	// jobs; submissions beyond it are rejected 429 quota_exceeded
+	// (0 = manager default, negative = unlimited).
+	MaxJobs int `json:"max_jobs,omitempty"`
+	// MaxInFlight caps the tenant's concurrently running dispatches
+	// (0 = manager default, negative = unlimited).
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// Admin grants fleet-wide visibility: listing every tenant's jobs,
+	// reading any job, and calling the cluster-internal routes.
+	Admin bool `json:"admin,omitempty"`
+}
+
+// Caller is the authenticated principal a request acts as. The zero
+// value is anonymous; handlers never see it because the middleware
+// always resolves one.
+type Caller struct {
+	// Tenant is the principal's tenant name.
+	Tenant string
+	// Admin marks admin keys (and every caller in open mode).
+	Admin bool
+}
+
+// Sees reports whether the caller may observe a job owned by tenant:
+// admins see everything, tenant keys only their own jobs.
+func (c Caller) Sees(tenant string) bool { return c.Admin || c.Tenant == tenant }
+
+// Auth is the tenant/key table telsd authenticates against. A nil Auth
+// (or one with no tenants) is "open mode": every request is admitted as
+// an admin caller of the default tenant, which keeps a keyless telsd
+// byte-compatible with the pre-tenancy API.
+type Auth struct {
+	// ClusterKey, when set, additionally authorizes the cluster-internal
+	// routes (/v1/cluster/...) without naming a tenant — peers share it.
+	ClusterKey string
+
+	tenants map[string]TenantConfig // by name
+	byKey   map[string]TenantConfig // by bearer key
+}
+
+// Open reports whether the table admits unauthenticated callers.
+func (a *Auth) Open() bool { return a == nil || len(a.tenants) == 0 }
+
+// Tenant looks a tenant up by name.
+func (a *Auth) Tenant(name string) (TenantConfig, bool) {
+	if a == nil {
+		return TenantConfig{}, false
+	}
+	t, ok := a.tenants[name]
+	return t, ok
+}
+
+// Tenants returns the configured tenant names, sorted.
+func (a *Auth) Tenants() []string {
+	if a == nil {
+		return nil
+	}
+	names := make([]string, 0, len(a.tenants))
+	for name := range a.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Authenticate resolves a bearer token to a caller. In open mode every
+// token (or none) is the default tenant with admin rights. Otherwise a
+// missing token is rejected with ok=false and known=false; a present
+// but unknown token with ok=false and known=false too — the API layer
+// maps absent→401 and wrong→403 itself, so Authenticate just answers
+// "who is this".
+func (a *Auth) Authenticate(token string) (Caller, bool) {
+	if a.Open() {
+		return Caller{Tenant: DefaultTenant, Admin: true}, true
+	}
+	if t, ok := a.byKey[token]; ok && token != "" {
+		return Caller{Tenant: t.Name, Admin: t.Admin}, true
+	}
+	if token != "" && a.ClusterKey != "" && token == a.ClusterKey {
+		// Peers authenticate with the shared cluster key; they act for
+		// whichever tenant the forwarded request names, so the key itself
+		// is an admin principal of the default tenant.
+		return Caller{Tenant: DefaultTenant, Admin: true}, true
+	}
+	return Caller{}, false
+}
+
+// NewAuth builds the key table, rejecting duplicate names or keys.
+func NewAuth(tenants []TenantConfig) (*Auth, error) {
+	a := &Auth{
+		tenants: make(map[string]TenantConfig, len(tenants)),
+		byKey:   make(map[string]TenantConfig, len(tenants)),
+	}
+	for _, t := range tenants {
+		if t.Name == "" {
+			return nil, fmt.Errorf("service: tenant with empty name")
+		}
+		if t.Key == "" {
+			return nil, fmt.Errorf("service: tenant %q has empty key", t.Name)
+		}
+		if _, dup := a.tenants[t.Name]; dup {
+			return nil, fmt.Errorf("service: duplicate tenant %q", t.Name)
+		}
+		if _, dup := a.byKey[t.Key]; dup {
+			return nil, fmt.Errorf("service: tenants share one key (second: %q)", t.Name)
+		}
+		a.tenants[t.Name] = t
+		a.byKey[t.Key] = t
+	}
+	return a, nil
+}
+
+// ParseAPIKeys parses the telsd -api-keys flag: comma-separated
+// tenant=key pairs, e.g. "alice=ka,bob=kb". A tenant named "admin" or
+// prefixed "admin:" is not special; admin rights come from the keys
+// file. As a convenience, "name=key=admin" marks an admin tenant.
+func ParseAPIKeys(s string) ([]TenantConfig, error) {
+	var out []TenantConfig
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		parts := strings.Split(pair, "=")
+		switch len(parts) {
+		case 2:
+			out = append(out, TenantConfig{Name: strings.TrimSpace(parts[0]), Key: strings.TrimSpace(parts[1])})
+		case 3:
+			if strings.TrimSpace(parts[2]) != "admin" {
+				return nil, fmt.Errorf("service: bad -api-keys entry %q (want tenant=key or tenant=key=admin)", pair)
+			}
+			out = append(out, TenantConfig{Name: strings.TrimSpace(parts[0]), Key: strings.TrimSpace(parts[1]), Admin: true})
+		default:
+			return nil, fmt.Errorf("service: bad -api-keys entry %q (want tenant=key)", pair)
+		}
+	}
+	return out, nil
+}
+
+// keysFile is the -api-keys-file format: {"tenants":[{...}],
+// "cluster_key":"..."} with TenantConfig entries.
+type keysFile struct {
+	Tenants    []TenantConfig `json:"tenants"`
+	ClusterKey string         `json:"cluster_key,omitempty"`
+}
+
+// LoadKeysFile reads a JSON keys file and returns its tenants plus the
+// optional shared cluster key.
+func LoadKeysFile(path string) ([]TenantConfig, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("service: read keys file: %w", err)
+	}
+	var kf keysFile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return nil, "", fmt.Errorf("service: parse keys file %s: %w", path, err)
+	}
+	return kf.Tenants, kf.ClusterKey, nil
+}

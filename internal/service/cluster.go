@@ -109,7 +109,7 @@ func (m *Manager) runPoint(ctx context.Context, j *jobRecord, px *prefix, p Swee
 // localPoint runs one grid point through the local queue against the
 // sweep's shared session.
 func (m *Manager) localPoint(ctx context.Context, j *jobRecord, px *prefix, p SweepPoint, preq Request, pdigest string) (*Result, error) {
-	rec, err := m.submitInternal(ctx, fmt.Sprintf("%s.p%d", j.id, p.Index), preq, pdigest, m.pointRunner(px, p.Index))
+	rec, err := m.submitInternal(ctx, fmt.Sprintf("%s.p%d", j.id, p.Index), j.tenant, preq, pdigest, m.pointRunner(px, p.Index))
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +141,7 @@ func (m *Manager) remotePoint(ctx context.Context, j *jobRecord, px *prefix, p S
 	defer rcancel()
 	remoteCh := make(chan pointOutcome, 1)
 	go func() {
-		data, err := cl.Compute(rctx, owner, body)
+		data, err := cl.ComputeAs(rctx, owner, j.tenant, body)
 		if err != nil {
 			remoteCh <- pointOutcome{nil, err}
 			return
@@ -253,8 +253,17 @@ func (m *Manager) AcceptResult(digest string, res Result) {
 // endpoint: the job is internal (absent from the public table and the
 // journal), a full queue fails fast with ErrQueueFull so the calling
 // peer can back off or steal, and cancelling ctx — the caller hanging
-// up — cancels the job and releases its worker.
+// up — cancels the job and releases its worker. It is ComputeSyncAs
+// for the default tenant.
 func (m *Manager) ComputeSync(ctx context.Context, req Request) (Job, error) {
+	return m.ComputeSyncAs(ctx, DefaultTenant, req)
+}
+
+// ComputeSyncAs is ComputeSync with the originating tenant attached:
+// fanned-out work is scheduled under the tenant that submitted the
+// sweep on the coordinating peer, so weighted-fair admission holds
+// fleet-wide, not just where the submission landed.
+func (m *Manager) ComputeSyncAs(ctx context.Context, tenant string, req Request) (Job, error) {
 	if err := req.Normalize(); err != nil {
 		return Job{}, err
 	}
@@ -276,11 +285,15 @@ func (m *Manager) ComputeSync(ctx context.Context, req Request) (Job, error) {
 	id := fmt.Sprintf("rpc-%06d", m.seq)
 	m.mu.Unlock()
 
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	jctx, cancel := context.WithCancel(m.baseCtx)
 	j := &jobRecord{
 		id:       id,
 		req:      req,
 		digest:   digest,
+		tenant:   tenant,
 		state:    StateQueued,
 		created:  time.Now(),
 		internal: true,
@@ -288,11 +301,9 @@ func (m *Manager) ComputeSync(ctx context.Context, req Request) (Job, error) {
 		cancel:   cancel,
 		done:     make(chan struct{}),
 	}
-	select {
-	case m.queue <- j:
-	default:
+	if err := m.admit.enqueueInternalFast(j); err != nil {
 		cancel()
-		return Job{}, ErrQueueFull
+		return Job{}, err
 	}
 	m.metrics.clusterComputeServed.Add(1)
 

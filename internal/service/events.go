@@ -1,0 +1,139 @@
+package service
+
+import (
+	"tels/internal/resyn"
+)
+
+// This file is the job-event broker behind GET /v1/jobs/{id}/events:
+// per-job subscriber lists fed from the manager's state transitions.
+// Everything — snapshot assembly, subscription registration, and event
+// emission — happens under the manager's mutex, so a subscriber's
+// snapshot plus its subsequent increments cover each progress step
+// exactly once: a sweep point recorded before Subscribe is in the
+// snapshot and never re-emitted; one recorded after is emitted and
+// absent from the snapshot.
+
+// Event kinds delivered on a job's event stream (the SSE "event:"
+// field).
+const (
+	eventSnapshot = "snapshot" // first event: the full job state at subscribe time
+	eventState    = "state"    // a lifecycle transition (queued → running)
+	eventProgress = "progress" // one sweep point landed or one resyn iteration finished
+	eventEnd      = "end"      // terminal state; the stream closes after it
+)
+
+// JobEvent is one entry on a job's event stream.
+type JobEvent struct {
+	// Seq numbers the job's events from 1 (the SSE id), snapshot
+	// included; a reconnecting client can detect gaps.
+	Seq int64 `json:"seq"`
+	// Type is one of snapshot, state, progress, end.
+	Type string `json:"type"`
+	// Job is the full snapshot on snapshot/state/end events.
+	Job *Job `json:"job,omitempty"`
+	// Point is the grid point a sweep progress event delivers.
+	Point *SweepPoint `json:"point,omitempty"`
+	// Iteration is the loop round a resyn progress event delivers.
+	Iteration *resyn.Iteration `json:"iteration,omitempty"`
+	// Done and Total accompany progress events.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// subscriberBuf bounds one subscriber's event buffer. It covers the
+// largest sweep (MaxSweepPoints progress events) plus lifecycle events
+// with slack; a consumer that still falls behind is disconnected and
+// falls back to polling rather than stalling the manager.
+const subscriberBuf = MaxSweepPoints + 64
+
+type subscriber struct {
+	ch     chan JobEvent
+	closed bool
+}
+
+// Subscribe attaches an event stream to a job. The first event on the
+// channel is a snapshot of the job at subscription time; subsequent
+// events are the increments after it. The channel is closed after the
+// end event (immediately after the snapshot for already-terminal
+// jobs). The returned cancel is idempotent and must be called when the
+// consumer stops reading. ok=false means no such job.
+func (m *Manager) Subscribe(id string) (<-chan JobEvent, func(), bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, okj := m.jobs[id]
+	if !okj {
+		return nil, nil, false
+	}
+	sub := &subscriber{ch: make(chan JobEvent, subscriberBuf)}
+	snap := j.snapshotLocked()
+	j.eventSeq++
+	sub.ch <- JobEvent{Seq: j.eventSeq, Type: eventSnapshot, Job: &snap}
+	if j.state.Terminal() {
+		j.eventSeq++
+		sub.ch <- JobEvent{Seq: j.eventSeq, Type: eventEnd, Job: &snap}
+		close(sub.ch)
+		sub.closed = true
+		return sub.ch, func() {}, true
+	}
+	j.subs = append(j.subs, sub)
+	cancel := func() {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for i, s := range j.subs {
+			if s == sub {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				break
+			}
+		}
+		if !sub.closed {
+			close(sub.ch)
+			sub.closed = true
+		}
+	}
+	return sub.ch, cancel, true
+}
+
+// emitLocked delivers one event to the job's subscribers. Callers hold
+// m.mu. A subscriber whose buffer is full is dropped (channel closed):
+// it can resynchronize by re-subscribing or polling, and the manager
+// never blocks on a slow reader.
+func (m *Manager) emitLocked(j *jobRecord, typ string, point *SweepPoint, iter *resyn.Iteration) {
+	if len(j.subs) == 0 {
+		return
+	}
+	j.eventSeq++
+	ev := JobEvent{Seq: j.eventSeq, Type: typ, Point: point, Iteration: iter}
+	switch typ {
+	case eventState, eventEnd:
+		snap := j.snapshotLocked()
+		ev.Job = &snap
+	case eventProgress:
+		ev.Done, ev.Total = j.sweepDone, j.sweepTotal
+		if iter != nil {
+			ev.Done, ev.Total = len(j.resynIters), j.req.Resyn.MaxIters
+		}
+	}
+	kept := j.subs[:0]
+	for _, sub := range j.subs {
+		select {
+		case sub.ch <- ev:
+			if typ == eventEnd {
+				close(sub.ch)
+				sub.closed = true
+				continue
+			}
+			kept = append(kept, sub)
+		default: // consumer fell behind; disconnect it
+			close(sub.ch)
+			sub.closed = true
+		}
+	}
+	j.subs = kept
+}
+
+// emitEndLocked fires the terminal event and detaches every
+// subscriber. Callers hold m.mu.
+func (m *Manager) emitEndLocked(j *jobRecord) {
+	m.emitLocked(j, eventEnd, nil, nil)
+	j.subs = nil
+}

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// sweepRequestWithDelay returns a 6-point sweep; paired with ExecDelay
+// it runs long enough for a subscriber to attach mid-flight.
+func sweepRequestWithDelay() Request {
+	return clusterSweepRequest()
+}
+
+// TestSSEDeliversEveryIncrementExactlyOnce is the streaming acceptance
+// check: watching a sweep over /v1/jobs/{id}/events must deliver each
+// grid point exactly once — partitioned between the initial snapshot
+// (points finished before the subscriber attached) and subsequent
+// progress events — and the stream's final job must match the polled
+// snapshot.
+func TestSSEDeliversEveryIncrementExactlyOnce(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2, ExecDelay: 15 * time.Millisecond})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	req := sweepRequestWithDelay()
+	job, err := c.SubmitSweep(ctx, SweepJobSpec{
+		SynthSpec: SynthSpec{BLIF: req.BLIF},
+		Yield:     req.Yield,
+		Sweep:     req.Sweep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := len(req.Sweep.Vs)
+
+	seen := make(map[int]int) // grid index -> delivery count
+	var sawEnd bool
+	var lastSeq int64
+	final, err := c.Watch(ctx, job.ID, func(ev JobEvent) {
+		if ev.Seq <= lastSeq {
+			t.Errorf("event seq went backwards: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case "snapshot":
+			if ev.Job != nil && ev.Job.Progress != nil {
+				for _, p := range ev.Job.Progress.Points {
+					seen[p.Index]++
+				}
+			}
+		case "progress":
+			if ev.Point != nil {
+				seen[ev.Point.Index]++
+			}
+			if ev.Total != grid {
+				t.Errorf("progress total = %d, want %d", ev.Total, grid)
+			}
+		case "end":
+			sawEnd = true
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("watched job ended %s (%s)", final.State, final.Error)
+	}
+	if !sawEnd {
+		t.Fatal("stream closed without an end event")
+	}
+	for i := 0; i < grid; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("grid point %d delivered %d times, want exactly once (seen: %v)", i, seen[i], seen)
+		}
+	}
+	if len(seen) != grid {
+		t.Fatalf("delivered %d distinct points, want %d", len(seen), grid)
+	}
+
+	// The stream's final snapshot agrees with a plain poll.
+	polled, err := c.Job(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if polled.State != final.State || polled.Progress == nil || final.Progress == nil ||
+		len(polled.Progress.Points) != len(final.Progress.Points) {
+		t.Fatalf("stream final %+v disagrees with polled %+v", final, polled)
+	}
+}
+
+// TestSSETerminalJobReplaysSnapshotThenEnd pins the late-subscriber
+// contract: watching an already-finished job yields its snapshot and an
+// immediate end, never a hang.
+func TestSSETerminalJobReplaysSnapshotThenEnd(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+	c := &Client{BaseURL: srv.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	job, err := c.SubmitSynth(ctx, SynthSpec{BLIF: testBlif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WaitDone(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	var types []string
+	final, err := c.Watch(ctx, job.ID, func(ev JobEvent) { types = append(types, ev.Type) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Fatalf("final state %s", final.State)
+	}
+	if len(types) < 2 || types[0] != "snapshot" || types[len(types)-1] != "end" {
+		t.Fatalf("terminal watch events = %v, want snapshot ... end", types)
+	}
+}
+
+// TestSubscribeExactlyOnceUnderManager drives the subscription layer
+// directly (no HTTP): every progress increment of a running sweep is
+// observed exactly once across snapshot and events.
+func TestSubscribeExactlyOnceUnderManager(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2, ExecDelay: 10 * time.Millisecond})
+	req := sweepRequestWithDelay()
+	job, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, ok := m.Subscribe(job.ID)
+	if !ok {
+		t.Fatal("subscribe failed")
+	}
+	defer cancel()
+	seen := make(map[int]int)
+	for ev := range ch {
+		switch ev.Type {
+		case "snapshot":
+			if ev.Job != nil && ev.Job.Progress != nil {
+				for _, p := range ev.Job.Progress.Points {
+					seen[p.Index]++
+				}
+			}
+		case "progress":
+			if ev.Point != nil {
+				seen[ev.Point.Index]++
+			}
+		}
+	}
+	grid := len(req.Sweep.Vs)
+	for i := 0; i < grid; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("point %d seen %d times (%v)", i, seen[i], seen)
+		}
+	}
+}
+
+// TestSubscribeUnknownJob pins the miss path.
+func TestSubscribeUnknownJob(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	if _, _, ok := m.Subscribe("job-999999"); ok {
+		t.Fatal("subscribed to a job that does not exist")
+	}
+}

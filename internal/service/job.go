@@ -33,6 +33,27 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
+// Scheduling priorities. Within one tenant's queue, higher-priority jobs
+// dispatch first; across tenants the weighted-fair scheduler still
+// governs, so priority never lets one tenant crowd out another.
+const (
+	PriorityHigh   = "high"
+	PriorityNormal = "normal"
+	PriorityLow    = "low"
+)
+
+// priorityIndex maps a normalized priority to its per-tenant queue lane
+// (0 dispatches first).
+func priorityIndex(p string) int {
+	switch p {
+	case PriorityHigh:
+		return 0
+	case PriorityLow:
+		return 2
+	}
+	return 1
+}
+
 // YieldSpec configures the analysis stage of a yield job.
 type YieldSpec struct {
 	// Model selects the defect model: "weight" (default), "drift", or
@@ -217,12 +238,25 @@ type Request struct {
 	// Timeout bounds the job's wall-clock run time. Zero uses the
 	// manager's default.
 	Timeout time.Duration `json:"timeout,omitempty"`
+	// Priority orders the job within its tenant's queue: "high",
+	// "normal" (default), or "low". It never affects the result, so it
+	// is deliberately excluded from the request digest — a high-priority
+	// submission still hits the cache entry its low-priority twin filled.
+	Priority string `json:"priority,omitempty"`
 }
 
 // Normalize fills defaults and rejects malformed requests.
 func (r *Request) Normalize() error {
 	if r.BLIF == "" {
 		return fmt.Errorf("service: empty blif")
+	}
+	if r.Priority == "" {
+		r.Priority = PriorityNormal
+	}
+	switch r.Priority {
+	case PriorityHigh, PriorityNormal, PriorityLow:
+	default:
+		return fmt.Errorf("service: unknown priority %q (want high, normal, or low)", r.Priority)
 	}
 	if r.Kind == "" {
 		r.Kind = "synth"
@@ -386,8 +420,13 @@ type Result struct {
 // manager copies them out under its lock, so callers can read them
 // without further synchronization.
 type Job struct {
-	ID       string    `json:"id"`
-	Kind     string    `json:"kind,omitempty"`
+	ID   string `json:"id"`
+	Kind string `json:"kind,omitempty"`
+	// Tenant is the owning tenant (the authenticated API key's tenant,
+	// or "default" when telsd runs without -api-keys).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the job's scheduling lane within its tenant.
+	Priority string    `json:"priority,omitempty"`
 	State    State     `json:"state"`
 	Digest   string    `json:"digest"`
 	Created  time.Time `json:"created"`

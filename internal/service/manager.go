@@ -58,6 +58,24 @@ type Config struct {
 	// real compute would serialize on the machine's cores); it never
 	// enters job digests and must stay zero in production.
 	ExecDelay time.Duration
+	// Auth is the tenant/key table. Nil (or empty) is open mode: every
+	// caller acts as an admin of the default tenant, preserving the
+	// pre-tenancy behavior of a keyless telsd.
+	Auth *Auth
+	// Admission selects the scheduling policy: AdmissionFair (default)
+	// or AdmissionFIFO (the pre-tenancy single-queue baseline, kept for
+	// comparison benchmarks).
+	Admission string
+	// TenantWeight is the default weighted-fair share of a tenant that
+	// doesn't override it in the auth table (default 1).
+	TenantWeight int
+	// TenantMaxJobs caps any tenant's outstanding (queued or running)
+	// public jobs; beyond it submissions fail with ErrQuotaExceeded
+	// (0 = unlimited; per-tenant overrides in the auth table win).
+	TenantMaxJobs int
+	// TenantMaxInFlight caps any tenant's concurrently dispatched jobs;
+	// excess queued work simply waits (0 = unlimited).
+	TenantMaxInFlight int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +110,7 @@ type jobRecord struct {
 	id     string
 	req    Request
 	digest string
+	tenant string
 
 	state     State
 	created   time.Time
@@ -124,6 +143,16 @@ type jobRecord struct {
 	ctx    context.Context // cancelled by Cancel or manager shutdown
 	cancel context.CancelFunc
 	done   chan struct{} // closed when the job reaches a terminal state
+
+	// gone marks a record cancelled while queued; the admission queue
+	// skips it lazily at pop time instead of unlinking it eagerly.
+	gone atomic.Bool
+	// subs are the job's live SSE subscribers, guarded by the manager's
+	// mutex; emissions and snapshots happen under it, which is what
+	// makes the stream's exactly-once-per-increment guarantee hold.
+	subs []*subscriber
+	// eventSeq numbers the events emitted for this job (SSE ids).
+	eventSeq int64
 }
 
 // flight is one in-progress pipeline run; jobs with the same digest wait
@@ -163,7 +192,7 @@ type Manager struct {
 	closed   bool
 	draining bool // Close in progress: journal cancellations as interrupted
 
-	queue      chan *jobRecord
+	admit      *admitQueue
 	wg         sync.WaitGroup
 	coordWg    sync.WaitGroup // sweep coordinators; drained before the queue closes
 	pushWg     sync.WaitGroup // best-effort result pushes to owner peers
@@ -181,11 +210,11 @@ type Manager struct {
 // New starts a manager with its worker pool. With Config.Store set it
 // first replays the journal: terminal jobs are restored with their
 // results, the cache is warmed from disk, and the pending backlog is
-// re-enqueued in journal order. The queue is sized from the actual
-// pending list after replay — not an estimate of it — so the backlog
-// sends cannot block, and recovered sweep coordinators start only
-// after the backlog is enqueued and the workers are draining, so they
-// can never wedge startup by competing for queue slots.
+// re-enqueued in journal order — restored jobs bypass the depth bound
+// and tenant quotas (they were admitted before the restart) but still
+// register against their tenant's outstanding count, so quota
+// accounting survives recovery. Recovered sweep coordinators start
+// only after the backlog is enqueued and the workers are draining.
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -199,20 +228,14 @@ func New(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		exec:       runBounded(cfg.FsimWidth),
+		admit:      newAdmitQueue(cfg),
 	}
 	var pending []*jobRecord
 	if m.store != nil {
 		pending = m.restore(decodeBacklog(m.store))
 	}
-	depth := cfg.QueueDepth
-	if n := queueable(pending); n > depth {
-		depth = n
-	}
-	m.queue = make(chan *jobRecord, depth)
 	for _, j := range pending {
-		if j.req.Kind != "sweep" {
-			m.queue <- j // fits: depth ≥ queueable(pending)
-		}
+		m.admit.enqueueRestored(j)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
@@ -229,6 +252,9 @@ func New(cfg Config) *Manager {
 
 // Workers reports the worker-pool size.
 func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// Auth returns the tenant/key table (nil in open mode).
+func (m *Manager) Auth() *Auth { return m.cfg.Auth }
 
 // Close stops accepting jobs, cancels everything in flight, and waits for
 // the workers to drain. Sweep coordinators observe the cancellation and
@@ -247,22 +273,36 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.baseCancel()
 	m.coordWg.Wait()
-	close(m.queue)
+	m.admit.close()
 	m.wg.Wait()
 	m.pushWg.Wait()  // in-flight owner pushes observe baseCtx and stop
 	m.flushJournal() // drain-induced interrupted events reach the WAL
 }
 
-// Submit validates and enqueues a request, returning the job snapshot.
-// The digest is computed up front, so a request that doesn't parse fails
-// here rather than occupying a worker.
+// Submit validates and enqueues a request under the default tenant,
+// returning the job snapshot. It is SubmitAs with an open-mode caller;
+// in-process embedders (cmd/telsim) use it directly.
 func (m *Manager) Submit(req Request) (Job, error) {
+	return m.SubmitAs(Caller{Tenant: DefaultTenant, Admin: true}, req)
+}
+
+// SubmitAs validates and enqueues a request on behalf of a caller,
+// returning the job snapshot. The digest is computed up front, so a
+// request that doesn't parse fails here rather than occupying a
+// worker. Admission is per tenant: the caller's tenant owns the job,
+// its outstanding-job quota applies (ErrQuotaExceeded beyond it), and
+// the weighted-fair scheduler orders it against other tenants' work.
+func (m *Manager) SubmitAs(caller Caller, req Request) (Job, error) {
 	if err := req.Normalize(); err != nil {
 		return Job{}, err
 	}
 	digest, err := Digest(req)
 	if err != nil {
 		return Job{}, err
+	}
+	tenant := caller.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
 	}
 
 	defer m.flushJournal() // after the deferred unlock (LIFO)
@@ -277,6 +317,7 @@ func (m *Manager) Submit(req Request) (Job, error) {
 		id:      fmt.Sprintf("job-%06d", m.seq),
 		req:     req,
 		digest:  digest,
+		tenant:  tenant,
 		state:   StateQueued,
 		created: time.Now(),
 		ctx:     ctx,
@@ -292,16 +333,17 @@ func (m *Manager) Submit(req Request) (Job, error) {
 	if req.Kind == "sweep" {
 		// Sweep jobs don't occupy a queue slot or a worker: a dedicated
 		// coordinator fans their points into the queue, so even a
-		// single-worker pool can't be deadlocked by its own sweep.
+		// single-worker pool can't be deadlocked by its own sweep. They
+		// still hold one outstanding-job slot of their tenant's quota.
+		if err := m.admit.admitSweep(tenant); err != nil {
+			cancel()
+			return Job{}, err
+		}
 		m.coordWg.Add(1)
 		go m.runSweep(j)
-	} else {
-		select {
-		case m.queue <- j:
-		default:
-			cancel()
-			return Job{}, ErrQueueFull
-		}
+	} else if err := m.admit.enqueuePublic(j); err != nil {
+		cancel()
+		return Job{}, err
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -351,6 +393,9 @@ func (m *Manager) Cancel(id string) bool {
 	j.cancelled = true
 	j.cancel()
 	if j.state == StateQueued {
+		// Leave the record in its admission lane; pop skips gone records
+		// lazily. The terminal transition below retires its quota slot.
+		j.gone.Store(true)
 		m.finishLocked(j, nil, context.Canceled)
 	}
 	return true
@@ -385,6 +430,13 @@ func (m *Manager) MetricsSnapshot() map[string]int64 {
 	m.mu.Unlock()
 	out := m.metrics.Snapshot(perState, m.cache.Len())
 	out["fsim_width"] = int64(m.cfg.FsimWidth)
+	for name, ts := range m.admit.stats() {
+		out["tenant_"+name+"_queued"] = int64(ts.Queued)
+		out["tenant_"+name+"_running"] = int64(ts.Running)
+		out["tenant_"+name+"_outstanding"] = int64(ts.Outstanding)
+		out["tenant_"+name+"_dispatched"] = ts.Dispatched
+		out["tenant_"+name+"_quota_rejections"] = ts.QuotaRejections
+	}
 	if cl := m.cfg.Cluster; cl != nil {
 		m.metrics.addCluster(out)
 		out["cluster_peers"] = int64(cl.Size())
@@ -439,6 +491,8 @@ func (j *jobRecord) snapshotLocked() Job {
 	job := Job{
 		ID:       j.id,
 		Kind:     j.req.Kind,
+		Tenant:   j.tenant,
+		Priority: j.req.Priority,
 		State:    j.state,
 		Digest:   j.digest,
 		Created:  j.created,
@@ -477,11 +531,16 @@ func (j *jobRecord) snapshotLocked() Job {
 	return job
 }
 
-// worker drains the queue until Close.
+// worker drains the admission queue until Close.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
+	for {
+		j, ok := m.admit.pop()
+		if !ok {
+			return
+		}
 		m.runJob(j)
+		m.admit.release(j)
 	}
 }
 
@@ -502,6 +561,7 @@ func (m *Manager) runJob(j *jobRecord) {
 	}
 	if !j.internal {
 		m.journalLocked(store.Event{Type: store.EventStarted, JobID: j.id})
+		m.emitLocked(j, eventState, nil, nil)
 	}
 	m.mu.Unlock()
 	m.flushJournal()
@@ -655,7 +715,11 @@ func (m *Manager) finishLocked(j *jobRecord, res *Result, err error) {
 			m.metrics.jobsFailed.Add(1)
 		}
 	}
+	if !j.internal {
+		m.admit.finished(j.tenant)
+	}
 	m.journalFinishLocked(j)
+	m.emitEndLocked(j)
 	j.cancel() // release the context's resources
 	close(j.done)
 }

@@ -52,29 +52,11 @@ func decodeBacklog(st *store.Store) []replayedJob {
 	return out
 }
 
-// queueable counts the pending jobs that occupy a queue slot on
-// restore, so New can size the queue to hold the whole recovered
-// backlog (sweeps fan through coordinators and take no slot). It runs
-// on the pending list restore actually produced, after every
-// requeue-or-not decision (including "journal says finished but the
-// result file is gone") has been made — an up-front estimate from the
-// raw backlog could undercount and leave New's queue sends blocking
-// forever with no worker started yet.
-func queueable(pending []*jobRecord) int {
-	n := 0
-	for _, j := range pending {
-		if j.req.Kind != "sweep" {
-			n++
-		}
-	}
-	return n
-}
-
 // restore replays the decoded backlog into the job table and warms the
 // cache, returning the pending jobs in journal order. It runs from New
-// before the queue exists: the caller sizes the queue from the returned
-// list, enqueues it, and only then starts workers and recovered sweep
-// coordinators.
+// before any worker starts: the caller re-admits the returned list
+// (bypassing quotas — the jobs were admitted before the restart) and
+// only then starts workers and recovered sweep coordinators.
 func (m *Manager) restore(backlog []replayedJob) []*jobRecord {
 	start := time.Now()
 	m.warmCache()
@@ -87,6 +69,17 @@ func (m *Manager) restore(backlog []replayedJob) []*jobRecord {
 	}
 	m.storeRecoveryMS = time.Since(start).Milliseconds()
 	return pending
+}
+
+// replayTenant resolves a folded journal entry's owner. Records written
+// before the journal carried tenancy (schema v1) have an empty tenant
+// and replay under the default tenant — pinned by test, since changing
+// it would silently re-own old backlogs.
+func replayTenant(st store.JobState) string {
+	if st.Tenant == "" {
+		return DefaultTenant
+	}
+	return st.Tenant
 }
 
 // restoreJob rebuilds one journal entry: terminal states land directly
@@ -134,6 +127,7 @@ func (m *Manager) insertTerminalLocked(rj replayedJob, created time.Time, state 
 		id:       rj.st.ID,
 		req:      rj.req,
 		digest:   rj.st.Digest,
+		tenant:   replayTenant(rj.st),
 		state:    state,
 		created:  created,
 		finished: time.Unix(0, rj.st.Finished),
@@ -156,17 +150,16 @@ func (m *Manager) insertTerminalLocked(rj replayedJob, created time.Time, state 
 }
 
 // requeueLocked rebuilds a pending journal entry under its original ID
-// and returns it for New to put back into the pipeline: the queue does
-// not exist yet (it is sized from the pending list this feeds), and
-// sweep coordinators must not start before the backlog is enqueued and
-// the workers are draining, or their fan-in could steal the queue
-// slots the backlog sends rely on.
+// and returns it for New to re-admit: sweep coordinators must not
+// start before the backlog is enqueued and the workers are draining,
+// so recovered sweeps resume against a live pool.
 func (m *Manager) requeueLocked(rj replayedJob, created time.Time) *jobRecord {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := &jobRecord{
 		id:      rj.st.ID,
 		req:     rj.req,
 		digest:  rj.st.Digest,
+		tenant:  replayTenant(rj.st),
 		state:   StateQueued,
 		created: created,
 		ctx:     ctx,
@@ -282,11 +275,13 @@ func (m *Manager) journalSubmitLocked(j *jobRecord) {
 		return
 	}
 	m.journalLocked(store.Event{
-		Type:    store.EventSubmitted,
-		JobID:   j.id,
-		Kind:    j.req.Kind,
-		Digest:  j.digest,
-		Request: req,
+		Type:     store.EventSubmitted,
+		JobID:    j.id,
+		Kind:     j.req.Kind,
+		Digest:   j.digest,
+		Request:  req,
+		Tenant:   j.tenant,
+		Priority: j.req.Priority,
 	})
 }
 

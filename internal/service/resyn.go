@@ -117,6 +117,7 @@ func (m *Manager) resynRunner(j *jobRecord) func(context.Context, Request) (Resu
 				m.mu.Lock()
 				j.resynIters = append(j.resynIters, it)
 				m.journalProgressLocked(j, len(j.resynIters), req.Resyn.MaxIters)
+				m.emitLocked(j, eventProgress, nil, &it)
 				m.mu.Unlock()
 				m.flushJournal()
 			},

@@ -51,16 +51,22 @@ func pointRequest(base Request, p SweepPoint) Request {
 	return req
 }
 
-// submitInternal enqueues a coordinator sub-task. Unlike Submit, the
-// send blocks when the queue is full — the coordinator is paced by its
-// in-flight budget, not by ErrQueueFull — and aborts when ctx fires.
-// The record is invisible to the public job table.
-func (m *Manager) submitInternal(ctx context.Context, id string, req Request, digest string, run func(context.Context, Request) (Result, error)) (*jobRecord, error) {
+// submitInternal enqueues a coordinator sub-task. Unlike Submit it is
+// exempt from the depth bound and quotas — the coordinator is paced by
+// its in-flight budget, not by ErrQueueFull — but the record is
+// scheduled under its tenant, so a sweep's fan-out competes fairly
+// with other tenants' work. The record is invisible to the public job
+// table.
+func (m *Manager) submitInternal(ctx context.Context, id, tenant string, req Request, digest string, run func(context.Context, Request) (Result, error)) (*jobRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	jctx, cancel := context.WithCancel(ctx)
 	j := &jobRecord{
 		id:       id,
 		req:      req,
 		digest:   digest,
+		tenant:   tenant,
 		state:    StateQueued,
 		created:  time.Now(),
 		internal: true,
@@ -69,13 +75,8 @@ func (m *Manager) submitInternal(ctx context.Context, id string, req Request, di
 		cancel:   cancel,
 		done:     make(chan struct{}),
 	}
-	select {
-	case m.queue <- j:
-		return j, nil
-	case <-ctx.Done():
-		cancel()
-		return nil, ctx.Err()
-	}
+	m.admit.enqueueInternal(j)
+	return j, nil
 }
 
 // prefix is the per-δon shared state of a sweep: the synthesized
@@ -105,6 +106,7 @@ func (m *Manager) runSweep(j *jobRecord) {
 	points := j.req.Sweep.points(j.req)
 	j.sweepTotal = len(points)
 	j.sweepPoints = make([]*SweepPoint, len(points))
+	m.emitLocked(j, eventState, nil, nil)
 	m.mu.Unlock()
 	m.metrics.sweepPointsPlanned.Add(int64(len(points)))
 
@@ -197,7 +199,7 @@ func (m *Manager) sweepPrefixes(ctx context.Context, j *jobRecord, points []Swee
 		if err != nil {
 			return nil, err
 		}
-		rec, err := m.submitInternal(ctx, fmt.Sprintf("%s.synth-don%d", j.id, p.DeltaOn), sreq, sdigest, nil)
+		rec, err := m.submitInternal(ctx, fmt.Sprintf("%s.synth-don%d", j.id, p.DeltaOn), j.tenant, sreq, sdigest, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -282,4 +284,5 @@ func (m *Manager) recordPoint(j *jobRecord, p SweepPoint, res *Result, err error
 	j.sweepDone++
 	m.metrics.sweepPointsDone.Add(1)
 	m.journalProgressLocked(j, j.sweepDone, j.sweepTotal)
+	m.emitLocked(j, eventProgress, &sp, nil)
 }

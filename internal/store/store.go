@@ -59,6 +59,11 @@ type Event struct {
 	Kind    string          `json:"kind,omitempty"`
 	Digest  string          `json:"digest,omitempty"`
 	Request json.RawMessage `json:"request,omitempty"`
+	// Tenant and Priority ride on submitted events (journal schema v2).
+	// Records written before multi-tenancy simply lack them; the service
+	// replays such jobs under its default tenant.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
 	// Error and ErrorCode ride on failed events.
 	Error     string `json:"error,omitempty"`
 	ErrorCode string `json:"error_code,omitempty"`
@@ -76,6 +81,8 @@ type JobState struct {
 	Kind      string          `json:"kind,omitempty"`
 	Digest    string          `json:"digest,omitempty"`
 	Request   json.RawMessage `json:"request,omitempty"`
+	Tenant    string          `json:"tenant,omitempty"`
+	Priority  string          `json:"priority,omitempty"`
 	Status    EventType       `json:"status"`
 	Error     string          `json:"error,omitempty"`
 	ErrorCode string          `json:"error_code,omitempty"`
@@ -194,11 +201,21 @@ func snapName(seq uint64) string { return fmt.Sprintf("snap-%08d.json", seq) }
 
 // snapshot is the on-disk compaction format: the folded job states of
 // every journal record in segments before Seq.
+//
+// Version history: 1 = pre-tenant (JobState lacks Tenant/Priority);
+// 2 = adds Tenant/Priority. Loading accepts any version up to
+// snapshotVersion — the fields are additive, so a v1 snapshot decodes
+// with empty tenancy and the service assigns its default tenant.
+// Snapshots from a future version are skipped, falling back to an
+// older readable one (or a plain segment replay).
 type snapshot struct {
 	Version int        `json:"version"`
 	Seq     uint64     `json:"seq"`
 	Jobs    []JobState `json:"jobs"`
 }
+
+// snapshotVersion is the format written by compactLocked.
+const snapshotVersion = 2
 
 // Open creates the directory layout if needed and recovers the journal:
 // newest snapshot first, then every surviving segment in order, with a
@@ -268,6 +285,9 @@ func (s *Store) loadSnapshot() (segs []uint64, snapSeq uint64, err error) {
 		var snap snapshot
 		if json.Unmarshal(data, &snap) != nil || snap.Seq != seq {
 			continue // half-written snapshot from a crash mid-compaction
+		}
+		if snap.Version > snapshotVersion {
+			continue // written by a newer build; fall back to an older one
 		}
 		for i := range snap.Jobs {
 			j := snap.Jobs[i]
@@ -386,6 +406,7 @@ func (s *Store) foldLocked(ev Event) {
 	switch ev.Type {
 	case EventSubmitted:
 		j.Kind, j.Digest, j.Request, j.Submitted = ev.Kind, ev.Digest, ev.Request, ev.Unix
+		j.Tenant, j.Priority = ev.Tenant, ev.Priority
 		j.Status = EventSubmitted
 	case EventProgress:
 		j.Done, j.Total = ev.Done, ev.Total
@@ -492,7 +513,7 @@ func (s *Store) compactLocked() error {
 	if err := s.rotateLocked(); err != nil {
 		return err
 	}
-	snap := snapshot{Version: 1, Seq: s.segSeq, Jobs: s.jobsLocked()}
+	snap := snapshot{Version: snapshotVersion, Seq: s.segSeq, Jobs: s.jobsLocked()}
 	data, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("store: encode snapshot: %w", err)
