@@ -21,8 +21,10 @@
 //	                          and cold-start recovery time vs journal size
 //	telsbench cluster         sweep fan-out scaling across 1/2/4 in-process
 //	                          telsd peers (synthetic per-point delay)
+//	telsbench thresh          threshold-check solver portfolio: ilp vs pbsat vs
+//	                          portfolio wall-clock on the widest MCNC nodes
 //	telsbench all             everything above (except sweep, resyn, fsimwidth,
-//	                          store, cluster)
+//	                          store, cluster, thresh)
 //
 // The -quick flag shrinks the Monte-Carlo grids and skips the largest
 // benchmark (i10) for a fast smoke run. The -json flag replaces the
@@ -104,10 +106,10 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 	}
 	_ = emit
 	switch cmd {
-	case "table1", "fig10", "fig11", "fig12", "resyn", "fsimwidth", "store", "cluster", "tenants":
+	case "table1", "fig10", "fig11", "fig12", "resyn", "fsimwidth", "store", "cluster", "tenants", "thresh":
 	default:
 		if jsonOut {
-			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, resyn, fsimwidth, store, cluster, and tenants, not %q", cmd)
+			return fmt.Errorf("-json supports table1, fig10, fig11, fig12, resyn, fsimwidth, store, cluster, tenants, and thresh, not %q", cmd)
 		}
 	}
 	switch cmd {
@@ -143,6 +145,8 @@ func run(cmd string, fanin int, quick bool, trials int, seed int64, csvDir strin
 		return clusterBench(quick, jsonOut, seed, emit)
 	case "tenants":
 		return tenantsBench(quick, jsonOut, emit)
+	case "thresh":
+		return threshBench(quick, jsonOut, emit)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return table1(o, quick, false, emit) },

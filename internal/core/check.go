@@ -1,6 +1,10 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
 	"tels/internal/ilp"
 	"tels/internal/logic"
 	"tels/internal/simplex"
@@ -50,10 +54,54 @@ func CheckThreshold(tt *truth.Table, deltaOn, deltaOff int, solver *ilp.Solver) 
 // between the largest and unit weight. maxWeight ≤ 0 means unbounded.
 // Functions needing larger weights are declared non-threshold, which
 // makes the synthesizer split them into smaller gates.
+//
+// This entry point always decides with the ILP engine alone; the
+// portfolio (ILP raced against the pbsat pseudo-Boolean engine) is
+// reached through Checker.
 func CheckThresholdBounded(tt *truth.Table, deltaOn, deltaOff, maxWeight int, solver *ilp.Solver) (WeightVector, bool) {
+	c := Checker{Mode: SolverILP, ILP: *solver}
+	return c.Check(tt, deltaOn, deltaOff, maxWeight)
+}
+
+// checkSystem is the ON/OFF cube constraint system of one threshold check
+// in positive-unate form, shared by the ILP and pbsat encodings so both
+// engines decide exactly the same instance.
+type checkSystem struct {
+	n       int
+	flipped []bool       // variables substituted to reach positive-unate form
+	pos     *truth.Table // positive-unate form (canonical across phases)
+	don     int
+	doff    int
+	maxW    int
+
+	// The ON/OFF covers are by far the most expensive part of a check on
+	// wide functions (exact prime generation over 2ⁿ minterms dwarfs the
+	// solve itself), so they are derived lazily: the UNSAT-certificate
+	// cache is keyed on pos alone, and a hit never pays for them. Both
+	// portfolio goroutines may reach for the covers concurrently, hence
+	// the Once.
+	coverOnce sync.Once
+	on        []logic.Cube
+	off       []logic.Cube
+}
+
+// covers derives (once) and returns the minimal ON and OFF covers.
+func (sys *checkSystem) covers() ([]logic.Cube, []logic.Cube) {
+	sys.coverOnce.Do(func() {
+		sys.on = sys.pos.MinimalSOP().Cubes
+		sys.off = sys.pos.Not().MinimalSOP().Cubes
+	})
+	return sys.on, sys.off
+}
+
+// buildCheckSystem normalizes tt to positive-unate form and derives the
+// ON/OFF covers. ok is false for constants, binate functions, and
+// functions with dead variables — the same early-outs the checker always
+// had.
+func buildCheckSystem(tt *truth.Table, deltaOn, deltaOff, maxWeight int) (*checkSystem, bool) {
 	n := tt.N()
 	if isConst, _ := tt.IsConst(); isConst {
-		return WeightVector{}, false // constants are handled by the caller
+		return nil, false // constants are handled by the caller
 	}
 	// Positive-unate transform: flip negative-unate variables.
 	flipped := make([]bool, n)
@@ -64,21 +112,34 @@ func CheckThresholdBounded(tt *truth.Table, deltaOn, deltaOff, maxWeight int, so
 			g = g.SubstituteNeg(i)
 			flipped[i] = true
 		case truth.Binate:
-			return WeightVector{}, false // threshold functions are unate
+			return nil, false // threshold functions are unate
 		case truth.Independent:
-			return WeightVector{}, false // caller must reduce support first
+			return nil, false // caller must reduce support first
 		}
 	}
+	return &checkSystem{
+		n:       n,
+		flipped: flipped,
+		pos:     g,
+		don:     deltaOn,
+		doff:    deltaOff,
+		maxW:    maxWeight,
+	}, true
+}
 
-	onCover := g.MinimalSOP()
-	offCover := g.Not().MinimalSOP()
-
+// problem builds the simplex/ILP formulation. Row order matches the
+// original CheckThresholdBounded exactly, so branch-and-bound traversal —
+// and therefore the returned vector — is bit-identical to the historical
+// behaviour.
+func (sys *checkSystem) problem() *simplex.Problem {
+	n := sys.n
+	on, off := sys.covers()
 	// Variables 0..n-1 are the weights, n is the threshold.
 	p := &simplex.Problem{C: make([]float64, n+1)}
 	for i := range p.C {
 		p.C[i] = 1
 	}
-	for _, c := range onCover.Cubes {
+	for _, c := range on {
 		// -Σ_{lits} w + T ≤ -δon
 		row := make([]float64, n+1)
 		for i, ph := range c {
@@ -87,9 +148,9 @@ func CheckThresholdBounded(tt *truth.Table, deltaOn, deltaOff, maxWeight int, so
 			}
 		}
 		row[n] = 1
-		p.AddConstraint(row, -float64(deltaOn))
+		p.AddConstraint(row, -float64(sys.don))
 	}
-	for _, c := range offCover.Cubes {
+	for _, c := range off {
 		// Σ_{dc} w - T ≤ -δoff
 		row := make([]float64, n+1)
 		for i, ph := range c {
@@ -98,38 +159,58 @@ func CheckThresholdBounded(tt *truth.Table, deltaOn, deltaOff, maxWeight int, so
 			}
 		}
 		row[n] = -1
-		p.AddConstraint(row, -float64(deltaOff))
+		p.AddConstraint(row, -float64(sys.doff))
 	}
-	if maxWeight > 0 {
+	if sys.maxW > 0 {
 		// Bound the input weights only: the threshold is realized by the
 		// clocked driver RTD, whose sizing is independent of the input
 		// branches (a 2-input AND already needs T = δon+δoff+1).
 		for i := 0; i < n; i++ {
 			row := make([]float64, n+1)
 			row[i] = 1
-			p.AddConstraint(row, float64(maxWeight))
+			p.AddConstraint(row, float64(sys.maxW))
 		}
 	}
+	return p
+}
 
-	res := solver.Solve(p)
-	if res.Status != ilp.Optimal {
-		return WeightVector{}, false
-	}
-
-	// Map back to the original phases (§IV): a flipped variable's weight is
-	// negated and the threshold drops by the original (positive) weight.
-	weights := make([]int, n)
-	T := res.X[n]
-	for i := 0; i < n; i++ {
-		w := res.X[i]
-		if flipped[i] {
+// vector maps a positive-form solution x (weights 0..n-1, threshold at n)
+// back to the original phases (§IV): a flipped variable's weight is
+// negated and the threshold drops by the original (positive) weight.
+func (sys *checkSystem) vector(x []int) WeightVector {
+	weights := make([]int, sys.n)
+	T := x[sys.n]
+	for i := 0; i < sys.n; i++ {
+		w := x[i]
+		if sys.flipped[i] {
 			weights[i] = -w
 			T -= w
 		} else {
 			weights[i] = w
 		}
 	}
-	return WeightVector{Weights: weights, T: T}, true
+	return WeightVector{Weights: weights, T: T}
+}
+
+// digest is a canonical key of the check instance: the positive-unate
+// table bits (identical across input phase flips) plus every parameter
+// that influences the verdict. It keys the proven-UNSAT cache.
+func (sys *checkSystem) digest() [32]byte {
+	h := sha256.New()
+	var hdr [4 * 8]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(sys.n))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(sys.don)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(int64(sys.doff)))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(int64(sys.maxW)))
+	h.Write(hdr[:])
+	var w [8]byte
+	for _, word := range sys.pos.Words() {
+		binary.LittleEndian.PutUint64(w[:], word)
+		h.Write(w[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // VerifyVector checks that the weight vector realizes tt exactly under the

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
 
 // FuzzParseTLN checks that the .tln parser never panics and that accepted
 // networks round trip.
@@ -30,6 +34,50 @@ func FuzzParseTLN(f *testing.F) {
 		}
 		if len(back.Gates) != len(tn.Gates) || len(back.Inputs) != len(tn.Inputs) {
 			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzPortfolio differentially tests the pbsat engine against the ILP on
+// random unate tables: the verdicts must match, and on SAT both engines
+// must return the same minimal objective Σ|wᵢ|+T′ — in fact the identical
+// vector, since pbsat extracts through the cutoff-bounded ILP.
+func FuzzPortfolio(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(0), uint8(1), uint8(0))
+	f.Add(int64(7), uint8(5), uint8(1), uint8(2), uint8(0))
+	f.Add(int64(23), uint8(6), uint8(0), uint8(1), uint8(5))
+	f.Add(int64(-99), uint8(3), uint8(2), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, nb, donb, doffb, maxWb uint8) {
+		n := 2 + int(nb)%5 // 2..6
+		don := int(donb) % 3
+		doff := 1 + int(doffb)%2
+		maxW := int(maxWb) % 8
+		if maxW != 0 && maxW < don+doff {
+			maxW = don + doff
+		}
+		rng := rand.New(rand.NewSource(seed))
+		tt := randomUnate(rng, n)
+		if isConst, _ := tt.IsConst(); isConst {
+			return
+		}
+
+		ilpC := Checker{Mode: SolverILP, NoCache: true}
+		pbC := Checker{Mode: SolverPbsat, NoCache: true}
+		vIlp, okIlp := ilpC.Check(tt, don, doff, maxW)
+		vPb, okPb := pbC.Check(tt, don, doff, maxW)
+		if okIlp != okPb {
+			t.Fatalf("verdicts differ: ilp=%v pbsat=%v (f=%s don=%d doff=%d maxW=%d)",
+				okIlp, okPb, tt, don, doff, maxW)
+		}
+		if !okIlp {
+			return
+		}
+		if !reflect.DeepEqual(vIlp, vPb) {
+			t.Fatalf("vectors differ: ilp=%v;%d pbsat=%v;%d (f=%s)",
+				vIlp.Weights, vIlp.T, vPb.Weights, vPb.T, tt)
+		}
+		if !VerifyVector(tt, vIlp, don, doff) {
+			t.Fatalf("vector fails verification (f=%s)", tt)
 		}
 	})
 }

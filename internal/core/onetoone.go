@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"tels/internal/ilp"
 	"tels/internal/network"
 	"tels/internal/opt"
 	"tels/internal/truth"
@@ -26,7 +25,7 @@ func OneToOne(src *network.Network, o Options) (*Network, error) {
 	for _, in := range dec.Inputs {
 		out.AddInput(in.Name)
 	}
-	solver := ilp.Solver{MaxNodes: o.MaxILPNodes, Exact: o.ExactILP}
+	chk := o.Checker()
 	order, err := dec.TopoSort()
 	if err != nil {
 		return nil, err
@@ -50,7 +49,7 @@ func OneToOne(src *network.Network, o Options) (*Network, error) {
 			}
 			continue
 		}
-		vec, ok := CheckThresholdBounded(tt, don, o.DeltaOff, o.MaxWeight, &solver)
+		vec, ok := chk.Check(tt, don, o.DeltaOff, o.MaxWeight)
 		if !ok {
 			return nil, fmt.Errorf("core: one-to-one gate %s is not threshold (cover %v)", n.Name, n.Cover)
 		}

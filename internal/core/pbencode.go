@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/bits"
+
+	"tels/internal/ilp"
+	"tels/internal/logic"
+	"tels/internal/pbsat"
+	"tels/internal/simplex"
+)
+
+// This file encodes the Fig. 6 ON/OFF cube system as a pseudo-Boolean
+// satisfiability instance: each weight and the threshold are bit-blasted
+// (wᵢ = Σ 2ʲ·bᵢⱼ), each ON cube becomes Σ_{lits} wᵢ − T ≥ δon and each
+// OFF cube T − Σ_{dc} wᵢ ≥ δoff, all native linear constraints of
+// internal/pbsat. Deciding climbs a geometric objective ladder:
+//
+// For an increasing bound B the solver asks "is there a realization with
+// Σw + T ≤ B?" over a domain of bitlen(B) bits. Any solution with
+// objective ≤ B has every weight and the threshold ≤ B, so the rung's
+// domain contains ALL such solutions: a rung UNSAT rules out objective
+// ≤ B entirely (over unbounded integers), and the first SAT rung
+// contains the global optimum, which a Tighten descend loop then pins
+// down exactly — its final UNSAT-at-k*−1 proof runs over the smallest
+// domain that can express the optimum. The ladder ends at
+// Bmax = 2·n·capW, where capW is Muroga's weight bound (any threshold
+// function of n variables has an integer realization with weights
+// ≤ (n+1)^((n+1)/2)/2ⁿ, scaled by the margin c = δon+δoff) or the user
+// weight cap: every capped realization has Σw ≤ n·capW and T ≤ Σw (from
+// any ON cube), so UNSAT at Bmax is a proof of non-thresholdness.
+//
+// Climbing matters because refutation effort is exponential in domain
+// bits: small rungs are cheap to refute, and SAT instances never touch a
+// domain wider than ~4× their optimum.
+//
+// The engine proves only the verdict and k*; the canonical weight vector
+// is always extracted by the (cutoff-bounded) ILP so all solver modes
+// return identical bytes.
+
+type pbVerdict int
+
+const (
+	pbUnknown pbVerdict = iota
+	pbSat
+	pbUnsat
+)
+
+// murogaCap returns the stage-1 per-weight domain cap for an n-variable
+// positive-unate function at margin scale c: the margin-scaled Muroga
+// bound (any threshold function of n variables has an integer realization
+// with weights ≤ (n+1)^((n+1)/2)/2ⁿ; scaling a unit-margin realization by
+// c yields a margin-c one). The +1 absorbs the ceil's float error; wider
+// slack would cost a domain bit, and refutation effort is exponential in
+// domain bits.
+func murogaCap(n, c int) int64 {
+	if c < 1 {
+		c = 1
+	}
+	m := math.Pow(float64(n+1), float64(n+1)/2) / math.Pow(2, float64(n))
+	return int64(c) * (int64(math.Ceil(m)) + 1)
+}
+
+// pbEnc is one instantiated encoding.
+type pbEnc struct {
+	s     *pbsat.Solver
+	wbits [][]int // wbits[i][j]: bit j of weight i
+	tbits []int
+	obj   []pbsat.Term // Σw + T
+}
+
+// buildPBEnc encodes sys with wb bits per weight and tb threshold bits.
+// maxW > 0 additionally caps each weight (the encoding domain may be the
+// next power of two above the cap). objCap ≥ 0 installs Σw+T ≤ objCap
+// and returns its tightenable handle.
+func buildPBEnc(sys *checkSystem, wb, tb int, maxW, objCap int64) (*pbEnc, pbsat.PBRef) {
+	e := &pbEnc{s: pbsat.New()}
+	e.wbits = make([][]int, sys.n)
+	for i := range e.wbits {
+		e.wbits[i] = make([]int, wb)
+		for j := range e.wbits[i] {
+			v := e.s.NewVar()
+			e.wbits[i][j] = v
+			// Branch most-significant bits first: high bits move the cube
+			// sums in large steps, so PB propagation fixes the low bits.
+			// Without this the search degenerates (uninformed branching
+			// over a bit-blast learns near-vacuous clauses).
+			e.s.SeedActivity(v, float64(int64(1)<<uint(j)))
+		}
+	}
+	e.tbits = make([]int, tb)
+	for j := range e.tbits {
+		v := e.s.NewVar()
+		e.tbits[j] = v
+		e.s.SeedActivity(v, float64(int64(1)<<uint(j)))
+	}
+
+	weightTerms := func(i int, sign int64) []pbsat.Term {
+		ts := make([]pbsat.Term, wb)
+		for j, v := range e.wbits[i] {
+			ts[j] = pbsat.Term{Coef: sign << uint(j), Lit: pbsat.MkLit(v, false)}
+		}
+		return ts
+	}
+	tTerms := func(sign int64) []pbsat.Term {
+		ts := make([]pbsat.Term, tb)
+		for j, v := range e.tbits {
+			ts[j] = pbsat.Term{Coef: sign << uint(j), Lit: pbsat.MkLit(v, false)}
+		}
+		return ts
+	}
+
+	on, off := sys.covers()
+	// ON cubes: Σ_{lits} w − T ≥ δon.
+	for _, c := range on {
+		var terms []pbsat.Term
+		for i, ph := range c {
+			if ph == logic.Pos {
+				terms = append(terms, weightTerms(i, 1)...)
+			}
+		}
+		terms = append(terms, tTerms(-1)...)
+		e.s.AddGE(terms, int64(sys.don))
+	}
+	// OFF cubes: T − Σ_{dc} w ≥ δoff.
+	for _, c := range off {
+		terms := tTerms(1)
+		for i, ph := range c {
+			if ph == logic.DC {
+				terms = append(terms, weightTerms(i, -1)...)
+			}
+		}
+		e.s.AddGE(terms, int64(sys.doff))
+	}
+	// Per-weight cap, when it bites below the domain's power of two.
+	if maxW > 0 && maxW < (int64(1)<<uint(wb))-1 {
+		for i := 0; i < sys.n; i++ {
+			e.s.AddLE(weightTerms(i, 1), maxW)
+		}
+	}
+
+	e.obj = make([]pbsat.Term, 0, sys.n*wb+tb)
+	for i := 0; i < sys.n; i++ {
+		e.obj = append(e.obj, weightTerms(i, 1)...)
+	}
+	e.obj = append(e.obj, tTerms(1)...)
+
+	var ref pbsat.PBRef
+	if objCap >= 0 {
+		ref = e.s.AddLE(e.obj, objCap)
+	}
+	return e, ref
+}
+
+// objValue sums the objective over the last model.
+func (e *pbEnc) objValue() int64 {
+	var sum int64
+	for _, t := range e.obj {
+		if e.s.Value(t.Lit.Var()) {
+			sum += t.Coef
+		}
+	}
+	return sum
+}
+
+// solveWithin runs one Solve call against the remaining conflict budget,
+// decrementing it by the conflicts actually spent.
+func (e *pbEnc) solveWithin(ctx context.Context, budget *int64) pbsat.Status {
+	if *budget <= 0 {
+		return pbsat.Unknown
+	}
+	e.s.MaxConflicts = *budget
+	before := e.s.Conflicts()
+	st := e.s.Solve(ctx)
+	*budget -= e.s.Conflicts() - before
+	return st
+}
+
+// pbDecide runs the two-stage decision and returns the verdict with the
+// proven optimal objective k* on pbSat.
+func (c *Checker) pbDecide(ctx context.Context, sys *checkSystem) (pbVerdict, int64) {
+	budget := c.MaxConflicts
+	if budget == 0 {
+		budget = DefaultPbsatConflicts
+	}
+
+	// Root-relaxation presolve: one LP solve answers most instances
+	// outright. Rational infeasibility of the cube system implies integer
+	// infeasibility (and carries a Farkas certificate the simplex finds in
+	// one solve, while a clause-learning refutation of the bit-blast is
+	// exponential in the domain width); an integral root is a proven
+	// optimum, whose objective is exactly the k* the ladder would pin
+	// down. Only *proven* verdicts are trusted; anything else falls
+	// through to the pseudo-Boolean engine.
+	probe := c.ILP
+	probe.MaxNodes = 1
+	if res := probe.SolveContext(ctx, sys.problem()); res.Proven() {
+		if res.Status == ilp.Infeasible {
+			return pbUnsat, 0
+		}
+		return pbSat, int64(objOf(res.X))
+	}
+
+	// A fractional root still lower-bounds the integer optimum. The
+	// ladder starts at the bound — no rung below it can be satisfiable,
+	// so CDCL never has to refute one — and the descend loop stops the
+	// moment the incumbent meets it, sparing the final UNSAT-at-k*−1
+	// proof. Those counting refutations (e.g. "no AND-of-8 realization
+	// with Σw+T ≤ 20") are exactly where clause learning thrashes.
+	var lower int64
+	if lp := simplex.Solve(sys.problem()); lp.Status == simplex.Optimal {
+		lower = int64(math.Ceil(lp.Objective - 1e-9))
+	}
+
+	// The objective ladder. capW bounds the weight domain of the final
+	// rung; Bmax bounds the objective of any capW-capped realization.
+	capW := int64(sys.maxW)
+	if capW <= 0 {
+		capW = murogaCap(sys.n, sys.don+sys.doff)
+	}
+	bMax := 2 * int64(sys.n) * capW
+	b := int64(2 * (sys.n + sys.don + sys.doff)) // a unit-weight realization's scale
+	if b < lower {
+		b = lower
+	}
+	if b > bMax {
+		b = bMax
+	}
+	for {
+		wb := bits.Len64(uint64(min(b, capW)))
+		tb := bits.Len64(uint64(min(b, int64(sys.n)*((int64(1)<<uint(wb))-1))))
+		if tb == 0 {
+			tb = 1
+		}
+		enc, ref := buildPBEnc(sys, wb, tb, int64(sys.maxW), b)
+		best := int64(-1)
+	rung:
+		for {
+			switch enc.solveWithin(ctx, &budget) {
+			case pbsat.Sat:
+				best = enc.objValue()
+				if best <= lower {
+					// The incumbent meets the LP lower bound: optimal,
+					// no refutation needed.
+					return pbSat, best
+				}
+				enc.s.Tighten(ref, best-1)
+			case pbsat.Unsat:
+				if best >= 0 {
+					// The rung's domain holds every solution with
+					// objective ≤ b ≥ best, so best is the global optimum.
+					return pbSat, best
+				}
+				break rung // no realization with objective ≤ b exists
+			default:
+				return pbUnknown, 0
+			}
+		}
+		if b >= bMax {
+			return pbUnsat, 0
+		}
+		b *= 4
+		if b > bMax {
+			b = bMax
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"math/bits"
+	"testing"
+
+	"tels/internal/pbsat"
+	"tels/internal/truth"
+)
+
+// TestPBRefutationDirect drives the pseudo-Boolean engine on the raw
+// stage-1 encoding — bypassing pbDecide's root-relaxation presolve — so
+// the genuine clause-learning UNSAT path over the Muroga domain stays
+// exercised: x0·x1 + x2·x3 is unate with full support but not threshold.
+func TestPBRefutationDirect(t *testing.T) {
+	tt := truth.New(4)
+	for m := 0; m < tt.Size(); m++ {
+		tt.Set(m, (m&1 != 0 && m&2 != 0) || (m&4 != 0 && m&8 != 0))
+	}
+	sys, ok := buildCheckSystem(tt, 0, 1, 0)
+	if !ok {
+		t.Fatal("buildCheckSystem rejected a unate function")
+	}
+	capW := murogaCap(sys.n, sys.don+sys.doff)
+	wb := bits.Len64(uint64(capW))
+	tb := bits.Len64(uint64(int64(sys.n) * ((int64(1) << uint(wb)) - 1)))
+	enc, _ := buildPBEnc(sys, wb, tb, 0, -1)
+	if st := enc.s.Solve(context.Background()); st != pbsat.Unsat {
+		t.Fatalf("stage-1 refutation: got %v, want unsat (conflicts=%d)", st, enc.s.Conflicts())
+	}
+}
+
+// TestPBDecideSat drives pbDecide end to end on majority-of-3 and checks
+// the proven optimum matches the ILP objective: weights ⟨1,1,1⟩, T=2,
+// objective 5.
+func TestPBDecideSat(t *testing.T) {
+	tt := truth.New(3)
+	for m := 0; m < tt.Size(); m++ {
+		tt.Set(m, bits.OnesCount(uint(m)) >= 2)
+	}
+	sys, ok := buildCheckSystem(tt, 0, 1, 0)
+	if !ok {
+		t.Fatal("buildCheckSystem rejected majority")
+	}
+	c := Checker{Mode: SolverPbsat, NoCache: true}
+	st, k := c.pbDecide(context.Background(), sys)
+	if st != pbSat || k != 5 {
+		t.Fatalf("pbDecide = %d, k=%d; want sat with k*=5", st, k)
+	}
+}

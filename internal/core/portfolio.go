@@ -1,0 +1,369 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tels/internal/ilp"
+	"tels/internal/truth"
+)
+
+// SolverMode selects the engine behind the Fig. 6 threshold check.
+type SolverMode int
+
+// The three solver modes. The zero value is the portfolio, so an
+// unconfigured Options races both engines by default.
+const (
+	// SolverPortfolio races the simplex ILP against the pbsat
+	// pseudo-Boolean engine per node; the first proven answer wins and
+	// cancels the loser. Results are bit-identical to SolverILP whenever
+	// the ILP's §V-E budget suffices, regardless of which engine wins.
+	SolverPortfolio SolverMode = iota
+	// SolverILP is the historical simplex branch-and-bound alone.
+	SolverILP
+	// SolverPbsat decides with the pseudo-Boolean engine alone; the ILP
+	// is used only to extract the canonical weight vector once the
+	// optimal objective is proven.
+	SolverPbsat
+)
+
+func (m SolverMode) String() string {
+	switch m {
+	case SolverPortfolio:
+		return "portfolio"
+	case SolverILP:
+		return "ilp"
+	case SolverPbsat:
+		return "pbsat"
+	}
+	return fmt.Sprintf("SolverMode(%d)", int(m))
+}
+
+// ParseSolverMode parses the CLI/config spelling of a solver mode. The
+// empty string selects the portfolio default.
+func ParseSolverMode(s string) (SolverMode, error) {
+	switch s {
+	case "", "portfolio":
+		return SolverPortfolio, nil
+	case "ilp":
+		return SolverILP, nil
+	case "pbsat":
+		return SolverPbsat, nil
+	}
+	return 0, fmt.Errorf("unknown solver mode %q (want portfolio, ilp, or pbsat)", s)
+}
+
+// CheckCounters is a snapshot of the process-wide threshold-check
+// observability counters. They are deliberately not part of SynthStats:
+// stats travel inside service results, and these counters depend on race
+// timing, which must never influence result bytes.
+type CheckCounters struct {
+	// Checks counts threshold-check invocations that reached an engine
+	// or the UNSAT cache (constants/binate early-outs excluded).
+	Checks int64
+	// Races counts portfolio checks that escalated past the quick ILP
+	// probe into a two-engine race.
+	Races int64
+	// ILPWins / PbsatWins attribute each race to the engine whose proven
+	// answer arrived first.
+	ILPWins   int64
+	PbsatWins int64
+	// UnsatCacheHits counts checks answered by the proven-UNSAT cache
+	// without touching either engine.
+	UnsatCacheHits int64
+	// BudgetBailouts counts checks declared non-threshold because every
+	// engine ran out of budget (§V-E bailout; the caller splits).
+	BudgetBailouts int64
+}
+
+var checkCounters struct {
+	checks, races, ilpWins, pbsatWins, unsatHits, bailouts atomic.Int64
+}
+
+// SnapshotCheckCounters returns the current process-wide counters.
+func SnapshotCheckCounters() CheckCounters {
+	return CheckCounters{
+		Checks:         checkCounters.checks.Load(),
+		Races:          checkCounters.races.Load(),
+		ILPWins:        checkCounters.ilpWins.Load(),
+		PbsatWins:      checkCounters.pbsatWins.Load(),
+		UnsatCacheHits: checkCounters.unsatHits.Load(),
+		BudgetBailouts: checkCounters.bailouts.Load(),
+	}
+}
+
+// ResetCheckCounters zeroes the counters (tests and per-run CLI summaries).
+func ResetCheckCounters() {
+	checkCounters.checks.Store(0)
+	checkCounters.races.Store(0)
+	checkCounters.ilpWins.Store(0)
+	checkCounters.pbsatWins.Store(0)
+	checkCounters.unsatHits.Store(0)
+	checkCounters.bailouts.Store(0)
+}
+
+// unsatCache remembers proven-UNSAT check instances by the canonical
+// truth-table digest (the positive-unate form plus margins — computed
+// before the ON/OFF covers are derived, so a hit skips not only both
+// engines but also the exact prime generation that dominates wide
+// checks). Binate splits and resyn iterations re-check the same rejected
+// functions over and over, and array-style benchmarks repeat the same
+// wide slice function across outputs. Only proven verdicts enter — a
+// §V-E budget bailout is not a certificate (see ilp.Result.Proven) — so
+// a hit never changes a verdict, only the time to reach it.
+const unsatCacheCap = 1 << 16
+
+var unsatCache = struct {
+	sync.RWMutex
+	m map[[32]byte]struct{}
+}{m: make(map[[32]byte]struct{})}
+
+func unsatCacheLookup(key [32]byte) bool {
+	unsatCache.RLock()
+	_, ok := unsatCache.m[key]
+	unsatCache.RUnlock()
+	return ok
+}
+
+func unsatCacheInsert(key [32]byte) {
+	unsatCache.Lock()
+	if len(unsatCache.m) < unsatCacheCap {
+		unsatCache.m[key] = struct{}{}
+	}
+	unsatCache.Unlock()
+}
+
+// ResetUnsatCache drops every cached UNSAT certificate (tests and
+// benchmarks that must measure cold solves).
+func ResetUnsatCache() {
+	unsatCache.Lock()
+	unsatCache.m = make(map[[32]byte]struct{})
+	unsatCache.Unlock()
+}
+
+// Checker runs Fig. 6 threshold checks under a selectable engine. The
+// zero value is ready to use: portfolio mode, default ILP node budget,
+// default pbsat conflict budget, UNSAT cache on.
+type Checker struct {
+	// Mode selects the engine (default SolverPortfolio).
+	Mode SolverMode
+	// ILP configures the branch-and-bound engine (§V-E node budget,
+	// exact arithmetic).
+	ILP ilp.Solver
+	// MaxConflicts bounds the pbsat engine's total conflicts per check
+	// (0 = DefaultPbsatConflicts).
+	MaxConflicts int64
+	// NoCache bypasses the process-wide proven-UNSAT cache. Benchmarks
+	// use it to measure cold solves.
+	NoCache bool
+}
+
+// Checker builds the threshold-check engine described by the synthesis
+// knobs; internal/resyn and the synthesizer share it so the solver-mode
+// knob reaches every check.
+func (o *Options) Checker() Checker {
+	return Checker{
+		Mode: o.Solver,
+		ILP:  ilp.Solver{MaxNodes: o.MaxILPNodes, Exact: o.ExactILP},
+	}
+}
+
+// DefaultPbsatConflicts is the per-check pbsat conflict budget: the
+// pseudo-Boolean analogue of ilp.DefaultMaxNodes, far above what any
+// MCNC node needs.
+const DefaultPbsatConflicts = 1 << 18
+
+// probeNodes is the portfolio's stage-1 ILP budget. Most instances end at
+// the root relaxation — a Farkas-certified Infeasible or an integral
+// Optimal — and the rest of the realistic ones within a few dozen
+// branch-and-bound nodes; answering them inline avoids paying two
+// goroutines, a context, and a redundant root solve per check, which is
+// measurable on µs-scale checks. Only instances that genuinely thrash
+// (none in the MCNC corpus, but reachable with tight weight caps) reach
+// the race, where the probe's wasted work is small against either
+// engine's runtime.
+const probeNodes = 64
+
+// outcome of one engine dispatch.
+type checkOutcome int
+
+const (
+	outIndet checkOutcome = iota // every engine exhausted its budget
+	outSat
+	outUnsat
+)
+
+// Check decides whether tt is a threshold function under the margins and
+// weight cap, exactly like CheckThresholdBounded, using the configured
+// engine. All modes return bit-identical vectors on the same instance
+// (as long as the ILP budget suffices — see SolverPortfolio).
+func (c *Checker) Check(tt *truth.Table, deltaOn, deltaOff, maxWeight int) (WeightVector, bool) {
+	sys, ok := buildCheckSystem(tt, deltaOn, deltaOff, maxWeight)
+	if !ok {
+		return WeightVector{}, false
+	}
+	checkCounters.checks.Add(1)
+	var key [32]byte
+	if !c.NoCache {
+		key = sys.digest()
+		if unsatCacheLookup(key) {
+			checkCounters.unsatHits.Add(1)
+			return WeightVector{}, false
+		}
+	}
+	var (
+		vec WeightVector
+		out checkOutcome
+	)
+	switch c.Mode {
+	case SolverILP:
+		vec, out = c.runILP(context.Background(), sys)
+	case SolverPbsat:
+		vec, out = c.runPbsat(context.Background(), sys)
+	default:
+		vec, out = c.runPortfolio(sys)
+	}
+	switch out {
+	case outSat:
+		return vec, true
+	case outUnsat:
+		if !c.NoCache {
+			unsatCacheInsert(key)
+		}
+		return WeightVector{}, false
+	default:
+		checkCounters.bailouts.Add(1)
+		return WeightVector{}, false
+	}
+}
+
+// runILP decides with branch-and-bound alone. An Optimal verdict that hit
+// the node budget is an unproven incumbent and is treated as a §V-E
+// bailout, not a threshold realization — the two other engines could
+// find a better objective, and accepting unproven incumbents would break
+// cross-mode identity.
+func (c *Checker) runILP(ctx context.Context, sys *checkSystem) (WeightVector, checkOutcome) {
+	solver := c.ILP
+	res := solver.SolveContext(ctx, sys.problem())
+	return c.classifyILP(sys, res)
+}
+
+func (c *Checker) classifyILP(sys *checkSystem, res ilp.Result) (WeightVector, checkOutcome) {
+	switch {
+	case res.Status == ilp.Optimal && !res.LimitHit:
+		return sys.vector(res.X), outSat
+	case res.Status == ilp.Infeasible:
+		return WeightVector{}, outUnsat
+	default:
+		return WeightVector{}, outIndet
+	}
+}
+
+// runPbsat decides with the pseudo-Boolean engine, then extracts the
+// canonical vector with a cutoff-bounded ILP run so the returned weights
+// are bit-identical to what SolverILP returns on the same instance.
+func (c *Checker) runPbsat(ctx context.Context, sys *checkSystem) (WeightVector, checkOutcome) {
+	st, kstar := c.pbDecide(ctx, sys)
+	switch st {
+	case pbUnsat:
+		return WeightVector{}, outUnsat
+	case pbSat:
+		return c.extract(sys, kstar)
+	default:
+		return WeightVector{}, outIndet
+	}
+}
+
+// extract turns a proven optimal objective k* into the canonical weight
+// vector: a branch-and-bound run with cutoff k*+0.5 visits the same
+// depth-first prefix as the unbounded run (see ilp.SolveContextCutoff)
+// and therefore lands on the identical solution, while the cutoff prunes
+// the post-optimal portion of the tree. If the bounded run cannot prove
+// the solution inside the budget — or disagrees with k*, which a correct
+// pbsat engine never causes — it falls back to the plain ILP path.
+func (c *Checker) extract(sys *checkSystem, kstar int64) (WeightVector, checkOutcome) {
+	solver := c.ILP
+	res := solver.SolveContextCutoff(context.Background(), sys.problem(), float64(kstar)+0.5)
+	if res.Status == ilp.Optimal && !res.LimitHit && int64(objOf(res.X)) == kstar {
+		return sys.vector(res.X), outSat
+	}
+	return c.runILP(context.Background(), sys)
+}
+
+func objOf(x []int) int {
+	sum := 0
+	for _, v := range x {
+		sum += v
+	}
+	return sum
+}
+
+// runPortfolio is the race: a cheap inline ILP probe first, then both
+// engines concurrently under a shared context. The first proven answer
+// wins and cancels the loser. Whichever engine wins, the returned vector
+// is the one SolverILP would return, so race timing never reaches the
+// result bytes.
+func (c *Checker) runPortfolio(sys *checkSystem) (WeightVector, checkOutcome) {
+	probe := c.ILP
+	if probe.MaxNodes == 0 || probe.MaxNodes > probeNodes {
+		probe.MaxNodes = probeNodes
+	}
+	if res := probe.Solve(sys.problem()); res.Proven() {
+		return c.classifyILP(sys, res)
+	}
+
+	checkCounters.races.Add(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	type ilpMsg struct{ res ilp.Result }
+	type pbMsg struct {
+		st pbVerdict
+		k  int64
+	}
+	ilpCh := make(chan ilpMsg, 1)
+	pbCh := make(chan pbMsg, 1)
+	go func() {
+		solver := c.ILP
+		ilpCh <- ilpMsg{solver.SolveContext(ctx, sys.problem())}
+	}()
+	go func() {
+		st, k := c.pbDecide(ctx, sys)
+		pbCh <- pbMsg{st, k}
+	}()
+
+	var (
+		ilpRes   *ilp.Result
+		pbRes    *pbMsg
+		received int
+	)
+	for received < 2 {
+		select {
+		case m := <-ilpCh:
+			received++
+			ilpRes = &m.res
+			if m.res.Proven() {
+				cancel()
+				checkCounters.ilpWins.Add(1)
+				return c.classifyILP(sys, m.res)
+			}
+		case m := <-pbCh:
+			received++
+			pbRes = &m
+			if m.st != pbUnknown {
+				cancel()
+				checkCounters.pbsatWins.Add(1)
+				if m.st == pbUnsat {
+					return WeightVector{}, outUnsat
+				}
+				return c.extract(sys, m.k)
+			}
+		}
+	}
+	// Neither engine proved anything within its budget: §V-E bailout.
+	// (ilpRes/pbRes are kept for symmetry and future diagnostics.)
+	_, _ = ilpRes, pbRes
+	return WeightVector{}, outIndet
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"tels/internal/ilp"
+	"tels/internal/truth"
+)
+
+// checkAllModes runs the same instance through every solver mode with the
+// cache off and requires bit-identical answers.
+func checkAllModes(t *testing.T, tt *truth.Table, don, doff, maxW int) (WeightVector, bool) {
+	t.Helper()
+	modes := []SolverMode{SolverILP, SolverPbsat, SolverPortfolio}
+	var ref WeightVector
+	var refOK bool
+	for i, m := range modes {
+		c := Checker{Mode: m, NoCache: true}
+		v, ok := c.Check(tt, don, doff, maxW)
+		if i == 0 {
+			ref, refOK = v, ok
+			continue
+		}
+		if ok != refOK {
+			t.Fatalf("mode %v verdict %v, ilp verdict %v (f=%s don=%d doff=%d maxW=%d)",
+				m, ok, refOK, tt, don, doff, maxW)
+		}
+		if ok && !reflect.DeepEqual(v, ref) {
+			t.Fatalf("mode %v vector %v;%d, ilp vector %v;%d (f=%s)",
+				m, v.Weights, v.T, ref.Weights, ref.T, tt)
+		}
+	}
+	return ref, refOK
+}
+
+// Exhaustive cross-engine identity on every unate full-support function
+// of up to 3 variables, plus margins.
+func TestPortfolioIdentityExhaustive(t *testing.T) {
+	for n := 1; n <= 3; n++ {
+		size := 1 << uint(n)
+		for code := 0; code < 1<<uint(size); code++ {
+			tt := truth.New(n)
+			for m := 0; m < size; m++ {
+				tt.Set(m, code&(1<<uint(m)) != 0)
+			}
+			if isConst, _ := tt.IsConst(); isConst {
+				continue
+			}
+			if len(tt.Support()) != n || !tt.IsUnate() {
+				continue
+			}
+			v, ok := checkAllModes(t, tt, 0, 1, 0)
+			if ok && !VerifyVector(tt, v, 0, 1) {
+				t.Fatalf("n=%d code=%x: vector fails verification", n, code)
+			}
+		}
+	}
+}
+
+// Randomized cross-engine identity on wider functions, random margins and
+// weight caps.
+func TestPortfolioIdentityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 120; iter++ {
+		n := 3 + rng.Intn(4)
+		tt := randomUnate(rng, n)
+		if isConst, _ := tt.IsConst(); isConst {
+			continue
+		}
+		if len(tt.Support()) != n {
+			continue
+		}
+		don := rng.Intn(3)
+		doff := 1 + rng.Intn(2)
+		maxW := 0
+		if rng.Intn(3) == 0 {
+			maxW = don + doff + rng.Intn(4)
+		}
+		v, ok := checkAllModes(t, tt, don, doff, maxW)
+		if ok && !VerifyVector(tt, v, don, doff) {
+			t.Fatalf("iter %d: vector fails verification", iter)
+		}
+	}
+}
+
+// The pbsat engine alone must agree with the LP separability oracle —
+// this exercises the Muroga-capped stage-1 domain on both verdicts.
+func TestPbsatAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := Checker{Mode: SolverPbsat, NoCache: true}
+	for iter := 0; iter < 100; iter++ {
+		n := 4 + rng.Intn(3)
+		tt := randomUnate(rng, n)
+		if isConst, _ := tt.IsConst(); isConst {
+			continue
+		}
+		if len(tt.Support()) != n {
+			continue
+		}
+		want := IsThresholdLP(tt)
+		v, got := c.Check(tt, 0, 1, 0)
+		if got != want {
+			t.Fatalf("iter %d: pbsat=%v oracle=%v (f=%s)", iter, got, want, tt)
+		}
+		if got && !VerifyVector(tt, v, 0, 1) {
+			t.Fatalf("iter %d: bad vector", iter)
+		}
+	}
+}
+
+// The proven-UNSAT cache must change timing only, never verdicts, and
+// must register hits on repeated rejections.
+func TestUnsatCacheTransparent(t *testing.T) {
+	ResetUnsatCache()
+	defer ResetUnsatCache()
+
+	// x0·x1 + x2·x3 is unate with full support but not threshold.
+	n := 4
+	tt := truth.New(n)
+	for m := 0; m < tt.Size(); m++ {
+		a := m&1 != 0 && m&2 != 0
+		b := m&4 != 0 && m&8 != 0
+		tt.Set(m, a || b)
+	}
+	if IsThresholdLP(tt) {
+		t.Fatal("test function unexpectedly threshold")
+	}
+
+	before := SnapshotCheckCounters().UnsatCacheHits
+	c := Checker{Mode: SolverILP}
+	if _, ok := c.Check(tt, 0, 1, 0); ok {
+		t.Fatal("first check: expected non-threshold")
+	}
+	if _, ok := c.Check(tt, 0, 1, 0); ok {
+		t.Fatal("second check: expected non-threshold")
+	}
+	if hits := SnapshotCheckCounters().UnsatCacheHits - before; hits != 1 {
+		t.Fatalf("unsat cache hits = %d, want 1", hits)
+	}
+
+	// Different margins form a different instance: no false sharing.
+	if _, ok := c.Check(tt, 1, 1, 0); ok {
+		t.Fatal("margin variant: expected non-threshold")
+	}
+}
+
+// A tiny ILP budget must surface as a budget bailout (declared
+// non-threshold, nothing cached), never as a cached UNSAT certificate.
+func TestBudgetBailoutNotCached(t *testing.T) {
+	ResetUnsatCache()
+	defer ResetUnsatCache()
+
+	rng := rand.New(rand.NewSource(5))
+	tiny := Checker{Mode: SolverILP, ILP: ilp.Solver{MaxNodes: 1}}
+	full := Checker{Mode: SolverILP}
+	for iter := 0; iter < 300; iter++ {
+		tt := randomUnate(rng, 6)
+		if isConst, _ := tt.IsConst(); isConst {
+			continue
+		}
+		if len(tt.Support()) != 6 {
+			continue
+		}
+		// A 1-node budget bails out unless the root LP happens to be
+		// integral or infeasible; hunt for an instance where it bails.
+		before := SnapshotCheckCounters().BudgetBailouts
+		_, ok := tiny.Check(tt, 0, 1, 0)
+		if SnapshotCheckCounters().BudgetBailouts == before {
+			continue
+		}
+		if ok {
+			t.Fatal("a budget bailout must report non-threshold")
+		}
+		// The bailout must not have poisoned the UNSAT cache: with the
+		// full budget the verdict must match the LP separability oracle.
+		_, got := full.Check(tt, 0, 1, 0)
+		if want := IsThresholdLP(tt); got != want {
+			t.Fatalf("after bailout: full-budget=%v oracle=%v", got, want)
+		}
+		return
+	}
+	t.Skip("no bailout instance found in 300 trials")
+}
+
+// Portfolio race counters move, and the race path yields the ILP vector.
+func TestPortfolioCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	before := SnapshotCheckCounters()
+	c := Checker{Mode: SolverPortfolio, NoCache: true}
+	ilpc := Checker{Mode: SolverILP, NoCache: true}
+	checked := 0
+	for iter := 0; iter < 40 && checked < 20; iter++ {
+		tt := randomUnate(rng, 5)
+		if isConst, _ := tt.IsConst(); isConst {
+			continue
+		}
+		if len(tt.Support()) != 5 {
+			continue
+		}
+		checked++
+		v1, ok1 := c.Check(tt, 0, 1, 0)
+		v2, ok2 := ilpc.Check(tt, 0, 1, 0)
+		if ok1 != ok2 || (ok1 && !reflect.DeepEqual(v1, v2)) {
+			t.Fatalf("portfolio diverged from ilp on %s", tt)
+		}
+	}
+	after := SnapshotCheckCounters()
+	if after.Checks-before.Checks < int64(checked)*2 {
+		t.Fatalf("check counter did not advance: %+v -> %+v", before, after)
+	}
+	if after.Races-before.Races != after.ILPWins-before.ILPWins+after.PbsatWins-before.PbsatWins {
+		// Only races that ended with a proven winner increment a win
+		// counter; with full default budgets every race ends proven.
+		t.Fatalf("races %d != ilp wins %d + pbsat wins %d",
+			after.Races-before.Races, after.ILPWins-before.ILPWins, after.PbsatWins-before.PbsatWins)
+	}
+}
+
+func TestParseSolverMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SolverMode
+		err  bool
+	}{
+		{"", SolverPortfolio, false},
+		{"portfolio", SolverPortfolio, false},
+		{"ilp", SolverILP, false},
+		{"pbsat", SolverPbsat, false},
+		{"simplex", 0, true},
+	}
+	for _, tc := range cases {
+		got, err := ParseSolverMode(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Fatalf("ParseSolverMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	for _, m := range []SolverMode{SolverPortfolio, SolverILP, SolverPbsat} {
+		back, err := ParseSolverMode(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round trip %v failed", m)
+		}
+	}
+}

@@ -70,7 +70,7 @@ func (s *synthesizer) emitPinGate(name string, pins []pin, isAnd bool) error {
 	}
 	tt := truth.FromCover(cover)
 	s.stats.ILPCalls++
-	v, ok := CheckThresholdBounded(tt, s.don, s.o.DeltaOff, s.o.MaxWeight, &s.solver)
+	v, ok := s.chk.Check(tt, s.don, s.o.DeltaOff, s.o.MaxWeight)
 	if !ok {
 		names := make([]string, len(pins))
 		for i, p := range pins {
@@ -299,7 +299,7 @@ func (s *synthesizer) tryTheorem2(name string, base, extra logic.Cover, support 
 		return nil, false
 	}
 	s.stats.ILPCalls++
-	if _, ok := CheckThresholdBounded(baseTT, s.don, s.o.DeltaOff, s.o.MaxWeight, &s.solver); !ok {
+	if _, ok := s.chk.Check(baseTT, s.don, s.o.DeltaOff, s.o.MaxWeight); !ok {
 		return nil, false
 	}
 	s.stats.ILPFeasible++
@@ -318,7 +318,7 @@ func (s *synthesizer) tryTheorem2(name string, base, extra logic.Cover, support 
 		}
 	}
 	s.stats.ILPCalls++
-	vec, ok := CheckThresholdBounded(parent, s.don, s.o.DeltaOff, s.o.MaxWeight, &s.solver)
+	vec, ok := s.chk.Check(parent, s.don, s.o.DeltaOff, s.o.MaxWeight)
 	if !ok {
 		// Cannot happen for a genuinely new input (Theorem 2), but the
 		// extra pin may alias a base support signal; fall back.

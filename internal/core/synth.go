@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"tels/internal/ilp"
 	"tels/internal/network"
 	"tels/internal/opt"
 	"tels/internal/truth"
@@ -49,6 +48,13 @@ type Options struct {
 	// conjectures "there may also exist better partitioning heuristics";
 	// the alternatives here let that be measured.
 	Split SplitStrategy
+	// Solver selects the threshold-check engine: the default
+	// SolverPortfolio races the simplex ILP against the pbsat
+	// pseudo-Boolean solver per node, SolverILP and SolverPbsat pin one
+	// engine. Every mode returns bit-identical networks on the same
+	// input (the race only changes which engine proves the answer
+	// first), so this is a deployment knob, not a semantic one.
+	Solver SolverMode
 }
 
 // SplitStrategy selects how a non-threshold unate cover is partitioned.
@@ -163,7 +169,7 @@ func Synthesize(src *network.Network, o Options) (*Network, SynthStats, error) {
 		fanout: work.FanoutNodes(),
 		done:   make(map[string]bool),
 		rng:    rand.New(rand.NewSource(o.Seed)),
-		solver: ilp.Solver{MaxNodes: o.MaxILPNodes, Exact: o.ExactILP},
+		chk:    o.Checker(),
 	}
 	for _, in := range work.Inputs {
 		s.out.AddInput(in.Name)
@@ -198,7 +204,7 @@ type synthesizer struct {
 	done   map[string]bool
 	queue  []*network.Node
 	rng    *rand.Rand
-	solver ilp.Solver
+	chk    Checker
 	stats  SynthStats
 	serial int
 	// don is the margin of the source node currently being synthesized;
@@ -277,7 +283,7 @@ func (s *synthesizer) synthFunction(name string, tt *truth.Table, support []*net
 	// Threshold check, only meaningful within the fanin restriction.
 	if tt.N() <= s.o.Fanin {
 		s.stats.ILPCalls++
-		if v, ok := CheckThresholdBounded(tt, s.don, s.o.DeltaOff, s.o.MaxWeight, &s.solver); ok {
+		if v, ok := s.chk.Check(tt, s.don, s.o.DeltaOff, s.o.MaxWeight); ok {
 			s.stats.ILPFeasible++
 			return s.emitGate(name, v, support)
 		}

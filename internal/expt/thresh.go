@@ -1,0 +1,269 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"tels/internal/core"
+	"tels/internal/mcnc"
+	"tels/internal/opt"
+	"tels/internal/truth"
+)
+
+// This file benchmarks the threshold-check solver subsystem on real
+// synthesis workloads: the node functions of the algebraically factored
+// MCNC benchmarks, widest first, checked under the same Fig. 6 cube
+// system the synthesis core builds. Three configurations are timed per
+// benchmark:
+//
+//	ilp        Checker{Mode: ilp, NoCache} — the pre-portfolio checker:
+//	           every check pays cover construction and a fresh
+//	           branch-and-bound solve.
+//	pbsat      Checker{Mode: pbsat, NoCache} — the pseudo-Boolean engine
+//	           alone, same cold-check discipline.
+//	portfolio  the subsystem as deployed: root-LP probe, engine race, and
+//	           the UNSAT-certificate cache (reset before every timed pass,
+//	           so the speedup is earned within one pass over the workload,
+//	           exactly as one synthesis run would).
+//
+// Instances are deliberately NOT deduplicated: array-style benchmarks
+// (comparator stages, adder slices) genuinely instantiate the same wide
+// node function many times, and re-deciding those repeats is precisely
+// the per-node hot path the portfolio's certificate cache removes. Every
+// distinct instance is decided by all three configurations and the
+// verdicts and weight vectors are compared before any timing is
+// reported, so the table doubles as a bit-identity check of the
+// portfolio guarantee.
+
+// threshConfigs are the margin/cap points each instance is checked under:
+// the flow default (δon=0, δoff=1), a hardened margin (δon=1), and an
+// RTD-style weight cap.
+var threshConfigs = []struct {
+	DeltaOn, DeltaOff, MaxW int
+}{
+	{0, 1, 0},
+	{1, 1, 0},
+	{0, 1, 3},
+}
+
+// ThreshInstance is one harvested node function.
+type ThreshInstance struct {
+	Bench string
+	Node  string
+	TT    *truth.Table
+}
+
+// ThreshRow is one benchmark's per-configuration timing aggregate.
+type ThreshRow struct {
+	Benchmark string  `json:"benchmark"`
+	Nodes     int     `json:"nodes"`
+	Distinct  int     `json:"distinct"`
+	Checks    int     `json:"checks"`
+	MaxVars   int     `json:"max_vars"`
+	SatChecks int     `json:"sat_checks"`
+	ILPMS     float64 `json:"ilp_ms"`
+	PbsatMS   float64 `json:"pbsat_ms"`
+	PortMS    float64 `json:"portfolio_ms"`
+	Speedup   float64 `json:"portfolio_speedup_vs_ilp"`
+}
+
+// HarvestThreshNodes extracts the checkable node functions of a
+// benchmark's algebraically factored network: unate, full-support,
+// non-constant functions of minVars..maxVars variables (the synthesizer
+// never checks above the fanin restriction, and exact cover generation is
+// exponential in the width), widest first, at most limit of them
+// (0 = no limit). Repeated functions are kept — see the file comment.
+func HarvestThreshNodes(name string, minVars, maxVars, limit int) ([]ThreshInstance, error) {
+	bm, ok := mcnc.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown benchmark %q", name)
+	}
+	nw := opt.Algebraic(bm.Build())
+	var out []ThreshInstance
+	for _, n := range nw.InternalNodes() {
+		if len(n.Fanins) < minVars || len(n.Fanins) > maxVars {
+			continue
+		}
+		tt, err := nw.LocalFunction(n, n.Fanins)
+		if err != nil {
+			return nil, fmt.Errorf("expt: %s/%s: %w", name, n.Name, err)
+		}
+		if konst, _ := tt.IsConst(); konst {
+			continue
+		}
+		if len(tt.Support()) != tt.N() || !tt.IsUnate() {
+			continue
+		}
+		out = append(out, ThreshInstance{Bench: name, Node: n.Name, TT: tt})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TT.N() > out[j].TT.N() })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+// threshPass times iters full checking passes over the instances and
+// returns the mean per-pass wall clock. Portfolio mode keeps the deployed
+// cache semantics, but the cache is emptied at the top of every pass, so
+// each iteration is one cold synthesis-run equivalent — repetition only
+// stretches the timed region (sub-millisecond benchmarks would otherwise
+// drown in scheduler noise), it never lets certificates leak across
+// passes.
+func threshPass(mode core.SolverMode, insts []ThreshInstance, iters int) time.Duration {
+	if iters < 1 {
+		iters = 1
+	}
+	t0 := time.Now()
+	for it := 0; it < iters; it++ {
+		core.ResetUnsatCache()
+		chk := &core.Checker{Mode: mode, NoCache: mode != core.SolverPortfolio}
+		for _, inst := range insts {
+			for _, cfg := range threshConfigs {
+				chk.Check(inst.TT, cfg.DeltaOn, cfg.DeltaOff, cfg.MaxW)
+			}
+		}
+	}
+	return time.Since(t0) / time.Duration(iters)
+}
+
+// minTimedRegion is the floor a single timing sample is stretched to by
+// pass repetition.
+const minTimedRegion = 50 * time.Millisecond
+
+// ThreshBench decides every harvested instance of the named benchmarks
+// under each solver configuration and reports per-benchmark wall-clock
+// totals. Identity first: for each (instance, config) the three
+// configurations' verdicts and weight vectors are compared, and a
+// mismatch aborts the run. Timing second: per configuration, the total
+// time of a full pass over the benchmark's instances, minimised over
+// reps passes to shed scheduler noise.
+func ThreshBench(names []string, minVars, maxVars, limit, reps int) ([]ThreshRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	modes := []core.SolverMode{core.SolverILP, core.SolverPbsat, core.SolverPortfolio}
+	rows := make([]ThreshRow, 0, len(names))
+	for _, name := range names {
+		insts, err := HarvestThreshNodes(name, minVars, maxVars, limit)
+		if err != nil {
+			return nil, err
+		}
+		if len(insts) == 0 {
+			continue
+		}
+		row := ThreshRow{Benchmark: name, Nodes: len(insts)}
+		distinct := make(map[string]bool)
+		for _, inst := range insts {
+			if n := inst.TT.N(); n > row.MaxVars {
+				row.MaxVars = n
+			}
+			distinct[inst.TT.String()] = true
+		}
+		row.Distinct = len(distinct)
+
+		// Bit-identity gate. Each mode runs cold (no cache) here: the
+		// guarantee under test is that the engines themselves agree.
+		for _, inst := range insts {
+			for _, cfg := range threshConfigs {
+				row.Checks++
+				var refVec core.WeightVector
+				var refOK bool
+				for mi, m := range modes {
+					chk := &core.Checker{Mode: m, NoCache: true}
+					vec, ok := chk.Check(inst.TT, cfg.DeltaOn, cfg.DeltaOff, cfg.MaxW)
+					if mi == 0 {
+						refVec, refOK = vec, ok
+						if ok {
+							row.SatChecks++
+						}
+						continue
+					}
+					if ok != refOK || !sameVector(vec, refVec) {
+						return nil, fmt.Errorf("expt: %s/%s δon=%d δoff=%d maxW=%d: solver %s disagrees with %s (ok %v vs %v, vector %v vs %v)",
+							inst.Bench, inst.Node, cfg.DeltaOn, cfg.DeltaOff, cfg.MaxW,
+							m, modes[0], ok, refOK, vec, refVec)
+					}
+				}
+			}
+		}
+
+		// Timing passes. One calibration pass sizes the repetition count
+		// so every sample spans at least minTimedRegion; the same count is
+		// used for all modes so they share the measurement discipline.
+		iters := 1
+		if calib := threshPass(core.SolverILP, insts, 1); calib < minTimedRegion {
+			iters = int(minTimedRegion/calib) + 1
+			if iters > 64 {
+				iters = 64
+			}
+		}
+		best := map[core.SolverMode]time.Duration{}
+		for rep := 0; rep < reps; rep++ {
+			for _, m := range modes {
+				elapsed := threshPass(m, insts, iters)
+				if cur, ok := best[m]; !ok || elapsed < cur {
+					best[m] = elapsed
+				}
+			}
+		}
+		row.ILPMS = float64(best[core.SolverILP].Microseconds()) / 1000
+		row.PbsatMS = float64(best[core.SolverPbsat].Microseconds()) / 1000
+		row.PortMS = float64(best[core.SolverPortfolio].Microseconds()) / 1000
+		if row.PortMS > 0 {
+			row.Speedup = row.ILPMS / row.PortMS
+		}
+		rows = append(rows, row)
+	}
+	core.ResetUnsatCache()
+	return rows, nil
+}
+
+// sameVector compares weight vectors componentwise.
+func sameVector(a, b core.WeightVector) bool {
+	if a.T != b.T || len(a.Weights) != len(b.Weights) {
+		return false
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderThreshBench formats the solver-portfolio timing table.
+func RenderThreshBench(rows []ThreshRow) string {
+	var b strings.Builder
+	b.WriteString("threshold-check solver portfolio — widest MCNC node functions\n")
+	b.WriteString("(per benchmark: one full checking pass, best of reps; ilp/pbsat run cold\n")
+	b.WriteString(" per check, portfolio races engines and keeps its UNSAT-certificate cache)\n\n")
+	fmt.Fprintf(&b, "%-10s | %5s %4s %6s %4s %4s | %9s %9s %9s | %7s\n",
+		"bench", "nodes", "uniq", "checks", "maxN", "sat", "ilp ms", "pbsat ms", "port ms", "vs ilp")
+	fmt.Fprintln(&b, "-------------------------------------------------------------------------------------")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s | %5d %4d %6d %4d %4d | %9.2f %9.2f %9.2f | %6.2fx\n",
+			r.Benchmark, r.Nodes, r.Distinct, r.Checks, r.MaxVars, r.SatChecks,
+			r.ILPMS, r.PbsatMS, r.PortMS, r.Speedup)
+	}
+	b.WriteString("\n(verdicts and weight vectors verified identical across all modes before timing)\n")
+	return b.String()
+}
+
+// WriteThreshBenchCSV emits the table in plottable form.
+func WriteThreshBenchCSV(w io.Writer, rows []ThreshRow) error {
+	if _, err := fmt.Fprintln(w, "benchmark,nodes,distinct,checks,max_vars,sat_checks,ilp_ms,pbsat_ms,portfolio_ms,portfolio_speedup_vs_ilp"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d,%g,%g,%g,%g\n",
+			r.Benchmark, r.Nodes, r.Distinct, r.Checks, r.MaxVars, r.SatChecks,
+			r.ILPMS, r.PbsatMS, r.PortMS, r.Speedup); err != nil {
+			return err
+		}
+	}
+	return nil
+}

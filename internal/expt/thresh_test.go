@@ -1,0 +1,107 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"tels/internal/core"
+	"tels/internal/mcnc"
+	"tels/internal/opt"
+)
+
+// TestSolverModesSynthesizeIdentically pins the portfolio's central
+// guarantee at the whole-flow level: synthesizing any MCNC benchmark with
+// the threshold checks decided by the ILP alone, the pbsat engine alone,
+// or the deployed race produces byte-identical networks. The solver knob
+// is deployment configuration — it may change how fast an answer arrives,
+// never which answer.
+func TestSolverModesSynthesizeIdentically(t *testing.T) {
+	modes := []core.SolverMode{core.SolverILP, core.SolverPbsat, core.SolverPortfolio}
+	for _, bm := range mcnc.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			if testing.Short() && bm.Name == "i10" {
+				t.Skip("large benchmark skipped in -short mode")
+			}
+			alg := opt.Algebraic(bm.Build())
+			var refTLN string
+			var refArea int
+			for mi, m := range modes {
+				o := core.DefaultOptions()
+				o.Solver = m
+				tn, _, err := core.Synthesize(alg, o)
+				if err != nil {
+					t.Fatalf("solver %s: %v", m, err)
+				}
+				var sb strings.Builder
+				if err := core.WriteTLN(&sb, tn); err != nil {
+					t.Fatalf("solver %s: %v", m, err)
+				}
+				if mi == 0 {
+					refTLN, refArea = sb.String(), tn.Area()
+					continue
+				}
+				if tn.Area() != refArea || sb.String() != refTLN {
+					t.Fatalf("solver %s network differs from %s (area %d vs %d)",
+						m, modes[0], tn.Area(), refArea)
+				}
+			}
+		})
+	}
+}
+
+// TestThreshBenchQuick exercises the benchmark harness end to end on one
+// small benchmark, including its internal cross-mode identity gate.
+func TestThreshBenchQuick(t *testing.T) {
+	rows, err := ThreshBench([]string{"comp4"}, 6, 10, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Benchmark != "comp4" || r.Nodes == 0 || r.Checks != r.Nodes*len(threshConfigs) {
+		t.Fatalf("malformed row: %+v", r)
+	}
+	if r.ILPMS <= 0 || r.PbsatMS <= 0 || r.PortMS <= 0 {
+		t.Fatalf("missing timings: %+v", r)
+	}
+	var sb strings.Builder
+	if err := WriteThreshBenchCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "comp4") {
+		t.Fatalf("CSV missing row:\n%s", sb.String())
+	}
+	if !strings.Contains(RenderThreshBench(rows), "comp4") {
+		t.Fatal("rendered table missing row")
+	}
+}
+
+// TestHarvestThreshNodes checks the harvest filters: width window
+// honoured, widest first, limit applied, repeats kept.
+func TestHarvestThreshNodes(t *testing.T) {
+	insts, err := HarvestThreshNodes("i10", 6, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) < 2 {
+		t.Fatalf("harvested %d instances, want several", len(insts))
+	}
+	for i, inst := range insts {
+		if n := inst.TT.N(); n < 6 || n > 10 {
+			t.Fatalf("instance %d has %d vars, outside [6,10]", i, n)
+		}
+		if i > 0 && inst.TT.N() > insts[i-1].TT.N() {
+			t.Fatal("instances not sorted widest first")
+		}
+	}
+	capped, err := HarvestThreshNodes("i10", 6, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 3 {
+		t.Fatalf("limit 3 returned %d instances", len(capped))
+	}
+}

@@ -5,12 +5,16 @@
 // returning the one minimizing total weight plus threshold.
 //
 // Mirroring the behaviour the paper describes in §V-E, the solver takes a
-// node budget; when the budget is exhausted it reports Limit, which the
-// synthesizer treats exactly like infeasibility (the function is split
-// into smaller pieces instead).
+// node budget; when the budget is exhausted it reports Limit. Budget
+// exhaustion is distinct from proven infeasibility: Infeasible means the
+// whole branch-and-bound tree was explored and no integer solution
+// exists, while Limit (or Result.LimitHit on an Optimal result) means
+// parts of the tree were never visited. Callers that cache "not a
+// threshold function" verdicts must only do so on Infeasible.
 package ilp
 
 import (
+	"context"
 	"math"
 
 	"tels/internal/simplex"
@@ -21,10 +25,10 @@ type Status int
 
 // Solve outcomes.
 const (
-	Optimal    Status = iota // integer optimum found
-	Infeasible               // no integer solution exists
+	Optimal    Status = iota // integer optimum found (see Result.LimitHit)
+	Infeasible               // no integer solution exists — the tree was exhausted
 	Unbounded                // relaxation unbounded below
-	Limit                    // node or iteration budget exhausted
+	Limit                    // budget exhausted (or context cancelled) before any solution
 )
 
 func (s Status) String() string {
@@ -47,6 +51,18 @@ type Result struct {
 	X         []int // integer solution (valid when Status == Optimal)
 	Objective float64
 	Nodes     int // branch-and-bound nodes explored
+	// LimitHit reports that the node budget ran out (or the context was
+	// cancelled) before the tree was exhausted. An Optimal result with
+	// LimitHit set is an incumbent, not a proven optimum; an Infeasible
+	// status is never reported with LimitHit (unproven infeasibility is
+	// Limit instead).
+	LimitHit bool
+}
+
+// Proven reports whether the result is a complete verdict: a true optimum
+// or a genuine infeasibility, as opposed to a §V-E budget bailout.
+func (r Result) Proven() bool {
+	return (r.Status == Optimal || r.Status == Infeasible) && !r.LimitHit
 }
 
 // Solver carries the branch-and-bound configuration.
@@ -68,25 +84,48 @@ const intTol = 1e-6
 
 // Solve minimizes p.C·x subject to p.A x ≤ p.B, x ≥ 0, x integer.
 func (s *Solver) Solve(p *simplex.Problem) Result {
+	return s.SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve with cooperative cancellation: when ctx is
+// cancelled mid-search the solver stops at the next node and reports the
+// partial outcome with LimitHit set (the portfolio racer uses this to
+// cancel the losing engine).
+func (s *Solver) SolveContext(ctx context.Context, p *simplex.Problem) Result {
+	return s.SolveContextCutoff(ctx, p, math.Inf(1))
+}
+
+// SolveContextCutoff is SolveContext with an externally-supplied objective
+// cutoff: only solutions with objective strictly below cutoff are
+// accepted, and subtrees whose relaxation bound reaches it are pruned.
+// When the true optimum k* is known (e.g. proven by another engine),
+// calling with cutoff = k*+0.5 returns exactly the solution the unbounded
+// solve would have returned — the depth-first traversal up to the first
+// optimal incumbent is identical, because pruned subtrees can only
+// contain solutions with objective > k* and intermediate incumbents are
+// integral (so every pre-optimal acceptance threshold in both runs
+// exceeds k*) — while exploring no more nodes, usually far fewer.
+func (s *Solver) SolveContextCutoff(ctx context.Context, p *simplex.Problem, cutoff float64) Result {
 	maxNodes := s.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = DefaultMaxNodes
 	}
 	b := &bnb{
-		best:     math.Inf(1),
+		best:     cutoff,
 		maxNodes: maxNodes,
 		exact:    s.Exact,
+		done:     ctx.Done(),
 	}
 	b.explore(p)
 	switch {
 	case b.hitLimit && b.bestX == nil:
-		return Result{Status: Limit, Nodes: b.nodes}
+		return Result{Status: Limit, Nodes: b.nodes, LimitHit: true}
 	case b.unbounded:
 		return Result{Status: Unbounded, Nodes: b.nodes}
 	case b.bestX == nil:
 		return Result{Status: Infeasible, Nodes: b.nodes}
 	default:
-		return Result{Status: Optimal, X: b.bestX, Objective: b.best, Nodes: b.nodes}
+		return Result{Status: Optimal, X: b.bestX, Objective: b.best, Nodes: b.nodes, LimitHit: b.hitLimit}
 	}
 }
 
@@ -98,12 +137,24 @@ type bnb struct {
 	hitLimit  bool
 	unbounded bool
 	exact     bool
+	done      <-chan struct{}
 }
 
 func (b *bnb) explore(p *simplex.Problem) {
 	if b.nodes >= b.maxNodes {
 		b.hitLimit = true
 		return
+	}
+	// Cancellation check every few nodes: a select per node is cheap
+	// relative to one simplex solve, and a cancelled racer must release
+	// its CPU quickly.
+	if b.nodes&7 == 0 && b.done != nil {
+		select {
+		case <-b.done:
+			b.hitLimit = true
+			return
+		default:
+		}
 	}
 	b.nodes++
 	var res simplex.Result

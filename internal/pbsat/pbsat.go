@@ -1,0 +1,874 @@
+// Package pbsat implements a small CDCL satisfiability solver with native
+// linear pseudo-Boolean constraints, in the style of Pueblo/Sat4j's hybrid
+// engines: constraints of the form Σ aᵢ·ℓᵢ ≥ b (aᵢ > 0, ℓᵢ literals) are
+// propagated directly with an incremental watched-sum (counter) scheme,
+// while conflict analysis derives ordinary clauses from PB reasons
+// (1-UIP over greedily reduced reason sets), so the learned database is
+// plain clauses under two-watched-literal propagation. Branching is
+// activity-driven (VSIDS with deterministic index tie-breaks), phases are
+// saved, and restarts follow the Luby sequence.
+//
+// The solver is deliberately deterministic: identical constraint systems
+// always produce identical models, which the threshold-check portfolio in
+// internal/core relies on for bit-identical synthesis output.
+//
+// Monotone strengthening is supported natively: AddLE returns a handle
+// whose bound may only be tightened, which keeps every learned clause
+// sound across re-solves. This is the engine behind the objective-bounding
+// loop (minimize Σwᵢ+T by iteratively lowering an upper-bound constraint)
+// and the lexicographic weight minimization used by the portfolio.
+package pbsat
+
+import (
+	"context"
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: variable index v with sign, encoded as 2v (positive)
+// or 2v+1 (negated).
+type Lit int32
+
+// MkLit builds the literal of variable v, negated when neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 != 0 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("¬x%d", l.Var())
+	}
+	return fmt.Sprintf("x%d", l.Var())
+}
+
+// Term is one addend of a pseudo-Boolean constraint: Coef·Lit with the
+// literal valued 1 when true.
+type Term struct {
+	Coef int64
+	Lit  Lit
+}
+
+// Status reports the outcome of a Solve call.
+type Status int
+
+// Solve outcomes.
+const (
+	Unknown Status = iota // budget exhausted or context cancelled
+	Sat                   // satisfying assignment found (see Value)
+	Unsat                 // proven unsatisfiable
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	case Unknown:
+		return "unknown"
+	}
+	return "invalid"
+}
+
+// DefaultMaxConflicts bounds one Solve call when Solver.MaxConflicts is
+// zero. Threshold-check systems are tiny; the ceiling only guards against
+// pathological instances, mirroring the ILP's §V-E node budget.
+const DefaultMaxConflicts = 1 << 20
+
+const (
+	lUndef int8 = 0
+	lTrue  int8 = 1
+	lFalse int8 = -1
+)
+
+// reason encoding: -1 = decision/none, even = clause index*2,
+// odd = pb index*2+1.
+const reasonNone int32 = -1
+
+func clauseReason(i int) int32 { return int32(i << 1) }
+func pbReasonRef(i int) int32  { return int32(i<<1 | 1) }
+
+type clause struct {
+	lits []Lit
+	act  float64
+	// learned clauses are eligible for database reduction
+	learned bool
+}
+
+type pbConstraint struct {
+	terms []Term // positive coefficients, distinct vars, sorted by Coef desc
+	bound int64  // Σ terms ≥ bound
+	slack int64  // Σ_{lit not false} Coef − bound, maintained incrementally
+	total int64  // Σ Coef (fixed; used by Tighten to recompute)
+}
+
+type pbOcc struct {
+	idx  int32 // constraint index
+	coef int64
+}
+
+// PBRef identifies a tightenable constraint added with AddLE.
+type PBRef struct {
+	idx   int32
+	total int64 // Σ coefs of the original LE terms
+}
+
+// Solver is a CDCL solver over clauses and linear PB constraints.
+type Solver struct {
+	// MaxConflicts bounds the conflicts of one Solve call; zero selects
+	// DefaultMaxConflicts.
+	MaxConflicts int64
+
+	nVars    int
+	assigns  []int8 // per var
+	phase    []bool // saved phase (true = assign true first)
+	level    []int32
+	reason   []int32
+	trailPos []int32
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	clauses []*clause
+	watches [][]int32 // per literal l: clause indices watching l
+
+	pbs   []*pbConstraint
+	pbOcc [][]pbOcc // per literal l: PB constraints where assigning l falsifies a term
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+
+	ok        bool
+	conflicts int64
+	seen      []bool // scratch for analyze
+
+	model []int8 // assignment snapshot of the last Sat answer
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	return &Solver{ok: true, varInc: 1, claInc: 1}
+}
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := s.nVars
+	s.nVars++
+	s.assigns = append(s.assigns, lUndef)
+	s.phase = append(s.phase, false)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, reasonNone)
+	s.trailPos = append(s.trailPos, -1)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.pbOcc = append(s.pbOcc, nil, nil)
+	return v
+}
+
+// SeedActivity initializes a variable's branching activity. Callers use
+// it to impose a structural branching order — most-significant bits first
+// in arithmetic bit-blast encodings, where uninformed branching makes
+// clause learning degenerate — and conflict-driven bumping adapts from
+// that starting point.
+func (s *Solver) SeedActivity(v int, act float64) {
+	s.activity[v] = act
+}
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assigns[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		return -v
+	}
+	return v
+}
+
+// Value reports the last Sat model's value of variable v.
+func (s *Solver) Value(v int) bool {
+	return s.model != nil && s.model[v] == lTrue
+}
+
+// Okay reports whether the system is still possibly satisfiable (false
+// once a top-level conflict proved it unsatisfiable).
+func (s *Solver) Okay() bool { return s.ok }
+
+// Conflicts returns the total conflicts across all Solve calls — callers
+// running a descend loop use it to spread one budget over many solves.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// AddClause adds a disjunction of literals.
+func (s *Solver) AddClause(lits ...Lit) {
+	if !s.ok {
+		return
+	}
+	s.backtrackTo(0)
+	// Remove duplicates and satisfied/false literals at level 0.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return // already satisfied forever (level 0)
+		case lFalse:
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+			}
+			if o == l.Not() {
+				return // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+	case 1:
+		if !s.enqueue(out[0], reasonNone) {
+			s.ok = false
+		}
+	default:
+		s.attachClause(&clause{lits: out})
+	}
+}
+
+func (s *Solver) attachClause(c *clause) int {
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], int32(idx))
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], int32(idx))
+	return idx
+}
+
+// AddGE adds the constraint Σ terms ≥ bound. Terms may repeat variables or
+// carry nonpositive coefficients; the constraint is normalized to positive
+// coefficients over distinct variables first.
+func (s *Solver) AddGE(terms []Term, bound int64) {
+	s.addPB(terms, bound)
+}
+
+// AddLE adds Σ terms ≤ k (terms must have positive coefficients over
+// distinct variables) and returns a handle whose bound may later be
+// tightened downward with Tighten. Internally the constraint is
+// Σ aᵢ·¬ℓᵢ ≥ Σa − k; it is materialized even when trivially true at k so
+// that Tighten always has a constraint to strengthen.
+func (s *Solver) AddLE(terms []Term, k int64) PBRef {
+	if !s.ok {
+		return PBRef{idx: -1}
+	}
+	s.backtrackTo(0)
+	var total int64
+	neg := make([]Term, len(terms))
+	for i, t := range terms {
+		if t.Coef <= 0 {
+			panic("pbsat: AddLE term with nonpositive coefficient")
+		}
+		total += t.Coef
+		neg[i] = Term{Coef: t.Coef, Lit: t.Lit.Not()}
+	}
+	sort.Slice(neg, func(i, j int) bool {
+		if neg[i].Coef != neg[j].Coef {
+			return neg[i].Coef > neg[j].Coef
+		}
+		return neg[i].Lit < neg[j].Lit
+	})
+	bound := total - k // may be ≤ 0: dormant until tightened
+	c := &pbConstraint{terms: neg, bound: bound, total: total}
+	idx := len(s.pbs)
+	s.pbs = append(s.pbs, c)
+	slack := -bound
+	for _, t := range neg {
+		if s.value(t.Lit) != lFalse {
+			slack += t.Coef
+		}
+		fl := t.Lit.Not()
+		s.pbOcc[fl] = append(s.pbOcc[fl], pbOcc{idx: int32(idx), coef: t.Coef})
+	}
+	c.slack = slack
+	if slack < 0 {
+		s.ok = false
+	} else if !s.propagatePB(idx) {
+		s.ok = false
+	}
+	return PBRef{idx: int32(idx), total: total}
+}
+
+// Tighten lowers the LE constraint's right-hand side to k (which must not
+// exceed the current bound). The solver backtracks to the root level; any
+// clause learned before the call remains sound because tightening only
+// strengthens the system.
+func (s *Solver) Tighten(ref PBRef, k int64) {
+	if !s.ok {
+		return
+	}
+	if ref.idx < 0 {
+		// Constraint was trivially true at add time and never materialized;
+		// re-add it at the new bound.
+		panic("pbsat: Tighten on unmaterialized constraint")
+	}
+	s.backtrackTo(0)
+	c := s.pbs[ref.idx]
+	nb := ref.total - k
+	if nb < c.bound {
+		panic("pbsat: Tighten must strengthen the bound")
+	}
+	c.bound = nb
+	// Recompute slack against the level-0 assignment and re-propagate.
+	slack := -nb
+	for _, t := range c.terms {
+		if s.value(t.Lit) != lFalse {
+			slack += t.Coef
+		}
+	}
+	c.slack = slack
+	if slack < 0 {
+		s.ok = false
+		return
+	}
+	if !s.propagatePB(int(ref.idx)) {
+		s.ok = false
+	}
+}
+
+// addPB normalizes and installs a PB constraint, returning its index or -1
+// when it is trivially satisfied. A trivially false constraint marks the
+// solver unsatisfiable.
+func (s *Solver) addPB(terms []Term, bound int64) int {
+	if !s.ok {
+		return -1
+	}
+	s.backtrackTo(0)
+	// Normalize: fold coefficients per variable (a·x − b·¬x forms).
+	perVar := make(map[int]int64, len(terms))
+	for _, t := range terms {
+		if t.Coef == 0 {
+			continue
+		}
+		coef := t.Coef
+		if t.Lit.Sign() {
+			// a·¬x = a − a·x
+			bound -= coef
+			coef = -coef
+		}
+		perVar[t.Lit.Var()] += coef
+	}
+	norm := make([]Term, 0, len(perVar))
+	for v, a := range perVar {
+		switch {
+		case a > 0:
+			norm = append(norm, Term{Coef: a, Lit: MkLit(v, false)})
+		case a < 0:
+			// −a·x = −a·(1−¬x): move to the negated literal.
+			bound += -a
+			norm = append(norm, Term{Coef: -a, Lit: MkLit(v, true)})
+		}
+	}
+	if bound <= 0 {
+		return -1 // trivially true
+	}
+	// Saturate coefficients at the bound and apply the level-0 assignment.
+	var total int64
+	for i := range norm {
+		if norm[i].Coef > bound {
+			norm[i].Coef = bound
+		}
+		total += norm[i].Coef
+	}
+	if total < bound {
+		s.ok = false
+		return -1
+	}
+	sort.Slice(norm, func(i, j int) bool {
+		if norm[i].Coef != norm[j].Coef {
+			return norm[i].Coef > norm[j].Coef
+		}
+		return norm[i].Lit < norm[j].Lit
+	})
+	c := &pbConstraint{terms: norm, bound: bound, total: total}
+	idx := len(s.pbs)
+	s.pbs = append(s.pbs, c)
+	slack := -bound
+	for _, t := range norm {
+		if s.value(t.Lit) != lFalse {
+			slack += t.Coef
+		}
+		// Assigning ¬t.Lit true falsifies the term.
+		fl := t.Lit.Not()
+		s.pbOcc[fl] = append(s.pbOcc[fl], pbOcc{idx: int32(idx), coef: t.Coef})
+	}
+	c.slack = slack
+	if slack < 0 {
+		s.ok = false
+		return idx
+	}
+	if !s.propagatePB(idx) {
+		s.ok = false
+	}
+	return idx
+}
+
+// enqueue assigns a literal true with the given reason. Returns false on
+// an immediate value conflict.
+func (s *Solver) enqueue(l Lit, from int32) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trailPos[v] = int32(len(s.trail))
+	s.trail = append(s.trail, l)
+	// Update PB slacks eagerly at assignment time, mirroring the
+	// unconditional restore in backtrackTo — conflict detection and
+	// propagation happen later when the literal is processed off the
+	// queue, but the counters must always reflect the full trail (the
+	// trail can hold enqueued-but-unprocessed literals at a conflict).
+	for _, occ := range s.pbOcc[l] {
+		s.pbs[occ.idx].slack -= occ.coef
+	}
+	return true
+}
+
+// propagate processes the assignment queue; it returns the reason
+// reference of a conflicting constraint, or reasonNone.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+
+		// PB constraints containing a term falsified by p (their slacks
+		// were already decremented when p was enqueued).
+		for _, occ := range s.pbOcc[p] {
+			c := s.pbs[occ.idx]
+			if c.slack < 0 {
+				return pbReasonRef(int(occ.idx))
+			}
+			if !s.propagatePB(int(occ.idx)) {
+				return pbReasonRef(int(occ.idx))
+			}
+		}
+
+		// Clauses watching ¬p (p became true, so ¬p became false).
+		np := p.Not()
+		ws := s.watches[np]
+		out := ws[:0]
+		var conflict int32 = reasonNone
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			c := s.clauses[ci]
+			// Ensure the false literal is at position 1.
+			if c.lits[0] == np {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				out = append(out, ci)
+				continue
+			}
+			// Look for a new literal to watch.
+			moved := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Unit or conflicting.
+			out = append(out, ci)
+			if !s.enqueue(c.lits[0], clauseReason(int(ci))) {
+				conflict = clauseReason(int(ci))
+				// keep remaining watches intact
+				out = append(out, ws[wi+1:]...)
+				break
+			}
+		}
+		s.watches[np] = out
+		if conflict != reasonNone {
+			return conflict
+		}
+	}
+	return reasonNone
+}
+
+// propagatePB enqueues every literal forced by the constraint's current
+// slack. Terms are sorted by descending coefficient, so the scan stops at
+// the first coefficient within slack. Returns false on a value conflict.
+func (s *Solver) propagatePB(ci int) bool {
+	c := s.pbs[ci]
+	for _, t := range c.terms {
+		if t.Coef <= c.slack {
+			break
+		}
+		if s.value(t.Lit) == lUndef {
+			if !s.enqueue(t.Lit, pbReasonRef(ci)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pbReasonLits materializes a clause reason from a PB constraint: the
+// propagated literal (litUndefSentinel for a conflict) together with
+// falsified literals assigned before it, greedily taking large
+// coefficients first so the clause stays short.
+func (s *Solver) pbReasonLits(ci int, propagated Lit, isConflict bool, out []Lit) []Lit {
+	c := s.pbs[ci]
+	limit := int32(len(s.trail))
+	var need int64 // falsified coefficient mass required for the implication
+	if isConflict {
+		// Need Σ_{remaining} < bound: remove > total − bound.
+		need = c.total - c.bound
+	} else {
+		limit = s.trailPos[propagated.Var()]
+		// Need Σ_{remaining} − bound < coef(propagated).
+		var pc int64
+		for _, t := range c.terms {
+			if t.Lit.Var() == propagated.Var() {
+				pc = t.Coef
+				break
+			}
+		}
+		need = c.total - c.bound - pc
+		out = append(out, propagated)
+	}
+	// Falsified literals assigned before the propagation, largest first
+	// (terms are already sorted by coefficient).
+	var removed int64
+	for _, t := range c.terms {
+		if removed > need {
+			break
+		}
+		if s.value(t.Lit) == lFalse && s.trailPos[t.Lit.Var()] < limit {
+			removed += t.Coef
+			out = append(out, t.Lit)
+		}
+	}
+	return out
+}
+
+// reasonLits returns the clause form of a reason reference. For clause
+// reasons the clause's literals are returned directly.
+func (s *Solver) reasonLits(ref int32, propagated Lit, isConflict bool, scratch []Lit) []Lit {
+	if ref&1 == 1 {
+		return s.pbReasonLits(int(ref>>1), propagated, isConflict, scratch)
+	}
+	return s.clauses[ref>>1].lits
+}
+
+// analyze derives a 1-UIP learned clause from the conflict and returns it
+// with the backjump level. learnt[0] is the asserting literal.
+func (s *Solver) analyze(confl int32) ([]Lit, int32) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit
+	first := true
+	index := len(s.trail) - 1
+	var scratch []Lit
+
+	for {
+		var lits []Lit
+		if first {
+			lits = s.reasonLits(confl, 0, true, scratch[:0])
+		} else {
+			lits = s.reasonLits(confl, p, false, scratch[:0])
+		}
+		if confl&1 == 0 && confl >= 0 {
+			s.bumpClause(s.clauses[confl>>1])
+		}
+		for _, q := range lits {
+			if !first && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to resolve on.
+		for !s.seen[s.trail[index].Var()] {
+			index--
+		}
+		p = s.trail[index]
+		index--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter <= 0 {
+			break
+		}
+		first = false
+		confl = s.reason[v]
+	}
+	learnt[0] = p.Not()
+
+	// Backjump level: highest level among the other literals.
+	var back int32
+	maxI := 1
+	for i := 1; i < len(learnt); i++ {
+		if lv := s.level[learnt[i].Var()]; lv > back {
+			back = lv
+			maxI = i
+		}
+	}
+	if len(learnt) > 1 {
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = false
+	}
+	return learnt, back
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e100 {
+		for _, cl := range s.clauses {
+			cl.act *= 1e-100
+		}
+		s.claInc *= 1e-100
+	}
+}
+
+func (s *Solver) backtrackTo(level int32) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		// Restore PB slacks for terms this assignment had falsified.
+		for _, occ := range s.pbOcc[l] {
+			s.pbs[occ.idx].slack += occ.coef
+		}
+		s.phase[v] = s.assigns[v] == lTrue
+		s.assigns[v] = lUndef
+		s.reason[v] = reasonNone
+		s.trailPos[v] = -1
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	if s.qhead > limit {
+		s.qhead = limit
+	}
+}
+
+// pickBranch selects the unassigned variable with the highest activity
+// (lowest index on ties — deterministic) and its saved phase.
+func (s *Solver) pickBranch() (Lit, bool) {
+	best := -1
+	for v := 0; v < s.nVars; v++ {
+		if s.assigns[v] != lUndef {
+			continue
+		}
+		if best < 0 || s.activity[v] > s.activity[best] {
+			best = v
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return MkLit(best, !s.phase[best]), true
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		p := int64(1) << uint(k)
+		if i == p-1 {
+			return p / 2
+		}
+		if i < p-1 {
+			return luby(i - p/2 + 1)
+		}
+	}
+}
+
+// reduceDB drops the less active half of the learned clauses when the
+// database grows past the cap, keeping reason clauses of current
+// assignments.
+const learnedCap = 16384
+
+func (s *Solver) reduceDB() {
+	learned := 0
+	for _, c := range s.clauses {
+		if c.learned {
+			learned++
+		}
+	}
+	if learned <= learnedCap {
+		return
+	}
+	// Median activity of learned clauses.
+	acts := make([]float64, 0, learned)
+	for _, c := range s.clauses {
+		if c.learned {
+			acts = append(acts, c.act)
+		}
+	}
+	sort.Float64s(acts)
+	median := acts[len(acts)/2]
+
+	locked := make(map[*clause]bool)
+	for _, v := range s.trail {
+		if r := s.reason[v.Var()]; r >= 0 && r&1 == 0 {
+			locked[s.clauses[r>>1]] = true
+		}
+	}
+	keep := make([]*clause, 0, len(s.clauses))
+	remap := make([]int32, len(s.clauses))
+	for i, c := range s.clauses {
+		if !c.learned || c.act >= median || len(c.lits) == 2 || locked[c] {
+			remap[i] = int32(len(keep))
+			keep = append(keep, c)
+		} else {
+			remap[i] = -1
+		}
+	}
+	s.clauses = keep
+	for l := range s.watches {
+		ws := s.watches[l][:0]
+		for _, ci := range s.watches[l] {
+			if ni := remap[ci]; ni >= 0 {
+				ws = append(ws, ni)
+			}
+		}
+		s.watches[l] = ws
+	}
+	for _, v := range s.trail {
+		if r := s.reason[v.Var()]; r >= 0 && r&1 == 0 {
+			s.reason[v.Var()] = clauseReason(int(remap[r>>1]))
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment. Sat answers snapshot the
+// model (read it with Value); Unsat is a proof for the current constraint
+// system; Unknown means the conflict budget or context ran out.
+func (s *Solver) Solve(ctx context.Context) Status {
+	if !s.ok {
+		return Unsat
+	}
+	budget := s.MaxConflicts
+	if budget == 0 {
+		budget = DefaultMaxConflicts
+	}
+	spent := int64(0)
+	restart := int64(1)
+	restartLimit := 64 * luby(restart)
+	sinceRestart := int64(0)
+	done := ctx.Done()
+
+	for {
+		confl := s.propagate()
+		if confl != reasonNone {
+			s.conflicts++
+			spent++
+			sinceRestart++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, back := s.analyze(confl)
+			s.backtrackTo(back)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], reasonNone) {
+					s.ok = false
+					return Unsat
+				}
+			} else {
+				c := &clause{lits: learnt, learned: true, act: s.claInc}
+				ci := s.attachClause(c)
+				if !s.enqueue(learnt[0], clauseReason(ci)) {
+					s.ok = false
+					return Unsat
+				}
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			if spent >= budget {
+				s.backtrackTo(0)
+				return Unknown
+			}
+			if spent&255 == 0 && done != nil {
+				select {
+				case <-done:
+					s.backtrackTo(0)
+					return Unknown
+				default:
+				}
+			}
+			if sinceRestart >= restartLimit {
+				restart++
+				restartLimit = 64 * luby(restart)
+				sinceRestart = 0
+				s.backtrackTo(0)
+				s.reduceDB()
+			}
+			continue
+		}
+		l, any := s.pickBranch()
+		if !any {
+			// Full assignment: snapshot the model.
+			s.model = append(s.model[:0], s.assigns...)
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		if !s.enqueue(l, reasonNone) {
+			panic("pbsat: branch literal already assigned")
+		}
+	}
+}

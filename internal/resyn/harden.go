@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"tels/internal/core"
-	"tels/internal/ilp"
 	"tels/internal/network"
 	"tels/internal/truth"
 )
@@ -149,8 +148,8 @@ func synthesizeFragment(tt *truth.Table, don int, o core.Options) (*core.Network
 		return frag, nil
 	}
 
-	solver := ilp.Solver{MaxNodes: o.MaxILPNodes, Exact: o.ExactILP}
-	if vec, ok := core.CheckThresholdBounded(tt, don, o.DeltaOff, o.MaxWeight, &solver); ok {
+	chk := o.Checker()
+	if vec, ok := chk.Check(tt, don, o.DeltaOff, o.MaxWeight); ok {
 		inputs := make([]string, tt.N())
 		for i := range inputs {
 			inputs[i] = repInput(i)

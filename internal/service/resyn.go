@@ -103,7 +103,7 @@ func (m *Manager) resynRunner(j *jobRecord) func(context.Context, Request) (Resu
 				Seed:      req.Yield.Seed,
 				Width:     m.cfg.FsimWidth,
 			},
-			Synth:       req.Options,
+			Synth:       withSolver(req.Options, m.cfg.Solver),
 			TopK:        req.Resyn.TopK,
 			DeltaStep:   req.Resyn.DeltaStep,
 			MaxDeltaOn:  req.Resyn.MaxDeltaOn,

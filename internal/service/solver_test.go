@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"tels/internal/core"
+)
+
+// A wider circuit than testBlif so the synthesis core runs a nontrivial
+// number of threshold checks per job.
+const solverTestBlif = `.model solvr
+.inputs a b c d e
+.outputs f g
+.names a b c d x
+1111 1
+.names x e f
+1- 1
+-1 1
+.names a c e g
+110 1
+011 1
+101 1
+.end
+`
+
+// TestSolverModeTransparent runs the same synthesis job through managers
+// deployed at every solver mode: job digests and result bytes must be
+// identical — the solver is a deployment latency knob, never request
+// state — and the configured mode is visible only in the metrics.
+func TestSolverModeTransparent(t *testing.T) {
+	modes := []core.SolverMode{core.SolverILP, core.SolverPbsat, core.SolverPortfolio}
+	var digests, tlns []string
+	var areas []int
+	for _, mode := range modes {
+		m := newTestManager(t, Config{Workers: 2, Solver: mode})
+		job, err := m.Submit(Request{BLIF: solverTestBlif})
+		if err != nil {
+			t.Fatalf("solver %s: %v", mode, err)
+		}
+		done, err := m.Wait(context.Background(), job.ID)
+		if err != nil {
+			t.Fatalf("solver %s: %v", mode, err)
+		}
+		if done.State != StateDone {
+			t.Fatalf("solver %s: state %s (%s)", mode, done.State, done.Error)
+		}
+		digests = append(digests, done.Digest)
+		tlns = append(tlns, done.Result.TLN)
+		areas = append(areas, done.Result.Stats.Area)
+		if got := m.MetricsSnapshot()["solver_mode"]; got != int64(mode) {
+			t.Fatalf("solver %s: solver_mode metric = %d", mode, got)
+		}
+	}
+	for i := 1; i < len(modes); i++ {
+		if digests[i] != digests[0] {
+			t.Fatalf("solver %s changed the job digest: %s vs %s", modes[i], digests[i], digests[0])
+		}
+		if tlns[i] != tlns[0] {
+			t.Fatalf("solver %s changed the network:\n%s\nvs\n%s", modes[i], tlns[i], tlns[0])
+		}
+		if areas[i] != areas[0] {
+			t.Fatalf("solver %s changed the area: %d vs %d", modes[i], areas[i], areas[0])
+		}
+	}
+}
+
+// TestSolverMetricsExported checks that the portfolio race counters are
+// surfaced through /v1/metrics' backing snapshot with their documented
+// names.
+func TestSolverMetricsExported(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, Solver: core.SolverPortfolio})
+	job, err := m.Submit(Request{BLIF: solverTestBlif})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(context.Background(), job.ID); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.MetricsSnapshot()
+	for _, key := range []string{
+		"threshold_checks", "races", "ilp_wins", "pbsat_wins",
+		"unsat_core_hits", "solver_budget_bailouts", "solver_mode",
+	} {
+		if _, ok := snap[key]; !ok {
+			t.Fatalf("metrics snapshot missing %q", key)
+		}
+	}
+	if snap["threshold_checks"] == 0 {
+		t.Fatal("threshold_checks did not advance across a synthesis job")
+	}
+}

@@ -44,6 +44,15 @@ func wordsFor(n int) int {
 // N returns the number of variables.
 func (t *Table) N() int { return t.n }
 
+// Words exposes the packed minterm bits (64 minterms per word, unused
+// high bits of the final word masked off). The returned slice aliases the
+// table's storage and must not be modified; it exists so callers can hash
+// a table without walking minterms one by one.
+func (t *Table) Words() []uint64 {
+	t.bits[len(t.bits)-1] &= t.mask()
+	return t.bits
+}
+
 // Size returns the number of minterms, 2^N.
 func (t *Table) Size() int { return 1 << uint(t.n) }
 
