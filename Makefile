@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke apismoke pbsatsmoke cover bench fuzz experiments examples serve ci clean
+.PHONY: all build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke apismoke pbsatsmoke netsmoke cover bench fuzz experiments examples serve ci clean
 
 all: build test
 
@@ -86,13 +86,22 @@ pbsatsmoke:
 	$(GO) test -count=1 -short -run 'TestSolverModesSynthesizeIdentically|TestThreshBenchQuick' ./internal/expt/
 	$(GO) run ./cmd/telsbench -quick thresh
 
+# netsmoke proves the structurally-hashed network core: the arena unit
+# and fuzz-seed suites under -race, the whole-corpus golden identity gate
+# (every MCNC benchmark byte-identical through the arena-backed passes),
+# then one quick pointer-vs-arena build/collapse/sweep measurement.
+netsmoke:
+	$(GO) test -race -count=1 ./internal/netcore/
+	$(GO) test -race -count=1 -short -run 'TestCorpusGolden' ./internal/expt/
+	$(GO) run ./cmd/telsbench -quick netcore
+
 # serve runs the synthesis daemon on :8455 (override with ADDR=...).
 ADDR ?= :8455
 serve:
 	$(GO) run ./cmd/telsd -addr $(ADDR)
 
 # ci is the exact gate GitHub Actions runs.
-ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke apismoke pbsatsmoke
+ci: build test race benchsmoke sweepsmoke resynsmoke widthsmoke storesmoke clustersmoke apismoke pbsatsmoke netsmoke
 
 cover:
 	$(GO) test -cover ./internal/... ./cmd/...
@@ -102,6 +111,7 @@ bench:
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/blif/
+	$(GO) test -fuzz FuzzStrash -fuzztime 30s ./internal/netcore/
 	$(GO) test -fuzz FuzzParseTLN -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzPortfolio -fuzztime 30s ./internal/core/
 

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"tels/internal/expt"
+)
+
+// netcoreBench compares the pointer and arena network representations on
+// the largest MCNC benchmarks: BLIF build, eliminate-0 collapse, and
+// sweep, reporting ns/op and allocs/op per stage. Both paths of every
+// stage are asserted byte-identical before any timing runs.
+func netcoreBench(quick, jsonOut bool, emit emitFn) error {
+	names := []string{"i10", "comp", "squar5"}
+	reps := 9
+	if quick {
+		names = []string{"comp", "squar5", "term1"}
+		reps = 3
+	}
+	rows, err := expt.NetcoreBench(names, reps)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		if err := writeJSON(map[string]any{
+			"experiment": "netcore", "reps": reps, "rows": rows,
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(expt.RenderNetcoreBench(rows))
+	}
+	return emit("netcore.csv", func(w io.Writer) error { return expt.WriteNetcoreBenchCSV(w, rows) })
+}

@@ -8,22 +8,42 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"tels/internal/logic"
+	"tels/internal/netcore"
 	"tels/internal/network"
 )
 
 // Parse reads one .model from r and builds the corresponding network.
+// The cover data is assembled directly in the arena-backed netcore
+// representation and converted at the boundary; use ParseCore to keep
+// the arena form.
 func Parse(r io.Reader) (*network.Network, error) {
-	p := &parser{scanner: bufio.NewScanner(r)}
-	p.scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
-	return p.parse()
+	nc, err := ParseCore(r)
+	if err != nil {
+		return nil, err
+	}
+	return nc.ToNetwork(), nil
 }
 
 // ParseString is Parse on a string.
 func ParseString(s string) (*network.Network, error) {
 	return Parse(strings.NewReader(s))
+}
+
+// ParseCore reads one .model from r and builds the arena-backed network,
+// interning every cover into the structural-hash table as it is read.
+func ParseCore(r io.Reader) (*netcore.Network, error) {
+	p := &parser{scanner: bufio.NewScanner(r)}
+	p.scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	return p.parse()
+}
+
+// ParseCoreString is ParseCore on a string.
+func ParseCoreString(s string) (*netcore.Network, error) {
+	return ParseCore(strings.NewReader(s))
 }
 
 type rawNames struct {
@@ -81,7 +101,7 @@ func (p *parser) next() (string, bool) {
 	}
 }
 
-func (p *parser) parse() (*network.Network, error) {
+func (p *parser) parse() (*netcore.Network, error) {
 	name := "top"
 	var inputs, outputs []string
 	var names []rawNames
@@ -136,10 +156,10 @@ func (p *parser) parse() (*network.Network, error) {
 	return build(name, inputs, outputs, names)
 }
 
-func build(name string, inputs, outputs []string, names []rawNames) (*network.Network, error) {
-	nw := network.New(name)
+func build(name string, inputs, outputs []string, names []rawNames) (*netcore.Network, error) {
+	nw := netcore.New(name)
 	for _, in := range inputs {
-		if nw.Node(in) != nil {
+		if nw.NetByName(in) != netcore.InvalidNet {
 			return nil, fmt.Errorf("blif: duplicate input %s", in)
 		}
 		nw.AddInput(in)
@@ -154,34 +174,37 @@ func build(name string, inputs, outputs []string, names []rawNames) (*network.Ne
 		byOutput[out] = rn
 	}
 
+	// Signals are defined depth-first from the outputs, so every net's
+	// fanins are interned before the net itself — AddNode can hash the
+	// cover against the strash table immediately.
 	building := make(map[string]bool)
-	var define func(sig string) (*network.Node, error)
-	define = func(sig string) (*network.Node, error) {
-		if n := nw.Node(sig); n != nil {
+	var define func(sig string) (netcore.Net, error)
+	define = func(sig string) (netcore.Net, error) {
+		if n := nw.NetByName(sig); n != netcore.InvalidNet {
 			return n, nil
 		}
 		rn, ok := byOutput[sig]
 		if !ok {
-			return nil, fmt.Errorf("blif: signal %s is used but never defined", sig)
+			return netcore.InvalidNet, fmt.Errorf("blif: signal %s is used but never defined", sig)
 		}
 		if building[sig] {
-			return nil, fmt.Errorf("blif: combinational cycle through %s", sig)
+			return netcore.InvalidNet, fmt.Errorf("blif: combinational cycle through %s", sig)
 		}
 		building[sig] = true
 		defer delete(building, sig)
 
 		faninNames := rn.signals[:len(rn.signals)-1]
-		fanins := make([]*network.Node, len(faninNames))
+		fanins := make([]netcore.Net, len(faninNames))
 		for i, fn := range faninNames {
 			f, err := define(fn)
 			if err != nil {
-				return nil, err
+				return netcore.InvalidNet, err
 			}
 			fanins[i] = f
 		}
 		cover, err := parseCover(rn, len(faninNames))
 		if err != nil {
-			return nil, err
+			return netcore.InvalidNet, err
 		}
 		return nw.AddNode(sig, fanins, cover), nil
 	}
@@ -193,8 +216,14 @@ func build(name string, inputs, outputs []string, names []rawNames) (*network.Ne
 		}
 		nw.MarkOutput(n)
 	}
-	// Define any leftover named signals so round-trips preserve them.
+	// Define any leftover named signals so round-trips preserve them, in
+	// name order so the arena layout is deterministic.
+	leftover := make([]string, 0, len(byOutput))
 	for sig := range byOutput {
+		leftover = append(leftover, sig)
+	}
+	sort.Strings(leftover)
+	for _, sig := range leftover {
 		if _, err := define(sig); err != nil {
 			return nil, err
 		}
@@ -270,6 +299,46 @@ func Write(w io.Writer, nw *network.Network) error {
 		}
 		fmt.Fprintf(bw, " %s\n", n.Name)
 		for _, c := range n.Cover.Cubes {
+			if len(c) == 0 {
+				fmt.Fprintln(bw, "1")
+			} else {
+				fmt.Fprintf(bw, "%s 1\n", c)
+			}
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+// WriteCore emits the arena-backed network as BLIF, without converting to
+// the pointer representation first.
+func WriteCore(w io.Writer, nw *netcore.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", nw.Name)
+	fmt.Fprintf(bw, ".inputs")
+	for _, in := range nw.Inputs() {
+		fmt.Fprintf(bw, " %s", nw.NetName(in))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintf(bw, ".outputs")
+	for _, o := range nw.Outputs() {
+		fmt.Fprintf(bw, " %s", nw.NetName(o))
+	}
+	fmt.Fprintln(bw)
+	order, err := nw.TopoNets()
+	if err != nil {
+		return err
+	}
+	for _, n := range order {
+		if nw.NetKind(n) != netcore.NetFunc {
+			continue
+		}
+		fmt.Fprintf(bw, ".names")
+		for _, f := range nw.NetFanins(n) {
+			fmt.Fprintf(bw, " %s", nw.NetName(f))
+		}
+		fmt.Fprintf(bw, " %s\n", nw.NetName(n))
+		for _, c := range nw.NetCover(n).Cubes {
 			if len(c) == 0 {
 				fmt.Fprintln(bw, "1")
 			} else {

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"tels/internal/logic"
-	"tels/internal/network"
+	"tels/internal/netcore"
 	"tels/internal/truth"
 )
 
@@ -13,32 +13,35 @@ import (
 // signal whose function will be synthesized recursively.
 type pin struct {
 	name string
-	node *network.Node // non-nil for support signals (enqueued when used)
-	neg  bool          // literal phase for support-signal pins
-	part *partFn       // non-nil for fresh part signals
+	// net is the support signal for literal pins (enqueued when used);
+	// InvalidNet for fresh part signals. The zero Net is a real net, so
+	// every pin must set this field explicitly.
+	net  netcore.Net
+	neg  bool    // literal phase for support-signal pins
+	part *partFn // non-nil for fresh part signals
 }
 
 // partFn is a pending sub-function to synthesize.
 type partFn struct {
 	name    string
 	tt      *truth.Table
-	support []*network.Node
+	support []netcore.Net
 }
 
 // makePartPin converts a cube subset of a cover over support into a pin:
 // single-literal parts are inlined as direct literals, everything else
 // becomes a fresh part signal.
-func (s *synthesizer) makePartPin(base string, cover logic.Cover, support []*network.Node) pin {
+func (s *synthesizer) makePartPin(base string, cover logic.Cover, support []netcore.Net) pin {
 	if len(cover.Cubes) == 1 && cover.Cubes[0].Literals() == 1 {
 		for i, ph := range cover.Cubes[0] {
 			if ph != logic.DC {
-				return pin{name: support[i].Name, node: support[i], neg: ph == logic.Neg}
+				return pin{name: s.src.NetName(support[i]), net: support[i], neg: ph == logic.Neg}
 			}
 		}
 	}
 	tt, sup := reduceSupport(truth.FromCover(cover), support)
 	name := s.freshName(base)
-	return pin{name: name, part: &partFn{name: name, tt: tt, support: sup}}
+	return pin{name: name, net: netcore.InvalidNet, part: &partFn{name: name, tt: tt, support: sup}}
 }
 
 // emitPinGate builds the gate function over the pins (OR or AND of the pin
@@ -83,8 +86,8 @@ func (s *synthesizer) emitPinGate(name string, pins []pin, isAnd bool) error {
 	inputs := make([]string, len(pins))
 	for i, p := range pins {
 		inputs[i] = p.name
-		if p.node != nil {
-			s.enqueue(p.node)
+		if p.net != netcore.InvalidNet {
+			s.enqueue(p.net)
 		}
 	}
 	if err := s.out.AddGate(&Gate{Name: name, Inputs: inputs, Weights: v.Weights, T: v.T}); err != nil {
@@ -111,7 +114,7 @@ func gateKind(isAnd bool) string {
 // §V-C: factor a common literal, halve single-occurrence covers, or split
 // on the most frequent variable; try Theorem 2 on the larger half; fall
 // back to a k-way OR split.
-func (s *synthesizer) unateSplit(name string, tt *truth.Table, support []*network.Node) error {
+func (s *synthesizer) unateSplit(name string, tt *truth.Table, support []netcore.Net) error {
 	s.stats.UnateSplits++
 	cover := tt.MinimalSOP()
 
@@ -211,7 +214,7 @@ func subCover(f logic.Cover, lo, hi int) logic.Cover {
 
 // splitWideCube splits an AND of more than ψ literals into a balanced
 // two-input AND of sub-cubes.
-func (s *synthesizer) splitWideCube(name string, cover logic.Cover, support []*network.Node) error {
+func (s *synthesizer) splitWideCube(name string, cover logic.Cover, support []netcore.Net) error {
 	cube := cover.Cubes[0]
 	var lits []int
 	for i, ph := range cube {
@@ -237,7 +240,7 @@ func (s *synthesizer) splitWideCube(name string, cover logic.Cover, support []*n
 }
 
 // factorCommon implements condition 2: n = (common literals) * rest.
-func (s *synthesizer) factorCommon(name string, cover logic.Cover, support []*network.Node, common []int) error {
+func (s *synthesizer) factorCommon(name string, cover logic.Cover, support []netcore.Net, common []int) error {
 	rest := logic.NewCover(cover.N)
 	for _, c := range cover.Cubes {
 		d := c.Clone()
@@ -252,8 +255,8 @@ func (s *synthesizer) factorCommon(name string, cover logic.Cover, support []*ne
 		pins := make([]pin, 0, len(common)+1)
 		for _, v := range common {
 			pins = append(pins, pin{
-				name: support[v].Name,
-				node: support[v],
+				name: s.src.NetName(support[v]),
+				net:  support[v],
 				neg:  cover.Cubes[0][v] == logic.Neg,
 			})
 		}
@@ -274,7 +277,7 @@ func (s *synthesizer) factorCommon(name string, cover logic.Cover, support []*ne
 // twoWayOr realizes n = A ∨ B: if either half is a threshold function and
 // the merged gate fits ψ, Theorem 2 absorbs the other half as one extra
 // input of the same gate; otherwise the node falls back to a k-way OR.
-func (s *synthesizer) twoWayOr(name string, tt *truth.Table, support []*network.Node, coverA, coverB logic.Cover) error {
+func (s *synthesizer) twoWayOr(name string, tt *truth.Table, support []netcore.Net, coverA, coverB logic.Cover) error {
 	// Order: larger part (more cubes) first, per §V-C.
 	if len(coverB.Cubes) > len(coverA.Cubes) {
 		coverA, coverB = coverB, coverA
@@ -293,7 +296,7 @@ func (s *synthesizer) twoWayOr(name string, tt *truth.Table, support []*network.
 // tryTheorem2 attempts to realize base ∨ extra as a single gate: base must
 // be threshold and the gate (base's support plus one input) must fit ψ.
 // The second return reports whether the gate was emitted.
-func (s *synthesizer) tryTheorem2(name string, base, extra logic.Cover, support []*network.Node) (error, bool) {
+func (s *synthesizer) tryTheorem2(name string, base, extra logic.Cover, support []netcore.Net) (error, bool) {
 	baseTT, baseSup := reduceSupport(truth.FromCover(base), support)
 	if baseTT.N()+1 > s.o.Fanin {
 		return nil, false
@@ -329,12 +332,12 @@ func (s *synthesizer) tryTheorem2(name string, base, extra logic.Cover, support 
 
 	inputs := make([]string, n+1)
 	for i, sn := range baseSup {
-		inputs[i] = sn.Name
+		inputs[i] = s.src.NetName(sn)
 		s.enqueue(sn)
 	}
 	inputs[n] = extraPin.name
-	if extraPin.node != nil {
-		s.enqueue(extraPin.node)
+	if extraPin.net != netcore.InvalidNet {
+		s.enqueue(extraPin.net)
 	}
 	if err := s.out.AddGate(&Gate{Name: name, Inputs: inputs, Weights: vec.Weights, T: vec.T}); err != nil {
 		return err, true
@@ -347,7 +350,7 @@ func (s *synthesizer) tryTheorem2(name string, base, extra logic.Cover, support 
 
 // kWayOr splits the function into k = min(ψ, |cubes|) OR parts with unit
 // weights (§V-C final fallback, and §V-D for binate nodes).
-func (s *synthesizer) kWayOr(name string, tt *truth.Table, support []*network.Node) error {
+func (s *synthesizer) kWayOr(name string, tt *truth.Table, support []netcore.Net) error {
 	cover := tt.MinimalSOP()
 	k := s.o.Fanin
 	if len(cover.Cubes) < k {
@@ -370,7 +373,7 @@ func (s *synthesizer) kWayOr(name string, tt *truth.Table, support []*network.No
 // binateSplit implements Fig. 8: split on the most frequent binate
 // variable until k parts (or none left), finish with unate splits, and
 // emit the OR of the parts.
-func (s *synthesizer) binateSplit(name string, tt *truth.Table, support []*network.Node) error {
+func (s *synthesizer) binateSplit(name string, tt *truth.Table, support []netcore.Net) error {
 	s.stats.BinateSplits++
 	cover := tt.MinimalSOP()
 	k := s.o.Fanin

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tels/internal/netcore"
 	"tels/internal/network"
 	"tels/internal/opt"
 	"tels/internal/truth"
@@ -150,6 +151,11 @@ const maxSupport = 12
 // threshold network per the paper's methodology (Fig. 3): every primary
 // output is collapsed, checked, and recursively split until all nodes are
 // threshold gates. Fanout nodes of the source network are preserved.
+//
+// The source is converted into the arena-backed netcore representation
+// after structural pre-decomposition; all cone reads (local functions,
+// fanins, fanout counts) run against the slab, and the word-parallel
+// NetLocalTT replaces the per-node cone walk.
 func Synthesize(src *network.Network, o Options) (*Network, SynthStats, error) {
 	if err := o.validate(); err != nil {
 		return nil, SynthStats{}, err
@@ -161,23 +167,27 @@ func Synthesize(src *network.Network, o Options) (*Network, SynthStats, error) {
 	// Nodes wider than the truth-table engine are structurally split
 	// first; the algorithm itself enforces ψ on the result.
 	opt.DecomposeLarge(work, maxSupport-2)
+	cw := netcore.FromNetwork(work)
 
 	s := &synthesizer{
 		o:      o,
-		src:    work,
+		src:    cw,
 		out:    NewNetwork(src.Name),
-		fanout: work.FanoutNodes(),
+		fanout: make(map[netcore.Net]bool),
 		done:   make(map[string]bool),
 		rng:    rand.New(rand.NewSource(o.Seed)),
 		chk:    o.Checker(),
 	}
-	for _, in := range work.Inputs {
-		s.out.AddInput(in.Name)
-		s.done[in.Name] = true
+	for _, n := range cw.InternalNets() {
+		if cw.NetFanoutCount(n) > 1 {
+			s.fanout[n] = true
+		}
 	}
-	for _, po := range work.Outputs {
-		s.queue = append(s.queue, po)
+	for _, in := range cw.Inputs() {
+		s.out.AddInput(cw.NetName(in))
+		s.done[cw.NetName(in)] = true
 	}
+	s.queue = append(s.queue, cw.Outputs()...)
 	for len(s.queue) > 0 {
 		n := s.queue[0]
 		s.queue = s.queue[1:]
@@ -185,8 +195,8 @@ func Synthesize(src *network.Network, o Options) (*Network, SynthStats, error) {
 			return nil, s.stats, err
 		}
 	}
-	for _, po := range work.Outputs {
-		s.out.MarkOutput(po.Name)
+	for _, po := range cw.Outputs() {
+		s.out.MarkOutput(cw.NetName(po))
 	}
 	// Distinct cones can synthesize identical split gates; merge them.
 	s.out.MergeDuplicates()
@@ -198,11 +208,11 @@ func Synthesize(src *network.Network, o Options) (*Network, SynthStats, error) {
 
 type synthesizer struct {
 	o      Options
-	src    *network.Network
+	src    *netcore.Network
 	out    *Network
-	fanout map[*network.Node]bool
+	fanout map[netcore.Net]bool
 	done   map[string]bool
-	queue  []*network.Node
+	queue  []netcore.Net
 	rng    *rand.Rand
 	chk    Checker
 	stats  SynthStats
@@ -217,39 +227,40 @@ func (s *synthesizer) freshName(base string) string {
 	for {
 		s.serial++
 		name := fmt.Sprintf("%s~%d", base, s.serial)
-		if s.out.Gate(name) == nil && s.src.Node(name) == nil {
+		if s.out.Gate(name) == nil && s.src.NetByName(name) == netcore.InvalidNet {
 			return name
 		}
 	}
 }
 
-// enqueue schedules a source node for synthesis if not already handled.
-func (s *synthesizer) enqueue(n *network.Node) {
-	if n.Kind == network.Input || s.done[n.Name] {
+// enqueue schedules a source net for synthesis if not already handled.
+func (s *synthesizer) enqueue(n netcore.Net) {
+	if s.src.NetKind(n) == netcore.NetInput || s.done[s.src.NetName(n)] {
 		return
 	}
 	s.queue = append(s.queue, n)
 }
 
 // processNode synthesizes one source-network node into threshold gates.
-func (s *synthesizer) processNode(n *network.Node) error {
-	if s.done[n.Name] {
+func (s *synthesizer) processNode(n netcore.Net) error {
+	name := s.src.NetName(n)
+	if s.done[name] {
 		return nil
 	}
-	s.done[n.Name] = true
-	s.don = s.o.DeltaOnFor(n.Name)
-	support := append([]*network.Node(nil), n.Fanins...)
-	support = dedupeNodes(support)
-	tt, err := s.src.LocalFunction(n, support)
+	s.done[name] = true
+	s.don = s.o.DeltaOnFor(name)
+	support := append([]netcore.Net(nil), s.src.NetFanins(n)...)
+	support = dedupeNets(support)
+	tt, err := s.src.NetLocalTT(n, support)
 	if err != nil {
 		return err
 	}
-	return s.synthFunction(n.Name, tt, support)
+	return s.synthFunction(name, tt, support)
 }
 
 // synthFunction emits a gate named name computing tt over the support
 // signals, splitting recursively when the function is not threshold.
-func (s *synthesizer) synthFunction(name string, tt *truth.Table, support []*network.Node) error {
+func (s *synthesizer) synthFunction(name string, tt *truth.Table, support []netcore.Net) error {
 	tt, support = reduceSupport(tt, support)
 
 	if isConst, v := tt.IsConst(); isConst {
@@ -304,32 +315,33 @@ func (s *synthesizer) emitConstGate(name string, value bool) error {
 	return s.out.AddGate(&Gate{Name: name, T: t})
 }
 
-// emitGate creates the LTG and schedules its support nodes.
-func (s *synthesizer) emitGate(name string, v WeightVector, support []*network.Node) error {
+// emitGate creates the LTG and schedules its support nets.
+func (s *synthesizer) emitGate(name string, v WeightVector, support []netcore.Net) error {
 	inputs := make([]string, len(support))
 	for i, n := range support {
-		inputs[i] = n.Name
+		inputs[i] = s.src.NetName(n)
 		s.enqueue(n)
 	}
 	return s.out.AddGate(&Gate{Name: name, Inputs: inputs, Weights: v.Weights, T: v.T})
 }
 
 // collapse implements the Fig. 4 node-collapsing loop on the function
-// level: repeatedly substitute a support node's function into tt unless
-// the node is a primary input, a fanout node, already synthesized, or the
+// level: repeatedly substitute a support net's function into tt unless
+// the net is a primary input, a fanout net, already synthesized, or the
 // substitution would exceed the fanin restriction (the "undo" branch).
-func (s *synthesizer) collapse(tt *truth.Table, support []*network.Node) (*truth.Table, []*network.Node) {
-	failed := make(map[*network.Node]bool)
+func (s *synthesizer) collapse(tt *truth.Table, support []netcore.Net) (*truth.Table, []netcore.Net) {
+	failed := make(map[netcore.Net]bool)
 	for {
 		progress := false
 		for idx, cand := range support {
-			if cand.Kind == network.Input || s.fanout[cand] || s.done[cand.Name] || failed[cand] {
+			if s.src.NetKind(cand) == netcore.NetInput || s.fanout[cand] ||
+				s.done[s.src.NetName(cand)] || failed[cand] {
 				continue
 			}
 			// Fig. 4 checks the fanin count l = |F| syntactically before
 			// accepting a substitution; doing the same here avoids building
 			// truth tables for substitutions that will be undone anyway.
-			if mergedSupportSize(support, idx) > s.o.Fanin {
+			if s.mergedSupportSize(support, idx) > s.o.Fanin {
 				failed[cand] = true
 				continue
 			}
@@ -350,25 +362,30 @@ func (s *synthesizer) collapse(tt *truth.Table, support []*network.Node) (*truth
 }
 
 // mergedSupportSize returns |support \ {support[idx]} ∪ fanins(support[idx])|.
-func mergedSupportSize(support []*network.Node, idx int) int {
-	seen := make(map[*network.Node]bool, len(support)+4)
+func (s *synthesizer) mergedSupportSize(support []netcore.Net, idx int) int {
+	seen := make(map[netcore.Net]bool, len(support)+4)
 	for i, n := range support {
 		if i != idx {
 			seen[n] = true
 		}
 	}
-	for _, n := range support[idx].Fanins {
+	for _, n := range s.src.NetFanins(support[idx]) {
 		seen[n] = true
 	}
 	return len(seen)
 }
 
-// substitute replaces support[idx] by that node's own function, returning
-// the new function over the merged, reduced support.
-func (s *synthesizer) substitute(tt *truth.Table, support []*network.Node, idx int) (*truth.Table, []*network.Node, bool) {
+// substitute replaces support[idx] by that net's own function, returning
+// the new function over the merged, reduced support. This stays pure
+// truth-table math (rather than NetLocalTT over the merged support): the
+// incoming tt can already be a composition whose intermediate cone inputs
+// were dropped by reduceSupport, so the cone no longer exists in the
+// network as a unit.
+func (s *synthesizer) substitute(tt *truth.Table, support []netcore.Net, idx int) (*truth.Table, []netcore.Net, bool) {
 	victim := support[idx]
-	merged := make([]*network.Node, 0, len(support)+len(victim.Fanins))
-	seen := make(map[*network.Node]bool)
+	victimFanins := s.src.NetFanins(victim)
+	merged := make([]netcore.Net, 0, len(support)+len(victimFanins))
+	seen := make(map[netcore.Net]bool)
 	for i, n := range support {
 		if i == idx {
 			continue
@@ -378,7 +395,7 @@ func (s *synthesizer) substitute(tt *truth.Table, support []*network.Node, idx i
 			merged = append(merged, n)
 		}
 	}
-	for _, n := range victim.Fanins {
+	for _, n := range victimFanins {
 		if !seen[n] {
 			seen[n] = true
 			merged = append(merged, n)
@@ -387,17 +404,17 @@ func (s *synthesizer) substitute(tt *truth.Table, support []*network.Node, idx i
 	if len(merged) > maxSupport {
 		return nil, nil, false
 	}
-	victimTT := truth.FromCover(victim.Cover)
+	victimTT := truth.FromCover(s.src.NetCover(victim))
 	// Evaluate the composition minterm by minterm over the merged support.
 	out := truth.New(len(merged))
-	pos := make(map[*network.Node]int, len(merged))
+	pos := make(map[netcore.Net]int, len(merged))
 	for i, n := range merged {
 		pos[n] = i
 	}
 	oldAssign := make([]bool, len(support))
-	vicAssign := make([]bool, len(victim.Fanins))
+	vicAssign := make([]bool, len(victimFanins))
 	for m := 0; m < out.Size(); m++ {
-		for i, f := range victim.Fanins {
+		for i, f := range victimFanins {
 			vicAssign[i] = m&(1<<uint(pos[f])) != 0
 		}
 		vicVal := victimTT.Eval(vicAssign)
@@ -415,23 +432,23 @@ func (s *synthesizer) substitute(tt *truth.Table, support []*network.Node, idx i
 }
 
 // reduceSupport drops variables the function does not depend on.
-func reduceSupport(tt *truth.Table, support []*network.Node) (*truth.Table, []*network.Node) {
+func reduceSupport(tt *truth.Table, support []netcore.Net) (*truth.Table, []netcore.Net) {
 	sup := tt.Support()
 	if len(sup) == len(support) {
 		return tt, support
 	}
 	reduced := tt.Project(sup)
-	out := make([]*network.Node, len(sup))
+	out := make([]netcore.Net, len(sup))
 	for i, v := range sup {
 		out[i] = support[v]
 	}
 	return reduced, out
 }
 
-func dedupeNodes(nodes []*network.Node) []*network.Node {
-	seen := make(map[*network.Node]bool, len(nodes))
-	out := nodes[:0]
-	for _, n := range nodes {
+func dedupeNets(nets []netcore.Net) []netcore.Net {
+	seen := make(map[netcore.Net]bool, len(nets))
+	out := nets[:0]
+	for _, n := range nets {
 		if !seen[n] {
 			seen[n] = true
 			out = append(out, n)

@@ -1,0 +1,161 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"tels/internal/blif"
+	"tels/internal/mcnc"
+	"tels/internal/netcore"
+	"tels/internal/network"
+	"tels/internal/opt"
+)
+
+// NetcoreBenchRow is one (benchmark, stage) measurement of the pointer
+// network representation against the arena-backed netcore one.
+type NetcoreBenchRow struct {
+	Bench        string `json:"bench"`
+	Stage        string `json:"stage"` // build | collapse | sweep
+	Gates        int    `json:"gates"`
+	PtrNsOp      int64  `json:"ptr_ns_op"`
+	PtrAllocsOp  int64  `json:"ptr_allocs_op"`
+	CoreNsOp     int64  `json:"core_ns_op"`
+	CoreAllocsOp int64  `json:"core_allocs_op"`
+}
+
+// measure times fn over reps iterations after one warm-up run, reporting
+// ns/op and heap allocations (mallocs) per op.
+func measure(reps int, fn func()) (nsOp, allocsOp int64) {
+	fn()
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed.Nanoseconds() / int64(reps), int64(m1.Mallocs-m0.Mallocs) / int64(reps)
+}
+
+// NetcoreBench compares the two network representations stage by stage on
+// the named MCNC benchmarks:
+//
+//	build     parse the benchmark's BLIF into each representation
+//	collapse  copy the parsed network, then Eliminate / EliminateCore 0
+//	sweep     copy the parsed network, then Sweep / SweepCore
+//
+// The copy (Clone on the pointer side, FromNetwork on the arena side) is
+// included: it is each representation's cost of materializing a mutable
+// working set. Before any timing, both paths of every stage are checked
+// to produce byte-identical BLIF.
+func NetcoreBench(names []string, reps int) ([]NetcoreBenchRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []NetcoreBenchRow
+	for _, name := range names {
+		src := mcnc.Build(name)
+		text, err := blif.WriteString(src)
+		if err != nil {
+			return nil, err
+		}
+		pw, err := blif.ParseString(text)
+		if err != nil {
+			return nil, err
+		}
+		// Both sides must copy from the same normalized creation order:
+		// pass decisions are iteration-order dependent, and Clone and
+		// FromNetwork both preserve their source's order.
+		base := pw.Clone()
+		gates := base.GateCount()
+
+		// Identity gate: each stage must agree across representations.
+		for _, st := range []struct {
+			name string
+			ptr  func(*network.Network)
+			core func(*netcore.Network)
+		}{
+			{"collapse", func(nw *network.Network) { opt.Eliminate(nw, 0) },
+				func(nw *netcore.Network) { opt.EliminateCore(nw, 0) }},
+			{"sweep", func(nw *network.Network) { opt.Sweep(nw) },
+				func(nw *netcore.Network) { opt.SweepCore(nw) }},
+		} {
+			p := base.Clone()
+			st.ptr(p)
+			want, err := blif.WriteString(p)
+			if err != nil {
+				return nil, err
+			}
+			c := netcore.FromNetwork(base)
+			st.core(c)
+			got, err := blif.WriteString(c.ToNetwork())
+			if err != nil {
+				return nil, err
+			}
+			if want != got {
+				return nil, fmt.Errorf("netcore bench: %s/%s: representations disagree", name, st.name)
+			}
+		}
+
+		stage := func(stageName string, ptr, core func()) {
+			row := NetcoreBenchRow{Bench: name, Stage: stageName, Gates: gates}
+			row.PtrNsOp, row.PtrAllocsOp = measure(reps, ptr)
+			row.CoreNsOp, row.CoreAllocsOp = measure(reps, core)
+			rows = append(rows, row)
+		}
+		stage("build",
+			func() {
+				if _, err := blif.ParseString(text); err != nil {
+					panic(err)
+				}
+			},
+			func() {
+				if _, err := blif.ParseCoreString(text); err != nil {
+					panic(err)
+				}
+			})
+		stage("collapse",
+			func() { opt.Eliminate(base.Clone(), 0) },
+			func() { opt.EliminateCore(netcore.FromNetwork(base), 0) })
+		stage("sweep",
+			func() { opt.Sweep(base.Clone()) },
+			func() { opt.SweepCore(netcore.FromNetwork(base)) })
+	}
+	return rows, nil
+}
+
+// RenderNetcoreBench renders the comparison as a table.
+func RenderNetcoreBench(rows []NetcoreBenchRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "netcore vs pointer representation (ns/op, allocs/op)\n")
+	fmt.Fprintf(&sb, "%-8s %-9s %6s %14s %12s %14s %12s %8s\n",
+		"bench", "stage", "gates", "ptr ns/op", "ptr allocs", "core ns/op", "core allocs", "allocs x")
+	for _, r := range rows {
+		ratio := "-"
+		if r.CoreAllocsOp > 0 {
+			ratio = fmt.Sprintf("%.2f", float64(r.PtrAllocsOp)/float64(r.CoreAllocsOp))
+		}
+		fmt.Fprintf(&sb, "%-8s %-9s %6d %14d %12d %14d %12d %8s\n",
+			r.Bench, r.Stage, r.Gates, r.PtrNsOp, r.PtrAllocsOp, r.CoreNsOp, r.CoreAllocsOp, ratio)
+	}
+	return sb.String()
+}
+
+// WriteNetcoreBenchCSV emits the rows as CSV.
+func WriteNetcoreBenchCSV(w io.Writer, rows []NetcoreBenchRow) error {
+	if _, err := fmt.Fprintln(w, "bench,stage,gates,ptr_ns_op,ptr_allocs_op,core_ns_op,core_allocs_op"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d\n",
+			r.Bench, r.Stage, r.Gates, r.PtrNsOp, r.PtrAllocsOp, r.CoreNsOp, r.CoreAllocsOp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

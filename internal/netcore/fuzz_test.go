@@ -1,0 +1,92 @@
+package netcore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzStrash builds the same random network under two creation orders and
+// checks that structural hashing is order-independent: the arenas intern
+// the same number of live nodes with the same dedup/fold counts, and every
+// cut's truth table matches an independent recomputation over its leaves.
+func FuzzStrash(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(8))
+	f.Add(int64(7), uint8(2), uint8(30))
+	f.Add(int64(42), uint8(9), uint8(50))
+	f.Add(int64(-3), uint8(6), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, nInRaw, nNodeRaw uint8) {
+		nIn := 2 + int(nInRaw)%9
+		nNode := 1 + int(nNodeRaw)%40
+
+		a, _ := randomNetwork(rand.New(rand.NewSource(seed)), nIn, nNode, false)
+		b, _ := randomNetwork(rand.New(rand.NewSource(seed)), nIn, nNode, true)
+
+		if a.LiveHandles() != b.LiveHandles() {
+			t.Fatalf("live handles differ across build orders: %d vs %d",
+				a.LiveHandles(), b.LiveHandles())
+		}
+		if a.DedupCount() != b.DedupCount() {
+			t.Fatalf("dedup counts differ across build orders: %d vs %d",
+				a.DedupCount(), b.DedupCount())
+		}
+		if a.FoldCount() != b.FoldCount() {
+			t.Fatalf("fold counts differ across build orders: %d vs %d",
+				a.FoldCount(), b.FoldCount())
+		}
+
+		// Nets that hash to the same handle must compute the same local
+		// function over their shared fanin handles.
+		byHandle := make(map[Handle]Net)
+		for _, n := range a.Nets() {
+			h := a.NetHandle(n)
+			prev, ok := byHandle[h]
+			if !ok {
+				byHandle[h] = n
+				continue
+			}
+			// A net can fold to an input handle; its own handle is then
+			// the only usable leaf.
+			leaves := a.HandleFanins(h)
+			if a.HandleIsInput(h) {
+				leaves = []Handle{h}
+			}
+			tt1, err1 := a.HandleLocalTT(h, leaves)
+			tt2, err2 := a.HandleLocalTT(a.NetHandle(prev), leaves)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("local TT over own fanins failed: %v / %v", err1, err2)
+			}
+			if !tt1.Equal(tt2) {
+				t.Fatalf("nets %s and %s share handle %d but differ in TT",
+					a.NetName(n), a.NetName(prev), h)
+			}
+		}
+
+		// Every enumerated cut is k-feasible, includes the trivial cut,
+		// and carries the truth table HandleLocalTT recomputes.
+		cfg := CutConfig{K: 4, Limit: 6, TT: true}
+		for h, cs := range a.EnumerateCuts(cfg) {
+			if cs == nil {
+				continue
+			}
+			trivial := false
+			for _, c := range cs {
+				if len(c.Leaves) > cfg.K && !(len(c.Leaves) == 1 && c.Leaves[0] == Handle(h)) {
+					t.Fatalf("handle %d: cut with %d leaves exceeds k=%d", h, len(c.Leaves), cfg.K)
+				}
+				if len(c.Leaves) == 1 && c.Leaves[0] == Handle(h) {
+					trivial = true
+				}
+				want, err := a.HandleLocalTT(Handle(h), c.Leaves)
+				if err != nil {
+					t.Fatalf("handle %d: cut cone escapes leaves: %v", h, err)
+				}
+				if !c.TT.Equal(want) {
+					t.Fatalf("handle %d: cut TT mismatch", h)
+				}
+			}
+			if !a.HandleIsConst(Handle(h)) && !trivial {
+				t.Fatalf("handle %d: trivial cut missing", h)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ package network
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"tels/internal/logic"
 	"tels/internal/truth"
@@ -40,11 +41,16 @@ type Network struct {
 	order   []*Node // creation order, for deterministic iteration
 	Inputs  []*Node
 	Outputs []*Node
+
+	internalCount  int     // live internal nodes, for O(1) GateCount
+	internals      []*Node // cached InternalNodes view, rebuilt when stale
+	internalsStale bool
+	suffix         map[string]int // FreshName next-suffix cache per base
 }
 
 // New returns an empty network with the given name.
 func New(name string) *Network {
-	return &Network{Name: name, nodes: make(map[string]*Node)}
+	return &Network{Name: name, nodes: make(map[string]*Node), suffix: make(map[string]int)}
 }
 
 // AddInput creates a primary input node. It panics if the name is taken.
@@ -68,7 +74,35 @@ func (nw *Network) AddNode(name string, fanins []*Node, cover logic.Cover) *Node
 	n := &Node{Name: name, Kind: Internal, Fanins: append([]*Node(nil), fanins...), Cover: cover}
 	nw.nodes[name] = n
 	nw.order = append(nw.order, n)
+	nw.internalCount++
+	nw.internalsStale = true
 	return n
+}
+
+// AddShell creates an internal node with no function yet, reserving its
+// name and creation-order slot. BindNode must install the function before
+// the network is used. The pair exists so converters (netcore.ToNetwork)
+// can reproduce creation orders that are not topological — extraction
+// rewrites fanin lists to point at later-created divisor nodes, so
+// creation order alone cannot drive AddNode.
+func (nw *Network) AddShell(name string) *Node {
+	nw.mustBeFresh(name)
+	n := &Node{Name: name, Kind: Internal}
+	nw.nodes[name] = n
+	nw.order = append(nw.order, n)
+	nw.internalCount++
+	nw.internalsStale = true
+	return n
+}
+
+// BindNode installs the function of a node created with AddShell.
+func (nw *Network) BindNode(n *Node, fanins []*Node, cover logic.Cover) {
+	if cover.N != len(fanins) {
+		panic(fmt.Sprintf("network: node %s: cover over %d variables with %d fanins",
+			n.Name, cover.N, len(fanins)))
+	}
+	n.Fanins = append([]*Node(nil), fanins...)
+	n.Cover = cover
 }
 
 func (nw *Network) mustBeFresh(name string) {
@@ -93,28 +127,42 @@ func (nw *Network) Node(name string) *Node { return nw.nodes[name] }
 // Nodes returns all nodes in creation order.
 func (nw *Network) Nodes() []*Node { return nw.order }
 
-// InternalNodes returns the internal nodes in creation order.
+// InternalNodes returns the internal nodes in creation order. The view is
+// cached and rebuilt only after node additions or removals; callers must
+// treat it as read-only (mutating passes already do — they rewrite node
+// functions, not the returned slice).
 func (nw *Network) InternalNodes() []*Node {
-	var out []*Node
-	for _, n := range nw.order {
-		if n.Kind == Internal {
-			out = append(out, n)
+	if nw.internalsStale || nw.internals == nil {
+		// Always a fresh slice: holders of the previous view keep a
+		// consistent snapshot, exactly as with the old allocate-per-call
+		// behaviour.
+		out := make([]*Node, 0, nw.internalCount)
+		for _, n := range nw.order {
+			if n.Kind == Internal {
+				out = append(out, n)
+			}
 		}
+		nw.internals = out
+		nw.internalsStale = false
 	}
-	return out
+	return nw.internals
 }
 
-// GateCount returns the number of internal nodes.
-func (nw *Network) GateCount() int { return len(nw.InternalNodes()) }
+// GateCount returns the number of internal nodes in O(1).
+func (nw *Network) GateCount() int { return nw.internalCount }
 
 // FreshName returns a node name derived from base that is not yet used.
+// A cached next suffix per base makes the scan O(1) amortized instead of
+// O(n) per call; removals invalidate the affected base (see remove), so
+// the produced names are identical to a from-zero rescan.
 func (nw *Network) FreshName(base string) string {
 	if _, taken := nw.nodes[base]; !taken {
 		return base
 	}
-	for i := 0; ; i++ {
+	for i := nw.suffix[base]; ; i++ {
 		name := fmt.Sprintf("%s_%d", base, i)
 		if _, taken := nw.nodes[name]; !taken {
+			nw.suffix[base] = i
 			return name
 		}
 	}
@@ -346,6 +394,11 @@ func (nw *Network) ReplaceNode(old, repl *Node) {
 
 func (nw *Network) remove(n *Node) {
 	delete(nw.nodes, n.Name)
+	// Freeing base_i re-opens a hole below the cached next suffix; drop the
+	// cache entry so FreshName rescans that base from zero.
+	if i := strings.LastIndexByte(n.Name, '_'); i >= 0 {
+		delete(nw.suffix, n.Name[:i])
+	}
 	for i, x := range nw.order {
 		if x == n {
 			nw.order = append(nw.order[:i], nw.order[i+1:]...)
@@ -359,7 +412,10 @@ func (nw *Network) remove(n *Node) {
 				break
 			}
 		}
+	} else {
+		nw.internalCount--
 	}
+	nw.internalsStale = true
 }
 
 // RemoveDangling deletes internal nodes with no fanouts that are not

@@ -1,0 +1,139 @@
+package opt
+
+import (
+	"tels/internal/logic"
+	"tels/internal/netcore"
+	"tels/internal/truth"
+)
+
+// SimplifyDCCore is the arena port of SimplifyDC: each net is minimized
+// against the satisfiability don't-cares of its fanin cones, with the
+// cone truth tables computed word-parallel over the window.
+func SimplifyDCCore(nw *netcore.Network) int {
+	changed := 0
+	order, err := nw.TopoNets()
+	if err != nil {
+		panic(err)
+	}
+	// Transitive-fanin PI supports, computed bottom-up.
+	support := make(map[netcore.Net]map[netcore.Net]bool, len(order))
+	for _, n := range order {
+		if nw.NetKind(n) == netcore.NetInput {
+			support[n] = map[netcore.Net]bool{n: true}
+			continue
+		}
+		s := make(map[netcore.Net]bool)
+		for _, f := range nw.NetFanins(n) {
+			for pi := range support[f] {
+				s[pi] = true
+			}
+		}
+		support[n] = s
+	}
+	for _, n := range order {
+		if nw.NetKind(n) != netcore.NetFunc {
+			continue
+		}
+		if k := len(nw.NetFanins(n)); k < 2 || k > SimplifyMaxVars {
+			continue
+		}
+		if simplifyNetDC(nw, n, support[n]) {
+			changed++
+		}
+	}
+	if changed > 0 {
+		nw.RemoveDangling()
+	}
+	return changed
+}
+
+// simplifyNetDC rewrites one net against the unreachable fanin patterns of
+// its cone, mirroring simplifyNodeDC decision for decision.
+func simplifyNetDC(nw *netcore.Network, n netcore.Net, piSet map[netcore.Net]bool) bool {
+	if len(piSet) > dcMaxConeInputs {
+		return false
+	}
+	pis := make([]netcore.Net, 0, len(piSet))
+	for pi := range piSet {
+		pis = append(pis, pi)
+	}
+	// Deterministic order for reproducible results.
+	for i := 1; i < len(pis); i++ {
+		for j := i; j > 0 && nw.NetName(pis[j-1]) > nw.NetName(pis[j]); j-- {
+			pis[j-1], pis[j] = pis[j], pis[j-1]
+		}
+	}
+	fanins := append([]netcore.Net(nil), nw.NetFanins(n)...)
+	cones := make([]*truth.Table, len(fanins))
+	for i, f := range fanins {
+		tt, err := nw.NetLocalTT(f, pis)
+		if err != nil {
+			return false
+		}
+		cones[i] = tt
+	}
+	k := len(fanins)
+	reachable := make([]bool, 1<<uint(k))
+	seen := 0
+	for m := 0; m < 1<<uint(len(pis)); m++ {
+		v := 0
+		for i, tt := range cones {
+			if tt.Get(m) {
+				v |= 1 << uint(i)
+			}
+		}
+		if !reachable[v] {
+			reachable[v] = true
+			seen++
+			if seen == len(reachable) {
+				return false // every pattern occurs: no don't-cares
+			}
+		}
+	}
+	dc := truth.New(k)
+	for v, r := range reachable {
+		if !r {
+			dc.Set(v, true)
+		}
+	}
+	cov := nw.NetCover(n)
+	on := truth.FromCover(cov)
+	cover := on.MinimalSOPWithDC(dc)
+	if cover.LiteralCount() >= cov.LiteralCount() && len(cover.Cubes) >= len(cov.Cubes) {
+		return false
+	}
+	// The don't-cares can reveal the net as constant on all reachable
+	// patterns.
+	if cover.IsZero() {
+		nw.SetFunction(n, nil, logic.Zero(0))
+		return true
+	}
+	if cover.HasUniverse() {
+		nw.SetFunction(n, nil, logic.One(0))
+		return true
+	}
+	// Drop fanins the new cover no longer mentions.
+	used := cover.Support()
+	if len(used) != k {
+		nf := make([]netcore.Net, len(used))
+		remap := make(map[int]int, len(used))
+		for i, v := range used {
+			nf[i] = fanins[v]
+			remap[v] = i
+		}
+		reduced := logic.NewCover(len(used))
+		for _, c := range cover.Cubes {
+			d := logic.NewCube(len(used))
+			for v, p := range c {
+				if p != logic.DC {
+					d[remap[v]] = p
+				}
+			}
+			reduced.AddCube(d)
+		}
+		nw.SetFunction(n, nf, reduced)
+		return true
+	}
+	nw.SetFunction(n, fanins, cover)
+	return true
+}

@@ -1,6 +1,18 @@
 package opt
 
-import "tels/internal/network"
+import (
+	"tels/internal/netcore"
+	"tels/internal/network"
+)
+
+// The script pipelines run the structural passes (sweep, simplify,
+// eliminate, resub, don't-care simplify) on the arena-backed netcore
+// representation — decision-identical ports of the pointer passes, minus
+// the per-round recounting and pointer chasing — and cross back to the
+// pointer network only for the passes that create new nodes (Extract) or
+// use observability don't-cares (SimplifyFull). The initial Clone both
+// protects the caller's network and normalizes creation order exactly as
+// the legacy scripts did.
 
 // Algebraic runs the equivalent of SIS's script.algebraic on a copy of the
 // network: structural cleanup, exact node simplification, a round of
@@ -9,16 +21,19 @@ import "tels/internal/network"
 // factored multi-level network that threshold synthesis consumes.
 func Algebraic(nw *network.Network) *network.Network {
 	out := nw.Clone()
-	Sweep(out)
-	SimplifyNodes(out)
-	Eliminate(out, 0)
-	SimplifyNodes(out)
+	cw := netcore.FromNetwork(out)
+	SweepCore(cw)
+	SimplifyNodesCore(cw)
+	EliminateCore(cw, 0)
+	SimplifyNodesCore(cw)
+	out = cw.ToNetwork()
 	Extract(out)
-	Resub(out)
-	Sweep(out)
-	SimplifyNodes(out)
-	Sweep(out)
-	return out
+	cw = netcore.FromNetwork(out)
+	ResubCore(cw)
+	SweepCore(cw)
+	SimplifyNodesCore(cw)
+	SweepCore(cw)
+	return cw.ToNetwork()
 }
 
 // Boolean runs the equivalent of SIS's script.boolean: like Algebraic but
@@ -31,23 +46,30 @@ func Algebraic(nw *network.Network) *network.Network {
 // (Fig. 10). The paper derives its one-to-one baseline from this script.
 func Boolean(nw *network.Network) *network.Network {
 	out := nw.Clone()
-	Sweep(out)
-	SimplifyNodes(out)
-	Eliminate(out, 2)
-	SimplifyNodes(out)
+	cw := netcore.FromNetwork(out)
+	SweepCore(cw)
+	SimplifyNodesCore(cw)
+	EliminateCore(cw, 2)
+	SimplifyNodesCore(cw)
+	out = cw.ToNetwork()
 	Extract(out)
-	SimplifyNodes(out)
-	Eliminate(out, 0)
-	SimplifyNodes(out)
+	cw = netcore.FromNetwork(out)
+	SimplifyNodesCore(cw)
+	EliminateCore(cw, 0)
+	SimplifyNodesCore(cw)
+	out = cw.ToNetwork()
 	Extract(out)
-	Resub(out)
+	cw = netcore.FromNetwork(out)
+	ResubCore(cw)
+	out = cw.ToNetwork()
 	// The don’t-care ingredient of script.boolean (full_simplify): after
 	// extraction the cones share logic, so satisfiability and observability
 	// don’t-cares appear.
 	SimplifyFull(out)
-	Sweep(out)
-	Eliminate(out, 25)
-	SimplifyNodes(out)
-	Sweep(out)
-	return out
+	cw = netcore.FromNetwork(out)
+	SweepCore(cw)
+	EliminateCore(cw, 25)
+	SimplifyNodesCore(cw)
+	SweepCore(cw)
+	return cw.ToNetwork()
 }

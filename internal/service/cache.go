@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"tels/internal/blif"
@@ -16,15 +17,19 @@ import (
 // order within a line, and comments don't fragment the cache) together
 // with a fixed-order encoding of every synthesis knob that can change the
 // output. Identical digests always yield identical threshold networks.
+// The canonicalization round-trips through the arena representation
+// without building a pointer network; the emitted text — and therefore
+// every existing digest — is unchanged.
 func Digest(req Request) (string, error) {
-	nw, err := blif.ParseString(req.BLIF)
+	nc, err := blif.ParseCoreString(req.BLIF)
 	if err != nil {
 		return "", fmt.Errorf("service: parse blif: %w", err)
 	}
-	canon, err := blif.WriteString(nw)
-	if err != nil {
+	var sb strings.Builder
+	if err := blif.WriteCore(&sb, nc); err != nil {
 		return "", fmt.Errorf("service: canonicalize blif: %w", err)
 	}
+	canon := sb.String()
 	h := sha256.New()
 	o := req.Options
 	fmt.Fprintf(h, "tels/v1\nscript=%s\nmapper=%s\nverify=%t\n", req.Script, req.Mapper, !req.SkipVerify)

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tels/internal/core"
+	"tels/internal/netcore"
+)
+
+// VectorsCore is Vectors for the arena-backed representation: exhaustive
+// when the input count is at most ExhaustiveLimit, otherwise `samples`
+// random vectors drawn from rng (consuming rng exactly as Vectors would).
+func VectorsCore(nc *netcore.Network, samples int, rng *rand.Rand) []map[string]bool {
+	ins := nc.Inputs()
+	n := len(ins)
+	if n <= ExhaustiveLimit {
+		out := make([]map[string]bool, 0, 1<<uint(n))
+		for m := 0; m < 1<<uint(n); m++ {
+			in := make(map[string]bool, n)
+			for i, node := range ins {
+				in[nc.NetName(node)] = m&(1<<uint(i)) != 0
+			}
+			out = append(out, in)
+		}
+		return out
+	}
+	out := make([]map[string]bool, 0, samples)
+	for v := 0; v < samples; v++ {
+		in := make(map[string]bool, n)
+		for _, node := range ins {
+			in[nc.NetName(node)] = rng.Intn(2) == 1
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// EquivalentCore checks that the threshold network computes the same
+// outputs as the arena-backed Boolean network, evaluating the arena
+// directly instead of converting to the pointer representation first.
+// Same vector discipline as EquivalentScalar.
+func EquivalentCore(nc *netcore.Network, tn *core.Network, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	tev, err := tn.NewEvaluator()
+	if err != nil {
+		return err
+	}
+	outs := nc.Outputs()
+	var got []bool
+	for _, in := range VectorsCore(nc, DefaultRandomVectors, rng) {
+		vals, err := nc.Eval(in)
+		if err != nil {
+			return err
+		}
+		got, err = tev.Eval(in, got)
+		if err != nil {
+			return err
+		}
+		for i, o := range outs {
+			name := nc.NetName(o)
+			if vals[name] != got[i] {
+				return fmt.Errorf("sim: output %s mismatches on %v: boolean=%v threshold=%v",
+					name, in, vals[name], got[i])
+			}
+		}
+	}
+	return nil
+}
